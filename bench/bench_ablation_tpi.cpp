@@ -1,0 +1,78 @@
+// Ablation: test point insertion method (the paper's section 2.1 claim).
+//
+// The paper inserts observation points chosen from fault-simulation
+// results "instead of observability calculation commonly used in previous
+// logic BIST schemes", and no control points at all. This bench runs the
+// identical random-pattern budget over the same core with
+//   (a) no test points,
+//   (b) K COP-observability-selected points (prior art),
+//   (c) K fault-simulation-guided points (paper),
+// and prints coverage at pattern checkpoints, plus the area cost of each
+// choice. Expected shape: (c) >= (b) > (a) at the same K.
+#include <cstdio>
+#include <vector>
+
+#include "core/architect.hpp"
+#include "core/flow.hpp"
+#include "gen/ipcore.hpp"
+
+int main() {
+  using namespace lbist;
+  std::printf("=== Ablation: observation-point selection method ===\n\n");
+
+  gen::IpCoreSpec spec = gen::coreXSpec(0.02);
+  spec.resistant_fraction = 0.08;
+  spec.resistant_cone_width = 18;
+  const Netlist raw = gen::generateIpCore(spec);
+
+  const size_t kPoints = 48;
+  const int64_t kCheckpoints[] = {1'024, 4'096, 10'240, 20'480};
+
+  struct Variant {
+    const char* label;
+    core::TpiMethod method;
+    size_t points;
+  };
+  const Variant variants[] = {
+      {"no test points", core::TpiMethod::kNone, 0},
+      {"COP-selected (prior art)", core::TpiMethod::kCop, kPoints},
+      {"fault-sim-guided (paper)", core::TpiMethod::kFaultSim, kPoints},
+  };
+
+  std::printf("core: ~%zu comb gates, %zu FFs; %zu observation points where "
+              "applicable\n\n",
+              spec.target_comb_gates, spec.target_ffs, kPoints);
+  std::printf("%-28s", "random patterns:");
+  for (int64_t cp : kCheckpoints) {
+    std::printf(" %10lld", static_cast<long long>(cp));
+  }
+  std::printf(" %10s\n", "DFT GE");
+
+  for (const Variant& v : variants) {
+    core::LbistConfig cfg;
+    cfg.num_chains = 8;
+    cfg.test_points = v.points;
+    cfg.tpi_method = v.method;
+    cfg.tpi.warmup_patterns = 4'096;
+    cfg.tpi.guidance_patterns = 512;
+    const core::BistReadyCore ready = core::buildBistReadyCore(raw, cfg);
+    core::CoverageFlow flow(ready);
+
+    std::printf("%-28s", v.label);
+    int64_t done = 0;
+    for (int64_t cp : kCheckpoints) {
+      flow.runRandomPhase(cp - done);
+      done = cp;
+      std::printf(" %9.2f%%",
+                  flow.faults().coverage().faultCoveragePercent());
+    }
+    std::printf(" %10.0f\n", ready.dft_ge);
+  }
+
+  std::printf("\nExpected shape (paper): fault-sim-guided points reach the "
+              "highest coverage at\nthe same point budget because every "
+              "point is chosen to expose faults that are\n*actually* "
+              "undetected under the real PRPG stimulus, not just nets with "
+              "poor\nstatic observability.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Reproduces the paper's Fig. 2 ("At-speed test timing control"): the
+// clock-gating block's edge timeline for a two-domain core across a shift
+// window and a double-capture window, rendered as the same waveform the
+// paper draws (TCK1, TCK2, SE), plus exact integer checks of the timing
+// properties the scheme guarantees:
+//   * C2 - C1 == domain 1 functional period (d2), C4 - C3 == domain 2
+//     period (d4): real at-speed launch/capture, no frequency manipulation;
+//   * d1/d5 are long, slow gaps and SE toggles strictly inside them:
+//     one low-speed scan enable serves every domain;
+//   * d3 separates the two domains' capture pairs (> max inter-domain
+//     skew), so no state-holding FFs are needed on functional paths.
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bist/clocking.hpp"
+
+int main() {
+  using namespace lbist;
+  using bist::ScheduleEvent;
+
+  // Core X-like domains: 250 MHz and 200 MHz.
+  const std::vector<ClockDomain> domains{{"clk1", 4'000}, {"clk2", 5'000}};
+  bist::AtSpeedTimingConfig cfg;
+  cfg.shift_period_ps = 10'000;  // 100 MHz slow shift clock
+  cfg.d1_ps = 20'000;
+  cfg.d3_ps = 6'000;
+  cfg.d5_ps = 20'000;
+
+  const int shift_cycles = 5;
+  bist::BistSchedule sched(domains, cfg, shift_cycles, 2);
+
+  std::printf("=== Fig. 2: at-speed test timing control (double capture) "
+              "===\n\n");
+  const sim::Waveform wf = sched.renderWaveform(1);
+  std::printf("%s\n", wf.renderAscii(110).c_str());
+
+  // Collect pattern-0 event times.
+  bist::BistSchedule walk(domains, cfg, shift_cycles, 1);
+  uint64_t last_shift = 0;
+  uint64_t se_fall = 0;
+  uint64_t se_rise = 0;
+  uint64_t c1 = 0;
+  uint64_t c2 = 0;
+  uint64_t c3 = 0;
+  uint64_t c4 = 0;
+  while (auto ev = walk.next()) {
+    switch (ev->kind) {
+      case ScheduleEvent::Kind::kShiftPulse:
+        last_shift = ev->time_ps;
+        break;
+      case ScheduleEvent::Kind::kSeFall:
+        se_fall = ev->time_ps;
+        break;
+      case ScheduleEvent::Kind::kLaunchPulse:
+        (ev->domain.v == 0 ? c1 : c3) = ev->time_ps;
+        break;
+      case ScheduleEvent::Kind::kCapturePulse:
+        (ev->domain.v == 0 ? c2 : c4) = ev->time_ps;
+        break;
+      case ScheduleEvent::Kind::kSeRise:
+        se_rise = ev->time_ps;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::printf("interval measurements (pattern 0, all in ps):\n");
+  std::printf("  d1 (last shift -> C1) = %llu  (configured %llu)\n",
+              static_cast<unsigned long long>(c1 - last_shift),
+              static_cast<unsigned long long>(cfg.d1_ps));
+  std::printf("  d2 (C1 -> C2)         = %llu  (clk1 period %llu)  %s\n",
+              static_cast<unsigned long long>(c2 - c1),
+              static_cast<unsigned long long>(domains[0].period_ps),
+              c2 - c1 == domains[0].period_ps ? "AT-SPEED OK" : "MISMATCH");
+  std::printf("  d3 (C2 -> C3)         = %llu  (configured %llu)\n",
+              static_cast<unsigned long long>(c3 - c2),
+              static_cast<unsigned long long>(cfg.d3_ps));
+  std::printf("  d4 (C3 -> C4)         = %llu  (clk2 period %llu)  %s\n",
+              static_cast<unsigned long long>(c4 - c3),
+              static_cast<unsigned long long>(domains[1].period_ps),
+              c4 - c3 == domains[1].period_ps ? "AT-SPEED OK" : "MISMATCH");
+  std::printf("  SE falls %llu ps after the last shift pulse (inside d1)\n",
+              static_cast<unsigned long long>(se_fall - last_shift));
+  std::printf("  SE rises %llu ps after C4 (inside d5)\n",
+              static_cast<unsigned long long>(se_rise - c4));
+  const bool se_slow = se_fall > last_shift && se_fall < c1 && se_rise > c4;
+  std::printf("  single slow SE serves both domains: %s\n",
+              se_slow ? "YES" : "NO");
+
+  // d3 > max skew property: the capture window tolerates any skew below
+  // d3 by construction. Show the sweep.
+  std::printf("\n  d3 stagger margin vs. inter-domain skew:\n");
+  for (uint64_t skew = 0; skew <= 8'000; skew += 2'000) {
+    std::printf("    skew %5llu ps: %s (d3 = %llu)\n",
+                static_cast<unsigned long long>(skew),
+                skew < cfg.d3_ps ? "capture safe" : "NEEDS LARGER d3",
+                static_cast<unsigned long long>(cfg.d3_ps));
+  }
+
+  // VCD for waveform viewers.
+  std::ofstream vcd("fig2_timing.vcd");
+  wf.writeVcd(vcd, "fig2");
+  std::printf("\nwaveform written to fig2_timing.vcd\n");
+
+  // Single-capture baseline for contrast (the ablation bench quantifies
+  // the coverage difference).
+  bist::AtSpeedTimingConfig single = cfg;
+  single.double_capture = false;
+  bist::BistSchedule s2(domains, single, shift_cycles, 1);
+  std::printf("\nsingle-capture baseline (no at-speed pair):\n%s\n",
+              s2.renderWaveform(1).renderAscii(110).c_str());
+  return 0;
+}

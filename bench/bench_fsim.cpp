@@ -1,0 +1,104 @@
+// Microbenchmark: PPSFP fault-simulator throughput (google-benchmark).
+//
+// Reports gate-evaluations per second for the good machine and effective
+// pattern throughput of full fault-simulation blocks with dropping — the
+// quantities that determine the Table 1 "CPU Time" row.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+
+#include "fault/fsim.hpp"
+#include "gen/ipcore.hpp"
+#include "sim/sim2v.hpp"
+
+namespace {
+
+using namespace lbist;
+
+Netlist makeCore(size_t gates) {
+  gen::IpCoreSpec spec;
+  spec.seed = 42;
+  spec.target_comb_gates = gates;
+  spec.target_ffs = gates / 16;
+  spec.num_inputs = 32;
+  spec.num_outputs = 32;
+  spec.num_domains = 1;
+  spec.num_xsources = 0;
+  spec.num_noscan_ffs = 0;
+  return gen::generateIpCore(spec);
+}
+
+void BM_GoodSim64Patterns(benchmark::State& state) {
+  const Netlist nl = makeCore(static_cast<size_t>(state.range(0)));
+  sim::Simulator2v sim(nl);
+  std::mt19937_64 rng(1);
+  for (GateId pi : nl.inputs()) sim.setSource(pi, rng());
+  for (GateId dff : nl.dffs()) sim.setSource(dff, rng());
+  for (auto _ : state) {
+    sim.eval();
+    benchmark::DoNotOptimize(sim.rawValues().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(nl.numGates()) * 64);
+  state.SetLabel(std::to_string(nl.numGates()) + " cells, 64 patterns/pass");
+}
+BENCHMARK(BM_GoodSim64Patterns)->Arg(2'000)->Arg(10'000)->Arg(40'000);
+
+void BM_FaultSimBlock(benchmark::State& state) {
+  const Netlist nl = makeCore(static_cast<size_t>(state.range(0)));
+  std::vector<GateId> obs;
+  for (const OutputPort& po : nl.outputs()) obs.push_back(po.driver);
+  for (GateId dff : nl.dffs()) obs.push_back(nl.gate(dff).fanins[0]);
+  std::sort(obs.begin(), obs.end());
+  obs.erase(std::unique(obs.begin(), obs.end()), obs.end());
+
+  std::mt19937_64 rng(2);
+  int64_t base = 0;
+  // Fresh fault list per iteration batch would be unfair; keep dropping
+  // realistic by re-enumerating when the live set runs dry.
+  fault::FaultList faults = fault::FaultList::enumerateStuckAt(nl);
+  auto fsim = std::make_unique<fault::FaultSimulator>(nl, faults, obs);
+  for (auto _ : state) {
+    if (fsim->liveFaultCount() < faults.size() / 10) {
+      state.PauseTiming();
+      faults = fault::FaultList::enumerateStuckAt(nl);
+      fsim = std::make_unique<fault::FaultSimulator>(nl, faults, obs);
+      state.ResumeTiming();
+    }
+    for (GateId pi : nl.inputs()) fsim->setSource(pi, rng());
+    for (GateId dff : nl.dffs()) fsim->setSource(dff, rng());
+    fsim->simulateBlockStuckAt(base, 64);
+    base += 64;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+  state.SetLabel("patterns/s with fault dropping, " +
+                 std::to_string(faults.size()) + " faults");
+}
+BENCHMARK(BM_FaultSimBlock)->Arg(2'000)->Arg(10'000);
+
+void BM_TransitionBlock(benchmark::State& state) {
+  const Netlist nl = makeCore(static_cast<size_t>(state.range(0)));
+  std::vector<GateId> obs;
+  for (const OutputPort& po : nl.outputs()) obs.push_back(po.driver);
+  for (GateId dff : nl.dffs()) obs.push_back(nl.gate(dff).fanins[0]);
+  std::sort(obs.begin(), obs.end());
+  obs.erase(std::unique(obs.begin(), obs.end()), obs.end());
+  fault::FaultList faults = fault::FaultList::enumerateTransition(nl);
+  fault::FaultSimulator fsim(nl, faults, obs);
+  std::mt19937_64 rng(3);
+  int64_t base = 0;
+  for (auto _ : state) {
+    for (GateId pi : nl.inputs()) fsim.setSource(pi, rng());
+    for (GateId dff : nl.dffs()) fsim.setSource(dff, rng());
+    fsim.simulateBlockTransition(base, 64);
+    base += 64;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_TransitionBlock)->Arg(2'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// MISR aliasing measurement: supports Table 1's signature-register sizing.
+//
+// Theory: for random error patterns, a type-2 MISR of length n aliases
+// (error maps to the fault-free signature) with probability ~2^-n. The
+// paper uses 19-bit MISRs where a compactor is present and full-width
+// (99/80-bit) MISRs when chains feed the register directly. This bench
+// measures empirical alias rates for small n (where 2^-n is observable in
+// reasonable trials) and confirms the trend, then reports the implied
+// escape probabilities for the paper's sizes.
+#include <cstdio>
+#include <random>
+
+#include "bist/lfsr.hpp"
+
+int main() {
+  using namespace lbist::bist;
+  std::printf("=== MISR aliasing probability vs. register length ===\n\n");
+  std::printf("%-8s %-12s %-14s %-14s\n", "length", "trials", "aliases",
+              "measured vs 2^-n");
+
+  std::mt19937_64 rng(0xA11A5);
+  for (const int n : {4, 6, 8, 10, 12, 14, 16}) {
+    const uint64_t trials = uint64_t{1} << (n + 7);  // ~128 expected aliases
+    uint64_t aliases = 0;
+    const int slices = 40;  // response length per trial
+    for (uint64_t t = 0; t < trials; ++t) {
+      Misr good(n);
+      Misr bad(n);
+      bool corrupted = false;
+      for (int s = 0; s < slices; ++s) {
+        const uint64_t slice = rng();
+        uint64_t err = rng() & rng() & rng();  // sparse random error
+        if (err != 0) corrupted = true;
+        good.step(slice);
+        bad.step(slice ^ err);
+      }
+      if (corrupted && bad.signature() == good.signature()) ++aliases;
+    }
+    const double measured =
+        static_cast<double>(aliases) / static_cast<double>(trials);
+    const double theory = 1.0 / static_cast<double>(uint64_t{1} << n);
+    std::printf("%-8d %-12llu %-14llu %.3e vs %.3e\n", n,
+                static_cast<unsigned long long>(trials),
+                static_cast<unsigned long long>(aliases), measured, theory);
+  }
+
+  std::printf("\nimplied escape probability at the paper's sizes:\n");
+  std::printf("  19-bit MISR : 2^-19 = %.3e\n", 0x1p-19);
+  std::printf("  80-bit MISR : 2^-80 = %.3e\n", 0x1p-80);
+  std::printf("  99-bit MISR : 2^-99 = %.3e\n", 0x1p-99);
+  std::printf("\nwide MISRs here are segmented (63-bit primitive segments); "
+              "under the random-\nerror model independent segments multiply "
+              "escape probabilities, matching the\nmonolithic bound (see "
+              "DESIGN.md substitutions).\n");
+  return 0;
+}

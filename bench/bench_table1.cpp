@@ -1,0 +1,133 @@
+// Reproduces the paper's Table 1: the complete LBIST application flow on
+// two synthetic CPU-class cores whose structural parameters mirror the
+// paper's Core X (218.1K gates, 10.3K FFs, 2 domains, 250 MHz) and Core Y
+// (633.4K gates, 33.2K FFs, 8 domains, 330 MHz).
+//
+// Flow per core: generate core -> X-bound -> fault-sim-guided observation
+// points -> full scan (100/106 chains, PI/PO wrappers) -> 19-bit PRPG per
+// domain -> 20K random patterns (PRPG-exact fault simulation) -> top-up
+// ATPG -> print the same 17 rows as the paper next to the paper's values.
+//
+// Scale: LBIST_TABLE1_SCALE (default 0.05) divides gate/FF counts so the
+// default run finishes in minutes; the flow is identical at any scale.
+// LBIST_TABLE1_PATTERNS (default 20000) sets the random-pattern budget.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/architect.hpp"
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "gen/ipcore.hpp"
+#include "netlist/stats.hpp"
+
+namespace {
+
+using namespace lbist;
+
+double envDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+int64_t envInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoll(v) : fallback;
+}
+
+struct PaperColumn {
+  const char* rows[17];
+};
+
+core::Table1Column runCore(const gen::IpCoreSpec& spec, int num_chains,
+                           size_t test_points, int64_t patterns) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::printf("  generating %s (%zu comb gates, %zu FFs, %d domains)...\n",
+              spec.name.c_str(), spec.target_comb_gates, spec.target_ffs,
+              spec.num_domains);
+  const Netlist raw = gen::generateIpCore(spec);
+  const NetlistStats stats = computeStats(raw);
+
+  core::LbistConfig cfg;
+  cfg.num_chains = num_chains;
+  cfg.test_points = test_points;
+  cfg.prpg_length = 19;  // the paper's PRPG length on both cores
+  cfg.tpi.warmup_patterns = 4096;
+  cfg.tpi.guidance_patterns = 512;
+  std::printf("  building BIST-ready core (X-bound, TPI, scan)...\n");
+  const core::BistReadyCore ready = core::buildBistReadyCore(raw, cfg);
+
+  std::printf("  random phase: %lld PRPG patterns...\n",
+              static_cast<long long>(patterns));
+  core::CoverageFlow flow(ready);
+  const core::RandomPhaseResult random_phase = flow.runRandomPhase(patterns);
+  std::printf("    fault coverage 1 = %.2f%%\n",
+              random_phase.coverage.faultCoveragePercent());
+
+  std::printf("  top-up ATPG...\n");
+  const atpg::TopUpResult topup = flow.runTopUp();
+  std::printf("    %zu top-up patterns -> fault coverage 2 = %.2f%%\n",
+              topup.patterns.size(),
+              topup.final_coverage.faultCoveragePercent());
+
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return core::buildTable1Column(stats, ready, random_phase, topup, secs);
+}
+
+}  // namespace
+
+int main() {
+  const double scale = envDouble("LBIST_TABLE1_SCALE", 0.05);
+  const auto patterns = envInt("LBIST_TABLE1_PATTERNS", 20'000);
+
+  std::printf("=== Table 1: At-Speed Logic BIST application results ===\n");
+  std::printf("scale = %.3f of paper gate counts (LBIST_TABLE1_SCALE), "
+              "%lld random patterns\n\n",
+              scale, static_cast<long long>(patterns));
+
+  gen::IpCoreSpec x = gen::coreXSpec(scale);
+  gen::IpCoreSpec y = gen::coreYSpec(scale);
+  // Scaled test-point budget (the paper uses 1K obs-only points at full
+  // scale).
+  const auto points = static_cast<size_t>(1000 * scale);
+
+  const core::Table1Column cols[2] = {runCore(x, 100, points, patterns),
+                                      runCore(y, 106, points, patterns)};
+
+  std::printf("\n--- measured (this reproduction) ---\n%s\n",
+              core::renderTable1(cols).c_str());
+
+  std::printf("--- paper (DATE 2005, Table 1) ---\n");
+  std::printf("%-22s %-18s %s\n", "", "Core X", "Core Y");
+  const char* rows[][3] = {
+      {"Gate Count", "218.1K", "633.4K"},
+      {"# of FFs", "10.3K", "33.2K"},
+      {"# of Scan Chains", "100", "106"},
+      {"Max. Chain Length", "104", "345"},
+      {"# of Clock Domains", "2", "8"},
+      {"Frequency", "250MHz", "330MHz"},
+      {"# of PRPGs", "2", "8"},
+      {"PRPG Length", "19", "19"},
+      {"# of MISRs", "2", "8"},
+      {"MISR Length", "1: 19 / 1: 99", "7: 19 / 1: 80"},
+      {"# of Test Points", "1K (Obv-Only)", "1K (Obv-Only)"},
+      {"# of Random Patterns", "20K", "20K"},
+      {"Fault Coverage 1", "93.82%", "93.22%"},
+      {"CPU Time", "25m43s", "2h26m48s"},
+      {"Overhead", "4.4%", "3.2%"},
+      {"# of Top-Up Patterns", "135", "528"},
+      {"Fault Coverage 2", "97.12%", "97.58%"},
+  };
+  for (const auto& r : rows) {
+    std::printf("%-22s %-18s %s\n", r[0], r[1], r[2]);
+  }
+  std::printf(
+      "\nShape checks: FC2 > FC1 on both cores; top-up pattern count is\n"
+      "orders of magnitude below the random budget; Core Y CPU time >>\n"
+      "Core X; overhead in the low single-digit percent range.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// In-system periodic self-test (paper section 1, "Higher Reliability"):
+// a BISTed core re-tests itself in the field. Short sessions with modest
+// coverage still catch wear-out defects quickly because the test repeats;
+// this example models a defect appearing mid-life and measures how many
+// maintenance windows pass before it is caught, for several session
+// lengths.
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "core/architect.hpp"
+#include "core/session.hpp"
+#include "fault/fault.hpp"
+#include "fault/inject.hpp"
+#include "gen/ipcore.hpp"
+
+int main() {
+  using namespace lbist;
+  std::printf("=== Periodic in-field self-test ===\n\n");
+
+  gen::IpCoreSpec spec;
+  spec.name = "field_core";
+  spec.seed = 99;
+  spec.target_comb_gates = 1'500;
+  spec.target_ffs = 120;
+  spec.num_domains = 2;
+  spec.num_inputs = 16;
+  spec.num_outputs = 12;
+  const Netlist raw = gen::generateIpCore(spec);
+
+  core::LbistConfig cfg;
+  cfg.num_chains = 6;
+  cfg.test_points = 12;
+  cfg.tpi.warmup_patterns = 1'024;
+  cfg.tpi.guidance_patterns = 256;
+  const core::BistReadyCore ready = core::buildBistReadyCore(raw, cfg);
+
+  // Wear-out defects to inject across device lifetime (random internal
+  // nets going stuck).
+  std::mt19937_64 rng(1234);
+  std::vector<fault::Fault> defects;
+  while (defects.size() < 20) {
+    const GateId g{static_cast<uint32_t>(rng() % ready.netlist.numGates())};
+    if (!isCombinational(ready.netlist.gate(g).kind)) continue;
+    defects.push_back(fault::Fault{
+        g, fault::kOutputPin,
+        (rng() & 1) != 0 ? fault::FaultType::kStuckAt0
+                         : fault::FaultType::kStuckAt1});
+  }
+
+  std::printf("session length sweep: how many maintenance windows until a "
+              "wear-out defect is\ncaught (20 random defects; each window "
+              "reruns the same deterministic session)?\n\n");
+  std::printf("%-20s %-14s %-16s %s\n", "patterns/session",
+              "caught 1st try", "caught ever", "session pulses");
+
+  for (const int64_t patterns : {4, 16, 64}) {
+    core::SessionOptions opts;
+    opts.patterns = patterns;
+    core::BistSession golden_session(ready, ready.netlist);
+    const core::SessionResult golden = golden_session.run(opts);
+
+    int first_try = 0;
+    int ever = 0;
+    uint64_t pulses = 0;
+    for (const fault::Fault& defect : defects) {
+      Netlist die = ready.netlist;
+      fault::injectStuckAt(die, defect);
+      core::BistSession session(ready, die);
+      const core::SessionResult res = session.run(opts, &golden);
+      pulses = res.shift_pulses + res.capture_pulses;
+      if (!res.result_pass) {
+        ++first_try;
+        ++ever;  // deterministic session: window 1 == window N
+      }
+    }
+    std::printf("%-20lld %-14d %-16s %llu\n",
+                static_cast<long long>(patterns), first_try,
+                first_try > 0 ? std::to_string(ever).c_str() : "0",
+                static_cast<unsigned long long>(pulses));
+  }
+
+  std::printf("\nEven very short sessions catch most gross defects; a "
+              "stuck net corrupts the\nMISR stream almost immediately once "
+              "any pattern excites it. This is the\npaper's reliability "
+              "argument: periodic core testing 'even with test patterns\n"
+              "of relatively low fault coverage' improves whole-system "
+              "reliability.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Deterministic top-up flow (paper section 2.1 and Table 1's last rows):
+// after the random BIST phase plateaus, PODEM targets each remaining
+// fault; the compacted patterns are delivered through the input selector
+// in external mode. This example walks the full coverage curve and prints
+// where each mechanism contributes.
+#include <cstdio>
+
+#include "core/architect.hpp"
+#include "core/flow.hpp"
+#include "gen/ipcore.hpp"
+
+int main() {
+  using namespace lbist;
+  std::printf("=== Random phase + deterministic top-up ===\n\n");
+
+  gen::IpCoreSpec spec;
+  spec.name = "topup_core";
+  spec.seed = 404;
+  spec.target_comb_gates = 6'000;
+  spec.target_ffs = 350;
+  spec.num_domains = 2;
+  spec.num_inputs = 32;
+  spec.num_outputs = 24;
+  spec.resistant_fraction = 0.08;
+  spec.resistant_cone_width = 18;  // survives tens of thousands of patterns
+  const Netlist raw = gen::generateIpCore(spec);
+
+  core::LbistConfig cfg;
+  cfg.num_chains = 12;
+  cfg.test_points = 40;
+  const core::BistReadyCore ready = core::buildBistReadyCore(raw, cfg);
+  core::CoverageFlow flow(ready);
+
+  std::printf("%-22s %-12s %s\n", "phase", "patterns", "fault coverage");
+  int64_t total = 0;
+  for (const int64_t burst : {1'024, 3'072, 4'096, 8'192}) {
+    flow.runRandomPhase(burst);
+    total += burst;
+    std::printf("%-22s %-12lld %.2f%%\n", "random (PRPG)",
+                static_cast<long long>(total),
+                flow.faults().coverage().faultCoveragePercent());
+  }
+
+  const auto before = flow.faults().coverage();
+  const atpg::TopUpResult topup = flow.runTopUp();
+  std::printf("%-22s %-12zu %.2f%%\n", "top-up (PODEM)",
+              topup.patterns.size(),
+              topup.final_coverage.faultCoveragePercent());
+
+  std::printf("\ntop-up detail:\n");
+  std::printf("  targeted faults:       %zu\n", topup.targeted);
+  std::printf("  ATPG found cubes for:  %zu\n", topup.atpg_detected);
+  std::printf("  fortuitous detections: %zu\n", topup.fortuitous_detected);
+  std::printf("  proven untestable:     %zu\n", topup.proven_untestable);
+  std::printf("  aborted (limit):       %zu\n", topup.aborted);
+  std::printf("  merged patterns:       %zu  (vs %zu targets: static "
+              "compaction + fortuitous dropping)\n",
+              topup.patterns.size(), topup.targeted);
+  std::printf("\ncoverage lift from top-up: %.2f%% -> %.2f%% with %zu "
+              "deterministic patterns\nagainst %lld random ones — the "
+              "paper's 135/20K and 528/20K ratios show the same\nshape.\n",
+              before.faultCoveragePercent(),
+              topup.final_coverage.faultCoveragePercent(),
+              topup.patterns.size(), static_cast<long long>(total));
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "atpg/topup.hpp"
+
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+
+namespace lbist::atpg {
+
+namespace {
+
+constexpr size_t kBatchLanes = 16;  // cubes per generate/simulate round
+
+TopUpPattern fillCube(const TestCube& cube,
+                      const std::vector<GateId>& assignable,
+                      std::mt19937_64& rng) {
+  TopUpPattern pat;
+  pat.sources = assignable;
+  pat.values.resize(assignable.size());
+  std::unordered_map<uint32_t, uint8_t> care;
+  for (size_t i = 0; i < cube.care_sources.size(); ++i) {
+    care[cube.care_sources[i].v] = cube.care_values[i];
+  }
+  for (size_t i = 0; i < assignable.size(); ++i) {
+    const auto it = care.find(assignable[i].v);
+    pat.values[i] =
+        it != care.end() ? it->second : static_cast<uint8_t>(rng() & 1u);
+  }
+  return pat;
+}
+
+}  // namespace
+
+TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
+                     fault::FaultSimulator& fsim,
+                     const std::vector<GateId>& observed,
+                     const std::vector<GateId>& assignable,
+                     const std::vector<std::pair<GateId, bool>>& fixed_sources,
+                     const TopUpConfig& cfg) {
+  TopUpResult result;
+  Podem podem(nl, observed, assignable, cfg.atpg);
+  for (const auto& [id, v] : fixed_sources) podem.fixSource(id, v);
+  std::mt19937_64 fill_rng(cfg.fill_seed);
+
+  std::vector<uint8_t> tried(faults.size(), 0);
+  int64_t pattern_base = 0;
+
+  while (true) {
+    if (cfg.max_patterns != 0 && result.patterns.size() >= cfg.max_patterns) {
+      break;
+    }
+    // --- generate a batch of cubes ----------------------------------------
+    std::vector<TestCube> batch;
+    size_t batch_targets = 0;
+    for (size_t fi = 0; fi < faults.size() && batch.size() < kBatchLanes;
+         ++fi) {
+      fault::FaultRecord& rec = faults.record(fi);
+      if (tried[fi] != 0 ||
+          rec.status != fault::FaultStatus::kUndetected) {
+        continue;
+      }
+      tried[fi] = 1;
+      ++result.targeted;
+      TestCube cube;
+      switch (podem.generate(rec.fault, cube)) {
+        case AtpgStatus::kUntestable:
+          rec.status = fault::FaultStatus::kUntestable;
+          ++result.proven_untestable;
+          continue;
+        case AtpgStatus::kAborted:
+          ++result.aborted;
+          continue;
+        case AtpgStatus::kDetected:
+          ++result.atpg_detected;
+          ++batch_targets;
+          break;
+      }
+      if (cfg.compact) {
+        bool merged = false;
+        for (TestCube& existing : batch) {
+          if (existing.compatibleWith(cube)) {
+            existing.mergeFrom(cube);
+            merged = true;
+            break;
+          }
+        }
+        if (!merged) batch.push_back(std::move(cube));
+      } else {
+        batch.push_back(std::move(cube));
+      }
+    }
+    if (batch.empty()) break;
+
+    // --- fill, store, and fault-simulate the batch --------------------------
+    std::vector<uint64_t> lane_words(assignable.size(), 0);
+    for (size_t lane = 0; lane < batch.size(); ++lane) {
+      TopUpPattern pat = fillCube(batch[lane], assignable, fill_rng);
+      for (size_t i = 0; i < assignable.size(); ++i) {
+        if (pat.values[i] != 0) lane_words[i] |= uint64_t{1} << lane;
+      }
+      result.patterns.push_back(std::move(pat));
+    }
+    fsim.refreshActiveSet();
+    for (GateId pi : nl.inputs()) fsim.setSource(pi, 0);
+    for (GateId dff : nl.dffs()) fsim.setSource(dff, 0);
+    for (size_t i = 0; i < assignable.size(); ++i) {
+      fsim.setSource(assignable[i], lane_words[i]);
+    }
+    for (const auto& [id, v] : fixed_sources) {
+      fsim.setSource(id, v ? ~uint64_t{0} : 0);
+    }
+    const size_t detected = fsim.simulateBlockStuckAt(
+        pattern_base, static_cast<int>(batch.size()));
+    pattern_base += static_cast<int64_t>(batch.size());
+    result.fortuitous_detected +=
+        detected > batch_targets ? detected - batch_targets : 0;
+  }
+
+  result.final_coverage = faults.coverage();
+  return result;
+}
+
+}  // namespace lbist::atpg

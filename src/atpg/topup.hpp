@@ -1,0 +1,57 @@
+// Top-up ATPG flow (paper section 2.1 "top-up ATPG patterns" and the
+// Table 1 rows "# of Top-Up Patterns" / "Fault Coverage 2").
+//
+// After the random BIST phase, every still-undetected fault is targeted
+// with PODEM. Generated cubes are statically compacted (merged when their
+// care bits agree), random-filled, and fault-simulated against the
+// remaining fault list so each stored pattern's fortuitous detections
+// drop future targets. The resulting deterministic patterns are applied
+// through the input selector in external mode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/podem.hpp"
+#include "fault/fsim.hpp"
+
+namespace lbist::atpg {
+
+/// A fully specified top-up pattern: one value word per assignable source
+/// (bit 0 used; stored expanded for straightforward chain serialization).
+struct TopUpPattern {
+  std::vector<GateId> sources;
+  std::vector<uint8_t> values;
+};
+
+struct TopUpConfig {
+  AtpgOptions atpg;
+  uint64_t fill_seed = 0xF111ULL;
+  /// Stop after this many merged patterns (0 = unlimited).
+  size_t max_patterns = 0;
+  bool compact = true;
+};
+
+struct TopUpResult {
+  std::vector<TopUpPattern> patterns;
+  size_t targeted = 0;
+  size_t atpg_detected = 0;      // faults PODEM found cubes for
+  size_t fortuitous_detected = 0;  // dropped by simulating stored patterns
+  size_t proven_untestable = 0;
+  size_t aborted = 0;
+  fault::Coverage final_coverage;
+};
+
+/// Runs the flow. `faults` carries the random-phase statuses in and the
+/// final statuses out. `fsim` must observe the same nets the BIST ODC
+/// observes; `assignable` lists scan-cell outputs plus unwrapped PIs.
+[[nodiscard]] TopUpResult runTopUp(const Netlist& nl,
+                                   fault::FaultList& faults,
+                                   fault::FaultSimulator& fsim,
+                                   const std::vector<GateId>& observed,
+                                   const std::vector<GateId>& assignable,
+                                   const std::vector<std::pair<GateId, bool>>&
+                                       fixed_sources,
+                                   const TopUpConfig& cfg = {});
+
+}  // namespace lbist::atpg

@@ -1,0 +1,71 @@
+#include "bist/gf2.hpp"
+
+namespace lbist::bist {
+
+Gf2Matrix Gf2Matrix::identity(int n) {
+  Gf2Matrix m(n);
+  for (int i = 0; i < n; ++i) m.set(i, i, true);
+  return m;
+}
+
+uint64_t Gf2Matrix::apply(uint64_t x) const {
+  uint64_t y = 0;
+  for (int i = 0; i < n_; ++i) {
+    y |= static_cast<uint64_t>(gf2Dot(rows_[static_cast<size_t>(i)], x)) << i;
+  }
+  return y;
+}
+
+Gf2Matrix Gf2Matrix::operator*(const Gf2Matrix& rhs) const {
+  Gf2Matrix out(n_);
+  // out(i,j) = parity over k of a(i,k) b(k,j): compute row i of out as
+  // XOR of rhs rows selected by bits of this->row(i).
+  for (int i = 0; i < n_; ++i) {
+    uint64_t acc = 0;
+    uint64_t bits = rows_[static_cast<size_t>(i)];
+    while (bits != 0) {
+      const int k = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      acc ^= rhs.rows_[static_cast<size_t>(k)];
+    }
+    out.rows_[static_cast<size_t>(i)] = acc;
+  }
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::pow(uint64_t e) const {
+  Gf2Matrix result = identity(n_);
+  Gf2Matrix base = *this;
+  while (e != 0) {
+    if ((e & 1u) != 0) result = result * base;
+    base = base * base;
+    e >>= 1;
+  }
+  return result;
+}
+
+int Gf2Matrix::rank() const {
+  std::vector<uint64_t> rows = rows_;
+  int rank = 0;
+  for (int col = 0; col < n_; ++col) {
+    const uint64_t bit = uint64_t{1} << col;
+    int pivot = -1;
+    for (int r = rank; r < n_; ++r) {
+      if ((rows[static_cast<size_t>(r)] & bit) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    std::swap(rows[static_cast<size_t>(pivot)], rows[static_cast<size_t>(rank)]);
+    for (int r = 0; r < n_; ++r) {
+      if (r != rank && (rows[static_cast<size_t>(r)] & bit) != 0) {
+        rows[static_cast<size_t>(r)] ^= rows[static_cast<size_t>(rank)];
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace lbist::bist

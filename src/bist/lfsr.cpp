@@ -1,0 +1,147 @@
+#include "bist/lfsr.hpp"
+
+#include <stdexcept>
+
+namespace lbist::bist {
+
+namespace {
+
+uint64_t lengthMask(int length) {
+  return length >= 64 ? ~uint64_t{0} : (uint64_t{1} << length) - 1;
+}
+
+}  // namespace
+
+Lfsr::Lfsr(int length, uint64_t seed, LfsrForm form)
+    : length_(length),
+      form_(form),
+      poly_low_(polynomialLowMask(length)),
+      // Fibonacci feedback: with cells c_j = a_{t+j}, the recurrence from
+      // p(x) gives a_{t+n} = XOR of c_e over taps e < n plus c_0, i.e. the
+      // feedback mask is exactly the low polynomial mask.
+      fib_taps_(polynomialLowMask(length)),
+      mask_(lengthMask(length)) {
+  if (length < 2 || length > 63) {
+    throw std::out_of_range("Lfsr length must be in [2,63]");
+  }
+  setState(seed);
+}
+
+void Lfsr::setState(uint64_t s) {
+  state_ = s & mask_;
+  if (state_ == 0) state_ = 1;  // the all-zero state is a fixed point
+}
+
+uint64_t Lfsr::next(uint64_t s) const {
+  if (form_ == LfsrForm::kGalois) {
+    // Multiply the state polynomial by x modulo p(x).
+    const uint64_t overflow = (s >> (length_ - 1)) & 1u;
+    uint64_t n = (s << 1) & mask_;
+    if (overflow != 0) n ^= poly_low_;
+    return n;
+  }
+  // Fibonacci: shift right, feedback parity enters the top cell.
+  const uint64_t fb = static_cast<uint64_t>(gf2Dot(s, fib_taps_));
+  return (s >> 1) | (fb << (length_ - 1));
+}
+
+int Lfsr::step() {
+  const int out = outputBit();
+  state_ = next(state_);
+  return out;
+}
+
+void Lfsr::stepMany(uint64_t k) {
+  for (uint64_t i = 0; i < k; ++i) state_ = next(state_);
+}
+
+Gf2Matrix Lfsr::transitionMatrix() const {
+  Gf2Matrix a(length_);
+  for (int j = 0; j < length_; ++j) {
+    const uint64_t col = next(uint64_t{1} << j);
+    for (int i = 0; i < length_; ++i) {
+      if (((col >> i) & 1u) != 0) a.set(i, j, true);
+    }
+  }
+  return a;
+}
+
+Misr::Misr(int length, uint64_t seed)
+    : length_(length),
+      mask_(lengthMask(length)),
+      state_(seed & mask_),
+      poly_low_(polynomialLowMask(length)) {
+  if (length < 2 || length > 63) {
+    throw std::out_of_range("Misr length must be in [2,63]");
+  }
+  matrix_ = Lfsr(length, 1, LfsrForm::kGalois).transitionMatrix();
+}
+
+void Misr::step(uint64_t inputs) {
+  const uint64_t overflow = (state_ >> (length_ - 1)) & 1u;
+  uint64_t n = (state_ << 1) & mask_;
+  if (overflow != 0) n ^= poly_low_;
+  state_ = n ^ (inputs & mask_);
+}
+
+WideMisr::WideMisr(int length) : length_(length) {
+  if (length < 2) {
+    throw std::out_of_range("WideMisr length must be >= 2");
+  }
+  int remaining = length;
+  int offset = 0;
+  while (remaining > 0) {
+    // Keep every segment in [2, 63]: never leave a 1-bit remainder.
+    int seg = remaining > 63 ? 63 : remaining;
+    if (remaining - seg == 1) --seg;
+    segments_.emplace_back(seg, 0);
+    segment_offsets_.push_back(offset);
+    offset += seg;
+    remaining -= seg;
+  }
+}
+
+void WideMisr::reset() {
+  for (Misr& m : segments_) m.reset();
+}
+
+void WideMisr::step(std::span<const uint8_t> inputs) {
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    const int base = segment_offsets_[s];
+    const int seg_len = segments_[s].length();
+    uint64_t packed = 0;
+    for (int i = 0; i < seg_len; ++i) {
+      const size_t idx = static_cast<size_t>(base + i);
+      if (idx < inputs.size() && (inputs[idx] & 1u) != 0) {
+        packed |= uint64_t{1} << i;
+      }
+    }
+    segments_[s].step(packed);
+  }
+}
+
+std::vector<uint64_t> WideMisr::signatureWords() const {
+  std::vector<uint64_t> words;
+  words.reserve(segments_.size());
+  for (const Misr& m : segments_) words.push_back(m.signature());
+  return words;
+}
+
+std::string WideMisr::signatureHex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (const Misr& m : segments_) {
+    uint64_t v = m.signature();
+    char buf[17];
+    for (int i = 15; i >= 0; --i) {
+      buf[i] = kHex[v & 0xf];
+      v >>= 4;
+    }
+    buf[16] = '\0';
+    if (!out.empty()) out += "_";
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace lbist::bist

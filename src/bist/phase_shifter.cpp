@@ -1,0 +1,76 @@
+#include "bist/phase_shifter.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace lbist::bist {
+
+PhaseShifter::PhaseShifter(const Lfsr& reference, int channels,
+                           PhaseShifterOptions opts) {
+  if (channels <= 0) {
+    throw std::invalid_argument("phase shifter needs >= 1 channel");
+  }
+  const Gf2Matrix a = reference.transitionMatrix();
+
+  taps_.reserve(static_cast<size_t>(channels));
+  offsets_.reserve(static_cast<size_t>(channels));
+
+  // Incremental powers: keep A^offset and multiply forward, so synthesis
+  // is O(channels * separation-step matrix products) via pow() on deltas.
+  Gf2Matrix power = Gf2Matrix::identity(a.dim());
+  uint64_t power_exp = 0;
+  auto advance_to = [&](uint64_t exp) {
+    if (exp < power_exp) {
+      power = a.pow(exp);
+    } else if (exp > power_exp) {
+      power = power * a.pow(exp - power_exp);
+    }
+    power_exp = exp;
+  };
+
+  for (int ch = 0; ch < channels; ++ch) {
+    const uint64_t nominal = static_cast<uint64_t>(ch) * opts.separation;
+    uint64_t best_offset = nominal;
+    uint64_t best_taps = 0;
+    int best_cost = a.dim() + 1;
+    for (uint64_t k = 0; k <= opts.slack; ++k) {
+      advance_to(nominal + k);
+      // Channel output = sequence a_{t+offset} = (row 0 of A^offset) . s_t.
+      const uint64_t row = power.row(0);
+      const int cost = std::popcount(row);
+      if (cost > 0 && cost < best_cost) {
+        best_cost = cost;
+        best_taps = row;
+        best_offset = nominal + k;
+      }
+    }
+    taps_.push_back(best_taps);
+    offsets_.push_back(best_offset);
+  }
+}
+
+void PhaseShifter::outputs(uint64_t lfsr_state, std::span<uint8_t> out) const {
+  if (out.size() != taps_.size()) {
+    throw std::invalid_argument("outputs span size != channel count");
+  }
+  for (size_t i = 0; i < taps_.size(); ++i) {
+    out[i] = static_cast<uint8_t>(gf2Dot(taps_[i], lfsr_state));
+  }
+}
+
+uint64_t PhaseShifter::outputsPacked(uint64_t lfsr_state) const {
+  uint64_t packed = 0;
+  const size_t n = taps_.size() < 64 ? taps_.size() : 64;
+  for (size_t i = 0; i < n; ++i) {
+    packed |= static_cast<uint64_t>(gf2Dot(taps_[i], lfsr_state)) << i;
+  }
+  return packed;
+}
+
+size_t PhaseShifter::totalTaps() const {
+  size_t total = 0;
+  for (uint64_t t : taps_) total += static_cast<size_t>(std::popcount(t));
+  return total;
+}
+
+}  // namespace lbist::bist

@@ -1,0 +1,70 @@
+#include "bist/polynomials.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace lbist::bist {
+
+namespace {
+
+// One primitive polynomial per degree 2..64: exponents of every term
+// except the constant +1, leading degree first, zero-terminated. The
+// entries are the classic maximal-length LFSR taps (Xilinx XAPP052 /
+// Alfke table, converted from XNOR tap positions to polynomial exponents).
+// Unit tests verify maximal period exhaustively for degrees 2..19.
+constexpr int kPolyTable[65][7] = {
+    {},            // 0 (unused)
+    {},            // 1 (unused)
+    {2, 1},        // x^2+x+1
+    {3, 2},        {4, 3},          {5, 3},          {6, 5},
+    {7, 6},        {8, 6, 5, 4},    {9, 5},          {10, 7},
+    {11, 9},       {12, 6, 4, 1},   {13, 4, 3, 1},   {14, 5, 3, 1},
+    {15, 14},      {16, 15, 13, 4}, {17, 14},        {18, 11},
+    {19, 6, 2, 1}, {20, 17},        {21, 19},        {22, 21},
+    {23, 18},      {24, 23, 22, 17},{25, 22},        {26, 6, 2, 1},
+    {27, 5, 2, 1}, {28, 25},        {29, 27},        {30, 6, 4, 1},
+    {31, 28},      {32, 22, 2, 1},  {33, 20},        {34, 27, 2, 1},
+    {35, 33},      {36, 25},        {37, 5, 4, 3, 2, 1},
+    {38, 6, 5, 1}, {39, 35},        {40, 38, 21, 19},{41, 38},
+    {42, 41, 20, 19},               {43, 42, 38, 37},
+    {44, 43, 18, 17},               {45, 44, 42, 41},
+    {46, 45, 26, 25},               {47, 42},
+    {48, 47, 21, 20},               {49, 40},
+    {50, 49, 24, 23},               {51, 50, 36, 35},
+    {52, 49},                       {53, 52, 38, 37},
+    {54, 53, 18, 17},               {55, 31},
+    {56, 55, 35, 34},               {57, 50},
+    {58, 39},                       {59, 58, 38, 37},
+    {60, 59},                       {61, 60, 46, 45},
+    {62, 61, 6, 5},                 {63, 62},
+    {64, 63, 61, 60},
+};
+
+}  // namespace
+
+std::span<const int> primitivePolynomial(int degree) {
+  if (degree < 2 || degree > 64) {
+    throw std::out_of_range("primitive polynomial degree must be in [2,64]");
+  }
+  const int* row = kPolyTable[degree];
+  size_t n = 0;
+  while (n < 7 && row[n] != 0) ++n;
+  return {row, n};
+}
+
+uint64_t polynomialLowMask(int degree) {
+  uint64_t mask = 1;  // constant term
+  for (int e : primitivePolynomial(degree)) {
+    if (e < degree) mask |= uint64_t{1} << e;
+  }
+  return mask;
+}
+
+uint64_t polynomialMask(int degree) {
+  if (degree >= 64) {
+    throw std::out_of_range("polynomialMask needs degree < 64");
+  }
+  return polynomialLowMask(degree) | (uint64_t{1} << degree);
+}
+
+}  // namespace lbist::bist

@@ -1,0 +1,30 @@
+// Primitive polynomials over GF(2), degrees 2..64.
+//
+// Encoding: `taps` holds the exponents of the non-leading, non-constant
+// terms plus the leading degree, i.e. x^19 + x^6 + x^2 + x + 1 is
+// {19, 6, 2, 1}. The constant term (+1) is implicit — every primitive
+// polynomial has it. Table follows the classic maximal-length LFSR tap
+// lists (Xilinx XAPP052 / Alfke), one polynomial per degree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lbist::bist {
+
+/// The exponent list of a primitive polynomial of degree `degree`
+/// (2 <= degree <= 64). First element is always `degree` itself.
+[[nodiscard]] std::span<const int> primitivePolynomial(int degree);
+
+/// Bitmask form: bit (e) set for every exponent e < degree appearing in
+/// the polynomial, plus bit 0 for the constant term. (The leading x^degree
+/// term is implicit.) This is the XOR mask a Galois LFSR applies on
+/// overflow.
+[[nodiscard]] uint64_t polynomialLowMask(int degree);
+
+/// Full mask including the leading term where degree < 64 (degree == 64
+/// cannot represent x^64 in 64 bits; use polynomialLowMask).
+[[nodiscard]] uint64_t polynomialMask(int degree);
+
+}  // namespace lbist::bist

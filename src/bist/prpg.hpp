@@ -1,0 +1,125 @@
+// PRPG (pseudo-random pattern generator) and ODC (output data compressor)
+// stacks, one pair per clock domain (paper Fig. 1).
+//
+// PRPG = LFSR -> phase shifter -> optional space expander -> scan chains.
+// ODC  = scan chains -> optional space compactor -> MISR.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bist/lfsr.hpp"
+#include "bist/phase_shifter.hpp"
+#include "bist/spatial.hpp"
+
+namespace lbist::bist {
+
+struct PrpgConfig {
+  int length = 19;          // LFSR cells (the paper uses 19 on both cores)
+  uint64_t seed = 1;
+  int chains = 1;           // scan chains fed in this clock domain
+  /// Phase-shifter channels; 0 means one per chain (no expander). A value
+  /// p < chains inserts a p->chains space expander.
+  int ps_channels = 0;
+  PhaseShifterOptions shifter;
+};
+
+class Prpg {
+ public:
+  explicit Prpg(const PrpgConfig& cfg);
+
+  void loadSeed(uint64_t seed);
+
+  /// Emits the per-chain stimulus bits for the current shift cycle into
+  /// `chain_bits` (size == chains()), then advances the LFSR one cycle.
+  void nextSlice(std::span<uint8_t> chain_bits);
+
+  /// Chain bit for the current cycle without advancing (inspection).
+  [[nodiscard]] uint8_t peekChainBit(int chain) const;
+
+  [[nodiscard]] int chains() const { return cfg_.chains; }
+  [[nodiscard]] uint64_t cyclesElapsed() const { return cycles_; }
+  [[nodiscard]] const Lfsr& lfsr() const { return lfsr_; }
+  [[nodiscard]] const PhaseShifter& shifter() const { return shifter_; }
+  [[nodiscard]] const SpaceExpander* expander() const {
+    return expander_ ? &*expander_ : nullptr;
+  }
+
+  /// Gate-equivalent hardware cost (LFSR FFs + XOR taps + expander XORs),
+  /// for the Table 1 overhead accounting.
+  [[nodiscard]] double gateEquivalents() const;
+
+ private:
+  PrpgConfig cfg_;
+  Lfsr lfsr_;
+  PhaseShifter shifter_;
+  std::optional<SpaceExpander> expander_;
+  std::vector<uint8_t> ps_out_;
+  uint64_t cycles_ = 0;
+};
+
+struct OdcConfig {
+  int misr_length = 19;
+  int chains = 1;
+  /// When false (the paper's production setting, section 3) the chains
+  /// feed the MISR directly and misr_length must be >= chains.
+  bool use_compactor = false;
+};
+
+class Odc {
+ public:
+  explicit Odc(const OdcConfig& cfg);
+
+  /// Compacts one shift-cycle slice of scan-out bits (size == chains()).
+  void compact(std::span<const uint8_t> chain_out);
+
+  [[nodiscard]] std::vector<uint64_t> signature() const {
+    return misr_.signatureWords();
+  }
+  [[nodiscard]] std::string signatureHex() const {
+    return misr_.signatureHex();
+  }
+  void reset() { misr_.reset(); }
+
+  [[nodiscard]] int chains() const { return cfg_.chains; }
+  [[nodiscard]] const WideMisr& misr() const { return misr_; }
+  [[nodiscard]] const SpaceCompactor* compactor() const {
+    return compactor_ ? &*compactor_ : nullptr;
+  }
+
+  [[nodiscard]] double gateEquivalents() const;
+
+ private:
+  OdcConfig cfg_;
+  WideMisr misr_;
+  std::optional<SpaceCompactor> compactor_;
+  std::vector<uint8_t> misr_in_;
+};
+
+/// Input selector (paper Fig. 1): chooses between the PRPG stream and an
+/// externally supplied deterministic (top-up ATPG) stream per chain.
+class InputSelector {
+ public:
+  enum class Mode : uint8_t { kRandom, kExternal };
+
+  explicit InputSelector(int chains) : external_(static_cast<size_t>(chains), 0) {}
+
+  void setMode(Mode m) { mode_ = m; }
+  [[nodiscard]] Mode mode() const { return mode_; }
+
+  /// Loads the external slice used while in kExternal mode.
+  void setExternalSlice(std::span<const uint8_t> bits);
+
+  /// Produces this cycle's chain stimulus from `prpg` or the external
+  /// slice depending on mode. Always advances the PRPG (it free-runs).
+  void select(Prpg& prpg, std::span<uint8_t> out);
+
+ private:
+  Mode mode_ = Mode::kRandom;
+  std::vector<uint8_t> external_;
+};
+
+}  // namespace lbist::bist

@@ -1,0 +1,65 @@
+// Fast coverage flow: PRPG-exact fault simulation of the random phase
+// plus the deterministic top-up phase. This is the path that regenerates
+// the paper's Table 1 numbers (the cycle-accurate BistSession validates
+// the signature plumbing; simulating 20K patterns x full shift windows
+// gate-by-gate would be needlessly slow for coverage accounting, exactly
+// as in production DFT flows).
+//
+// "PRPG-exact" means the scan state loaded for pattern p is computed from
+// the real per-domain PRPG + phase shifter models over the real shift
+// schedule — not from an idealized RNG — so coverage includes any
+// structural correlation the TPG hardware would produce.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/topup.hpp"
+#include "core/architect.hpp"
+#include "fault/fsim.hpp"
+
+namespace lbist::core {
+
+struct RandomPhaseResult {
+  int64_t patterns = 0;
+  fault::Coverage coverage;
+  double wall_seconds = 0.0;
+};
+
+class CoverageFlow {
+ public:
+  /// `transition` switches the fault universe to launch-on-capture
+  /// transition faults (for the double-capture ablation); default is the
+  /// stuck-at universe of Table 1.
+  explicit CoverageFlow(const BistReadyCore& core, bool transition = false);
+
+  /// Simulates `n_patterns` PRPG patterns (with fault dropping).
+  RandomPhaseResult runRandomPhase(int64_t n_patterns);
+
+  /// Deterministic top-up targeting everything still undetected.
+  atpg::TopUpResult runTopUp(const atpg::TopUpConfig& cfg = {});
+
+  [[nodiscard]] fault::FaultList& faults() { return faults_; }
+  [[nodiscard]] const fault::FaultList& faults() const { return faults_; }
+  [[nodiscard]] const std::vector<GateId>& observed() const {
+    return observed_;
+  }
+  [[nodiscard]] const std::vector<GateId>& assignable() const {
+    return assignable_;
+  }
+
+ private:
+  void loadBlockSources(int lanes);
+
+  const BistReadyCore* core_;
+  bool transition_;
+  fault::FaultList faults_;
+  std::vector<GateId> observed_;
+  std::vector<GateId> assignable_;
+  std::vector<std::pair<GateId, bool>> fixed_;
+  fault::FaultSimulator fsim_;
+  std::vector<bist::Prpg> prpgs_;
+  std::vector<uint64_t> cell_words_;  // per gate id, current block
+};
+
+}  // namespace lbist::core

@@ -1,0 +1,157 @@
+#include "core/lbist_top.hpp"
+
+#include <sstream>
+
+namespace lbist::core {
+
+LbistTop::LbistTop(const BistReadyCore& core, const Netlist& die)
+    : core_(&core), die_(&die), tap_(kIrLength, kIdcode) {
+  seeds_.resize(core.domain_bist.size());
+  for (size_t i = 0; i < seeds_.size(); ++i) {
+    seeds_[i] = core.domain_bist[i].prpg.seed;
+  }
+
+  ctrl_reg_ = std::make_unique<jtag::CallbackRegister>(
+      kCtrlBits, nullptr,
+      [this](const std::vector<uint8_t>& bits) { updateCtrl(bits); });
+  status_reg_ = std::make_unique<jtag::CallbackRegister>(
+      2, [this] { return captureStatus(); }, nullptr);
+
+  const size_t seed_bits =
+      seeds_.size() * static_cast<size_t>(core.config.prpg_length);
+  seed_reg_ = std::make_unique<jtag::CallbackRegister>(
+      seed_bits, nullptr,
+      [this](const std::vector<uint8_t>& bits) { updateSeed(bits); });
+
+  size_t sig_bits = 0;
+  for (const DomainBist& db : core.domain_bist) {
+    sig_bits += static_cast<size_t>(db.odc.misr_length);
+  }
+  sig_reg_ = std::make_unique<jtag::CallbackRegister>(
+      sig_bits, [this] { return captureSignature(); }, nullptr);
+
+  tap_.bindInstruction(kOpcodeCtrl, "BIST_CTRL", ctrl_reg_.get());
+  tap_.bindInstruction(kOpcodeStatus, "BIST_STATUS", status_reg_.get());
+  tap_.bindInstruction(kOpcodeSeed, "PRPG_SEED", seed_reg_.get());
+  tap_.bindInstruction(kOpcodeSignature, "MISR_SIG", sig_reg_.get());
+}
+
+std::vector<uint8_t> LbistTop::captureStatus() const {
+  std::vector<uint8_t> bits(2, 0);
+  if (last_) {
+    bits[0] = last_->finish ? 1 : 0;       // Finish
+    bits[1] = last_->result_pass ? 1 : 0;  // Result
+  }
+  return bits;
+}
+
+std::vector<uint8_t> LbistTop::captureSignature() const {
+  std::vector<uint8_t> bits;
+  if (!last_) {
+    size_t total = 0;
+    for (const DomainBist& db : core_->domain_bist) {
+      total += static_cast<size_t>(db.odc.misr_length);
+    }
+    return std::vector<uint8_t>(total, 0);
+  }
+  for (size_t i = 0; i < core_->domain_bist.size(); ++i) {
+    // Hex signature back to bits, LSB first per 64-bit segment word.
+    const std::string& hex = last_->signatures[i];
+    std::vector<uint64_t> words;
+    uint64_t current = 0;
+    int digits = 0;
+    for (char ch : hex) {
+      if (ch == '_') {
+        words.push_back(current);
+        current = 0;
+        digits = 0;
+        continue;
+      }
+      const auto nibble = static_cast<uint64_t>(
+          ch <= '9' ? ch - '0' : ch - 'a' + 10);
+      current = (current << 4) | nibble;
+      ++digits;
+    }
+    if (digits > 0) words.push_back(current);
+    int remaining = core_->domain_bist[i].odc.misr_length;
+    for (uint64_t w : words) {
+      const int take = remaining < 63 ? remaining : 63;
+      for (int b = 0; b < take; ++b) {
+        bits.push_back(static_cast<uint8_t>((w >> b) & 1u));
+      }
+      remaining -= take;
+    }
+    while (remaining-- > 0) bits.push_back(0);
+  }
+  return bits;
+}
+
+void LbistTop::updateSeed(const std::vector<uint8_t>& bits) {
+  const auto len = static_cast<size_t>(core_->config.prpg_length);
+  for (size_t i = 0; i < seeds_.size(); ++i) {
+    uint64_t s = 0;
+    for (size_t b = 0; b < len; ++b) {
+      if (bits[i * len + b] != 0) s |= uint64_t{1} << b;
+    }
+    seeds_[i] = s;
+  }
+}
+
+void LbistTop::updateCtrl(const std::vector<uint8_t>& bits) {
+  if (bits.empty() || bits[0] == 0) return;  // start bit clear: no-op
+  int64_t patterns = 0;
+  for (size_t b = 1; b < bits.size(); ++b) {
+    if (bits[b] != 0) patterns |= int64_t{1} << (b - 1);
+  }
+  if (patterns <= 0) patterns = 1;
+
+  // Apply JTAG-loaded seeds by running the session on a copy of the core
+  // description with overridden seeds.
+  BistReadyCore runnable = *core_;
+  for (size_t i = 0; i < seeds_.size(); ++i) {
+    runnable.domain_bist[i].prpg.seed = seeds_[i];
+  }
+  BistSession session(runnable, *die_);
+  SessionOptions opts;
+  opts.patterns = patterns;
+
+  if (!golden_.empty()) {
+    SessionResult golden_res;
+    golden_res.signatures = golden_;
+    last_ = session.run(opts, &golden_res);
+  } else {
+    last_ = session.run(opts);
+  }
+}
+
+std::string describeArchitecture(const BistReadyCore& core) {
+  std::ostringstream os;
+  os << "LBIST top for core '" << core.netlist.name() << "'\n";
+  os << "  BIST-ready core: " << core.netlist.numGates() << " cells, "
+     << core.scan.chains.size() << " scan chains (max length "
+     << core.scan.max_chain_length << "), " << core.observe_cells.size()
+     << " observation points, " << core.xbound.bounded_xsources << "+"
+     << core.xbound.bounded_noscan_ffs << " X sources bounded\n";
+  os << "  Controller (Start/Finish/Result): " << kControllerGe << " GE\n";
+  os << "  Clock gating block: "
+     << kClockGatingGePerDomain * static_cast<double>(core.netlist.numDomains())
+     << " GE for " << core.netlist.numDomains() << " domains\n";
+  os << "  Boundary-Scan TAP: " << kTapGe << " GE\n";
+  for (size_t i = 0; i < core.domain_bist.size(); ++i) {
+    const DomainBist& db = core.domain_bist[i];
+    const ClockDomain& dom = core.netlist.domain(db.domain);
+    bist::Prpg prpg(db.prpg);
+    bist::Odc odc(db.odc);
+    os << "  Domain '" << dom.name << "' (" << dom.freq_mhz() << " MHz): "
+       << "PRPG" << i + 1 << " len " << db.prpg.length << " + PS"
+       << (prpg.expander() != nullptr ? " + SpE" : "") << " -> "
+       << db.chain_indices.size() << " chains -> "
+       << (odc.compactor() != nullptr ? "SpC + " : "") << "MISR" << i + 1
+       << " len " << db.odc.misr_length << "  ("
+       << prpg.gateEquivalents() + odc.gateEquivalents() << " GE)\n";
+  }
+  os << "  Total DFT overhead: " << core.overheadPercent() << "%\n";
+  return os.str();
+}
+
+}  // namespace lbist::core

@@ -1,0 +1,160 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace lbist::core {
+
+namespace {
+
+std::string withK(size_t n) {
+  if (n >= 10'000) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1)
+       << static_cast<double>(n) / 1000.0 << "K";
+    return os.str();
+  }
+  return std::to_string(n);
+}
+
+std::string percent(double p) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << p << "%";
+  return os.str();
+}
+
+}  // namespace
+
+std::string formatDuration(double seconds) {
+  const auto total = static_cast<uint64_t>(std::llround(seconds));
+  const uint64_t h = total / 3600;
+  const uint64_t m = (total % 3600) / 60;
+  const uint64_t s = total % 60;
+  std::ostringstream os;
+  if (h > 0) os << h << "h";
+  if (h > 0 || m > 0) os << m << "m";
+  os << s << "s";
+  return os.str();
+}
+
+Table1Column buildTable1Column(const NetlistStats& original_stats,
+                               const BistReadyCore& core,
+                               const RandomPhaseResult& random_phase,
+                               const atpg::TopUpResult& topup,
+                               double total_cpu_seconds) {
+  Table1Column col;
+  col.core_name = original_stats.name;
+  col.gate_count = original_stats.total_cells;
+  col.ffs = original_stats.dffs;
+  col.scan_chains = core.scan.chains.size();
+  col.max_chain_length = core.scan.max_chain_length;
+  col.clock_domains = core.netlist.numDomains();
+  for (const ClockDomain& d : core.netlist.domains()) {
+    col.freq_mhz = std::max(col.freq_mhz, d.freq_mhz());
+  }
+  col.num_prpgs = core.domain_bist.size();
+  col.prpg_length = core.config.prpg_length;
+  col.num_misrs = core.domain_bist.size();
+  {
+    // Group identical MISR lengths, paper style "7: 19 / 1: 80".
+    std::map<int, int> by_len;
+    for (const DomainBist& db : core.domain_bist) {
+      ++by_len[db.odc.misr_length];
+    }
+    std::ostringstream os;
+    bool first = true;
+    for (const auto& [len, count] : by_len) {
+      if (!first) os << " / ";
+      os << count << ": " << len;
+      first = false;
+    }
+    col.misr_lengths = os.str();
+  }
+  col.test_points = core.observe_cells.size();
+  col.random_patterns = random_phase.patterns;
+  col.fault_coverage_1 = random_phase.coverage.faultCoveragePercent();
+  col.cpu_seconds = total_cpu_seconds;
+  col.overhead_percent = core.overheadPercent();
+  col.topup_patterns = topup.patterns.size();
+  col.fault_coverage_2 = topup.final_coverage.faultCoveragePercent();
+  return col;
+}
+
+std::string renderTable1(std::span<const Table1Column> cols) {
+  struct Row {
+    std::string label;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows;
+  auto add = [&](const std::string& label,
+                 auto&& value_of) {
+    Row r{label, {}};
+    for (const Table1Column& c : cols) r.cells.push_back(value_of(c));
+    rows.push_back(std::move(r));
+  };
+
+  add("Gate Count", [](const auto& c) { return withK(c.gate_count); });
+  add("# of FFs", [](const auto& c) { return withK(c.ffs); });
+  add("# of Scan Chains",
+      [](const auto& c) { return std::to_string(c.scan_chains); });
+  add("Max. Chain Length",
+      [](const auto& c) { return std::to_string(c.max_chain_length); });
+  add("# of Clock Domains",
+      [](const auto& c) { return std::to_string(c.clock_domains); });
+  add("Frequency", [](const auto& c) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(0) << c.freq_mhz << "MHz";
+    return os.str();
+  });
+  add("# of PRPGs", [](const auto& c) { return std::to_string(c.num_prpgs); });
+  add("PRPG Length",
+      [](const auto& c) { return std::to_string(c.prpg_length); });
+  add("# of MISRs", [](const auto& c) { return std::to_string(c.num_misrs); });
+  add("MISR Length", [](const auto& c) { return c.misr_lengths; });
+  add("# of Test Points", [](const auto& c) {
+    return std::to_string(c.test_points) + " (Obv-Only)";
+  });
+  add("# of Random Patterns",
+      [](const auto& c) { return withK(static_cast<size_t>(c.random_patterns)); });
+  add("Fault Coverage 1",
+      [](const auto& c) { return percent(c.fault_coverage_1); });
+  add("CPU Time", [](const auto& c) { return formatDuration(c.cpu_seconds); });
+  add("Overhead", [](const auto& c) { return percent(c.overhead_percent); });
+  add("# of Top-Up Patterns",
+      [](const auto& c) { return std::to_string(c.topup_patterns); });
+  add("Fault Coverage 2",
+      [](const auto& c) { return percent(c.fault_coverage_2); });
+
+  size_t label_w = 0;
+  for (const Row& r : rows) label_w = std::max(label_w, r.label.size());
+  std::vector<size_t> col_w(cols.size(), 0);
+  for (size_t i = 0; i < cols.size(); ++i) {
+    col_w[i] = cols[i].core_name.size();
+    for (const Row& r : rows) col_w[i] = std::max(col_w[i], r.cells[i].size());
+  }
+
+  std::ostringstream os;
+  os << std::left << std::setw(static_cast<int>(label_w)) << "" << "  ";
+  for (size_t i = 0; i < cols.size(); ++i) {
+    os << std::setw(static_cast<int>(col_w[i])) << cols[i].core_name << "  ";
+  }
+  os << "\n";
+  os << std::string(label_w, '-') << "  ";
+  for (size_t i = 0; i < cols.size(); ++i) {
+    os << std::string(col_w[i], '-') << "  ";
+  }
+  os << "\n";
+  for (const Row& r : rows) {
+    os << std::setw(static_cast<int>(label_w)) << r.label << "  ";
+    for (size_t i = 0; i < cols.size(); ++i) {
+      os << std::setw(static_cast<int>(col_w[i])) << r.cells[i] << "  ";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lbist::core

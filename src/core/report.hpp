@@ -1,0 +1,48 @@
+// Table 1 report assembly and rendering: the same 17 rows the paper
+// prints for Core X / Core Y, generated from measured flow results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "atpg/topup.hpp"
+#include "core/architect.hpp"
+#include "core/flow.hpp"
+#include "netlist/stats.hpp"
+
+namespace lbist::core {
+
+struct Table1Column {
+  std::string core_name;
+  size_t gate_count = 0;   // original core cells (pre-DFT)
+  size_t ffs = 0;          // original flip-flops
+  size_t scan_chains = 0;
+  size_t max_chain_length = 0;
+  size_t clock_domains = 0;
+  double freq_mhz = 0.0;   // fastest functional clock
+  size_t num_prpgs = 0;
+  int prpg_length = 0;
+  size_t num_misrs = 0;
+  std::string misr_lengths;  // paper style: "7: 19 / 1: 80"
+  size_t test_points = 0;
+  int64_t random_patterns = 0;
+  double fault_coverage_1 = 0.0;
+  double cpu_seconds = 0.0;
+  double overhead_percent = 0.0;
+  size_t topup_patterns = 0;
+  double fault_coverage_2 = 0.0;
+};
+
+[[nodiscard]] Table1Column buildTable1Column(
+    const NetlistStats& original_stats, const BistReadyCore& core,
+    const RandomPhaseResult& random_phase, const atpg::TopUpResult& topup,
+    double total_cpu_seconds);
+
+/// "25m43s"-style rendering of a duration.
+[[nodiscard]] std::string formatDuration(double seconds);
+
+/// Renders one table with a column per core, row names as in the paper.
+[[nodiscard]] std::string renderTable1(std::span<const Table1Column> cols);
+
+}  // namespace lbist::core

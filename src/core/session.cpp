@@ -1,0 +1,130 @@
+#include "core/session.hpp"
+
+#include <stdexcept>
+
+namespace lbist::core {
+
+BistSession::BistSession(const BistReadyCore& core, const Netlist& die)
+    : core_(&core), die_(&die), sim_(die) {
+  // Injected faults may append tie cells, so the die can be slightly
+  // larger than the reference; it must never be smaller.
+  if (die.numGates() < core.netlist.numGates() ||
+      die.numDomains() != core.netlist.numDomains()) {
+    throw std::invalid_argument(
+        "die must be structurally compatible with the BIST-ready core");
+  }
+  for (const DomainBist& db : core.domain_bist) {
+    prpgs_.emplace_back(db.prpg);
+    odcs_.emplace_back(db.odc);
+    slice_.emplace_back(db.chain_indices.size(), 0);
+    so_slice_.emplace_back(db.chain_indices.size(), 0);
+  }
+}
+
+void BistSession::seedPrpgs() {
+  for (size_t i = 0; i < prpgs_.size(); ++i) {
+    prpgs_[i].loadSeed(core_->domain_bist[i].prpg.seed);
+    odcs_[i].reset();
+  }
+}
+
+void BistSession::shiftCycle() {
+  // PRPG outputs feed the SI ports; MISRs compact the SO values present
+  // before the edge; then one shift edge clocks every domain, the PRPGs
+  // and the MISRs together (they share the slow shift clock).
+  for (size_t i = 0; i < prpgs_.size(); ++i) {
+    const DomainBist& db = core_->domain_bist[i];
+    for (size_t c = 0; c < db.chain_indices.size(); ++c) {
+      const dft::ScanChain& chain =
+          core_->scan.chains[db.chain_indices[c]];
+      so_slice_[i][c] =
+          static_cast<uint8_t>(sim_.state(chain.so_driver) & 1u);
+    }
+    odcs_[i].compact(so_slice_[i]);
+    prpgs_[i].nextSlice(slice_[i]);
+    for (size_t c = 0; c < db.chain_indices.size(); ++c) {
+      const dft::ScanChain& chain =
+          core_->scan.chains[db.chain_indices[c]];
+      sim_.setInput(chain.si_port, slice_[i][c] != 0 ? ~uint64_t{0} : 0);
+    }
+  }
+  sim_.pulseAll();
+}
+
+SessionResult BistSession::run(const SessionOptions& opts,
+                               const SessionResult* golden) {
+  SessionResult res;
+
+  // Reset: known state everywhere (hardware gets this from the first full
+  // shift window; starting from zero keeps the golden run reproducible).
+  sim_.resetState(0);
+  for (GateId pi : die_->inputs()) sim_.setInput(pi, 0);
+  if (core_->scan.test_mode_port.valid()) {
+    sim_.setInput(core_->scan.test_mode_port, ~uint64_t{0});
+  }
+  if (auto tm = die_->findGateByName("test_mode")) {
+    sim_.setInput(*tm, ~uint64_t{0});
+  }
+  seedPrpgs();
+
+  bist::BistController ctrl;
+  ctrl.start();
+  ctrl.seedsLoaded();
+
+  const int shift_cycles = core_->shiftCyclesPerPattern();
+  bist::BistSchedule sched(die_->domains(), core_->config.timing,
+                           shift_cycles, opts.patterns, opts.capture_order);
+
+  while (auto ev = sched.next()) {
+    ctrl.onEvent(*ev);
+    switch (ev->kind) {
+      case bist::ScheduleEvent::Kind::kShiftPulse:
+        sim_.setInput(core_->scan.se_port, ~uint64_t{0});
+        shiftCycle();
+        break;
+      case bist::ScheduleEvent::Kind::kSeFall:
+        sim_.setInput(core_->scan.se_port, 0);
+        break;
+      case bist::ScheduleEvent::Kind::kLaunchPulse:
+      case bist::ScheduleEvent::Kind::kCapturePulse:
+        sim_.pulse(ev->domain);
+        break;
+      case bist::ScheduleEvent::Kind::kSeRise:
+        sim_.setInput(core_->scan.se_port, ~uint64_t{0});
+        break;
+      case bist::ScheduleEvent::Kind::kPatternEnd:
+        break;
+      case bist::ScheduleEvent::Kind::kSessionEnd:
+        res.session_ps = ev->time_ps;
+        break;
+    }
+  }
+
+  // Final unload: shift the last captured responses into the MISRs.
+  if (opts.final_unload) {
+    sim_.setInput(core_->scan.se_port, ~uint64_t{0});
+    for (int s = 0; s < shift_cycles; ++s) shiftCycle();
+  }
+
+  res.patterns_done = ctrl.patternsDone();
+  res.shift_pulses = ctrl.shiftPulses();
+  res.capture_pulses = ctrl.capturePulses();
+  for (bist::Odc& odc : odcs_) res.signatures.push_back(odc.signatureHex());
+
+  bool match = golden != nullptr;
+  if (golden != nullptr) {
+    if (golden->signatures.size() != res.signatures.size()) {
+      match = false;
+    } else {
+      for (size_t i = 0; i < res.signatures.size(); ++i) {
+        if (res.signatures[i] != golden->signatures[i]) match = false;
+      }
+    }
+  }
+  ctrl.setSignatureMatch(match);
+  res.finish = ctrl.finish();
+  res.result_pass = ctrl.result();
+  return res;
+}
+
+}  // namespace lbist::core

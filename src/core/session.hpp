@@ -1,0 +1,73 @@
+// BistSession — cycle-accurate emulation of a complete self-test run.
+//
+// Wires together every block of the paper's Fig. 1 against the BIST-ready
+// netlist: the per-domain PRPGs feed scan-in ports through the input
+// selector, the clock-gating schedule drives shift and double-capture
+// pulses through the sequential simulator, per-domain MISRs compact the
+// scan-out streams, and the controller FSM walks Start -> ... -> Finish
+// with an on-chip signature compare providing Result.
+//
+// A golden (fault-free) run provides the reference signatures; running
+// the same session against a die with an injected defect must flip
+// Result — the end-to-end detection path the coverage numbers assume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bist/controller.hpp"
+#include "bist/prpg.hpp"
+#include "core/architect.hpp"
+#include "sim/seqsim.hpp"
+
+namespace lbist::core {
+
+struct SessionOptions {
+  int64_t patterns = 32;
+  /// Domains capture in this order (empty = netlist order). d3 separates
+  /// consecutive pairs, so any order works regardless of skew.
+  std::vector<DomainId> capture_order;
+  /// Extra shift window after the last pattern to flush final responses
+  /// into the MISRs (always needed; exposed for the truncation test).
+  bool final_unload = true;
+};
+
+struct SessionResult {
+  std::vector<std::string> signatures;  // per DomainBist, hex
+  int64_t patterns_done = 0;
+  uint64_t shift_pulses = 0;
+  uint64_t capture_pulses = 0;
+  uint64_t session_ps = 0;  // virtual end time
+  bool finish = false;
+  /// Valid only when golden signatures were provided.
+  bool result_pass = false;
+};
+
+class BistSession {
+ public:
+  /// `die` is the netlist to simulate — pass `core.netlist` for a good
+  /// die or a mutated copy (fault::injectStuckAt) for a defective one.
+  /// The die must be structurally identical to the BIST-ready core
+  /// (same ports and scan fabric).
+  BistSession(const BistReadyCore& core, const Netlist& die);
+
+  /// Runs a full self-test. When `golden` is non-null the controller
+  /// compares against it and SessionResult::result_pass is meaningful.
+  [[nodiscard]] SessionResult run(const SessionOptions& opts,
+                                  const SessionResult* golden = nullptr);
+
+ private:
+  void shiftCycle();
+  void seedPrpgs();
+
+  const BistReadyCore* core_;
+  const Netlist* die_;
+  sim::SeqSimulator sim_;
+  std::vector<bist::Prpg> prpgs_;
+  std::vector<bist::Odc> odcs_;
+  std::vector<std::vector<uint8_t>> slice_;     // per domain, per chain
+  std::vector<std::vector<uint8_t>> so_slice_;  // per domain, per chain
+};
+
+}  // namespace lbist::core

@@ -1,0 +1,135 @@
+#include "dft/cop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netlist/levelize.hpp"
+
+namespace lbist::dft {
+
+namespace {
+
+double and3(double a, double b) { return a * b; }
+
+}  // namespace
+
+CopMetrics computeCop(const Netlist& nl, std::span<const GateId> observed) {
+  CopMetrics m;
+  m.c1.assign(nl.numGates(), 0.5);
+  m.obs.assign(nl.numGates(), 0.0);
+  const Levelized lev(nl);
+
+  // --- controllability: forward in level order -----------------------------
+  nl.forEachGate([&](GateId id, const Gate& g) {
+    switch (g.kind) {
+      case CellKind::kConst0:
+        m.c1[id.v] = 0.0;
+        break;
+      case CellKind::kConst1:
+        m.c1[id.v] = 1.0;
+        break;
+      default:
+        m.c1[id.v] = 0.5;  // PIs, DFF outputs (scan-loaded), X sources
+        break;
+    }
+  });
+  for (GateId id : lev.combOrder()) {
+    const Gate& g = nl.gate(id);
+    auto c1 = [&](size_t i) { return m.c1[g.fanins[i].v]; };
+    double v = 0.5;
+    switch (g.kind) {
+      case CellKind::kBuf:
+        v = c1(0);
+        break;
+      case CellKind::kNot:
+        v = 1.0 - c1(0);
+        break;
+      case CellKind::kAnd:
+      case CellKind::kNand: {
+        double p = 1.0;
+        for (size_t i = 0; i < g.fanins.size(); ++i) p = and3(p, c1(i));
+        v = g.kind == CellKind::kNand ? 1.0 - p : p;
+        break;
+      }
+      case CellKind::kOr:
+      case CellKind::kNor: {
+        double p = 1.0;
+        for (size_t i = 0; i < g.fanins.size(); ++i) p *= 1.0 - c1(i);
+        v = g.kind == CellKind::kNor ? p : 1.0 - p;
+        break;
+      }
+      case CellKind::kXor:
+      case CellKind::kXnor: {
+        double p = 0.0;  // probability of odd parity so far
+        for (size_t i = 0; i < g.fanins.size(); ++i) {
+          p = p * (1.0 - c1(i)) + (1.0 - p) * c1(i);
+        }
+        v = g.kind == CellKind::kXnor ? 1.0 - p : p;
+        break;
+      }
+      case CellKind::kMux2:
+        v = (1.0 - c1(2)) * c1(0) + c1(2) * c1(1);
+        break;
+      default:
+        break;
+    }
+    m.c1[id.v] = v;
+  }
+
+  // --- observability: backward ----------------------------------------------
+  for (GateId o : observed) m.obs[o.v] = 1.0;
+  const auto comb = lev.combOrder();
+  for (auto it = comb.rbegin(); it != comb.rend(); ++it) {
+    const GateId id = *it;
+    const Gate& g = nl.gate(id);
+    const double out_obs = m.obs[id.v];
+    if (out_obs == 0.0) continue;
+    auto bump = [&](GateId f, double sensitize) {
+      m.obs[f.v] = std::max(m.obs[f.v], out_obs * sensitize);
+    };
+    switch (g.kind) {
+      case CellKind::kBuf:
+      case CellKind::kNot:
+        bump(g.fanins[0], 1.0);
+        break;
+      case CellKind::kAnd:
+      case CellKind::kNand:
+        for (size_t i = 0; i < g.fanins.size(); ++i) {
+          double others = 1.0;
+          for (size_t j = 0; j < g.fanins.size(); ++j) {
+            if (j != i) others *= m.c1[g.fanins[j].v];
+          }
+          bump(g.fanins[i], others);
+        }
+        break;
+      case CellKind::kOr:
+      case CellKind::kNor:
+        for (size_t i = 0; i < g.fanins.size(); ++i) {
+          double others = 1.0;
+          for (size_t j = 0; j < g.fanins.size(); ++j) {
+            if (j != i) others *= 1.0 - m.c1[g.fanins[j].v];
+          }
+          bump(g.fanins[i], others);
+        }
+        break;
+      case CellKind::kXor:
+      case CellKind::kXnor:
+        for (GateId f : g.fanins) bump(f, 1.0);  // XOR always sensitizes
+        break;
+      case CellKind::kMux2: {
+        const double s1 = m.c1[g.fanins[2].v];
+        bump(g.fanins[0], 1.0 - s1);
+        bump(g.fanins[1], s1);
+        const double d0 = m.c1[g.fanins[0].v];
+        const double d1 = m.c1[g.fanins[1].v];
+        bump(g.fanins[2], d0 * (1.0 - d1) + d1 * (1.0 - d0));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return m;
+}
+
+}  // namespace lbist::dft

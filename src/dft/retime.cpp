@@ -1,0 +1,104 @@
+#include "dft/retime.hpp"
+
+#include <stdexcept>
+
+namespace lbist::dft {
+
+std::vector<HopCheck> ShiftTimingModel::check() const {
+  std::vector<HopCheck> out;
+  out.reserve(hops.size());
+  const auto period = static_cast<int64_t>(shift_period_ps);
+  for (const ShiftHop& h : hops) {
+    HopCheck c;
+    c.name = h.name;
+    // Data launched at launch_offset arrives in [min, max] after it. The
+    // capturing edge of the *same* cycle is at capture_offset; data for
+    // that edge must have been launched the previous cycle, so the new
+    // data must not arrive before capture_offset + hold:
+    c.hold_slack_ps = (h.launch_offset_ps + h.delay_min_ps) -
+                      (h.capture_offset_ps + hold_ps);
+    c.hold_violation = c.hold_slack_ps < 0;
+    // ...and must arrive before the *next* capture edge minus setup:
+    c.setup_slack_ps = (h.capture_offset_ps + period - setup_ps) -
+                       (h.launch_offset_ps + h.delay_max_ps);
+    c.setup_violation = c.setup_slack_ps < 0;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+bool ShiftTimingModel::clean() const {
+  for (const HopCheck& c : check()) {
+    if (c.hold_violation || c.setup_violation) return false;
+  }
+  return true;
+}
+
+ShiftTimingModel buildFig3Model(const Fig3Params& p) {
+  ShiftTimingModel m;
+  m.shift_period_ps = p.shift_period_ps;
+
+  // Clock arrival times within a shift cycle. The chain clock arrives
+  // `skew_ps` after the reference; applying the paper's technique pulls
+  // the PRPG/MISR clock `prpg_phase_lead_ps` ahead of the reference, so
+  // the lead covers the worst-case |skew| in both directions.
+  const int64_t prpg_clk = -p.prpg_phase_lead_ps;
+  const int64_t misr_clk = -p.prpg_phase_lead_ps;
+  const int64_t chain_clk = p.skew_ps;
+
+  const int64_t lvl = p.delay_per_level_ps;
+
+  ShiftHop prpg_to_chain;
+  prpg_to_chain.name = "prpg->chain";
+  prpg_to_chain.launch_offset_ps = prpg_clk;
+  prpg_to_chain.capture_offset_ps = chain_clk;
+  prpg_to_chain.delay_min_ps = lvl * p.prpg_to_chain_levels / 2;
+  prpg_to_chain.delay_max_ps = lvl * p.prpg_to_chain_levels;
+  if (p.retimed) {
+    // The lockup stage launches on the chain-side clock half a cycle
+    // later, restoring a half-period of hold margin.
+    prpg_to_chain.name = "prpg->retime->chain";
+    prpg_to_chain.launch_offset_ps =
+        prpg_clk + static_cast<int64_t>(p.shift_period_ps) / 2;
+  }
+  m.hops.push_back(prpg_to_chain);
+
+  ShiftHop intra;
+  intra.name = "chain->chain";
+  intra.launch_offset_ps = chain_clk;
+  intra.capture_offset_ps = chain_clk;
+  intra.delay_min_ps = lvl / 2;
+  intra.delay_max_ps = lvl;
+  m.hops.push_back(intra);
+
+  ShiftHop chain_to_misr;
+  chain_to_misr.name = "chain->misr";
+  chain_to_misr.launch_offset_ps = chain_clk;
+  chain_to_misr.capture_offset_ps = misr_clk;
+  chain_to_misr.delay_min_ps = lvl * p.chain_to_misr_levels / 2;
+  chain_to_misr.delay_max_ps = lvl * p.chain_to_misr_levels;
+  m.hops.push_back(chain_to_misr);
+
+  return m;
+}
+
+GateId insertRetimingFlop(Netlist& nl, ScanChain& chain) {
+  if (chain.cells.empty()) {
+    throw std::invalid_argument("cannot re-time an empty chain");
+  }
+  const GateId first = chain.cells.front();
+  // The first cell's scan mux takes the SI stream on pin 1.
+  const GateId mux = nl.gate(first).fanins[0];
+  if (!nl.hasFlag(mux, kFlagScanMux)) {
+    throw std::invalid_argument("chain head has no scan mux");
+  }
+  const GateId si_net = nl.gate(mux).fanins[1];
+  const GateId lockup = nl.addDff(si_net, chain.domain, std::string());
+  nl.setGateName(lockup, "retime_" + chain.name);
+  nl.setFlag(lockup, kFlagRetimeFf);
+  nl.setFlag(lockup, kFlagDftInserted);
+  nl.setFanin(mux, 1, lockup);
+  return lockup;
+}
+
+}  // namespace lbist::dft

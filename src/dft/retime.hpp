@@ -1,0 +1,78 @@
+// Shift-path clock-skew analysis and re-timing fixes (paper section 2.3,
+// Fig. 3).
+//
+// In a shift window a PRPG, a scan chain, and a MISR must behave as one
+// shift register even though the PRPG/MISR sit in a different clock
+// domain than the chain. The paper's recipe:
+//   1. drive the PRPG and MISR with a clock *ahead in phase* of the scan
+//      chain's clock, so PRPG->chain hops can only fail hold and
+//      chain->MISR hops can only fail setup;
+//   2. fix the hold side with re-timing flip-flops;
+//   3. fix the setup side by keeping chain->MISR logic shallow (no space
+//      compactor — the reason for Table 1's long MISRs).
+//
+// The analyzer works on an explicit edge-timing model (integer ps);
+// insertRetimingFlop applies the structural fix to a netlist scan chain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dft/scan.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lbist::dft {
+
+/// One register-to-register hop on the shift path.
+struct ShiftHop {
+  std::string name;
+  int64_t launch_offset_ps = 0;   // launching clock edge within the cycle
+  int64_t capture_offset_ps = 0;  // capturing clock edge within the cycle
+  int64_t delay_min_ps = 0;       // fastest data path
+  int64_t delay_max_ps = 0;       // slowest data path
+};
+
+struct HopCheck {
+  std::string name;
+  bool hold_violation = false;
+  bool setup_violation = false;
+  int64_t hold_slack_ps = 0;
+  int64_t setup_slack_ps = 0;
+};
+
+struct ShiftTimingModel {
+  uint64_t shift_period_ps = 10'000;
+  int64_t setup_ps = 50;
+  int64_t hold_ps = 50;
+  std::vector<ShiftHop> hops;
+
+  [[nodiscard]] std::vector<HopCheck> check() const;
+  [[nodiscard]] bool clean() const;
+};
+
+/// Builds the three-hop PRPG -> chain -> MISR model of Fig. 3 for a given
+/// inter-domain skew. `prpg_phase_lead_ps` > 0 applies the paper's
+/// phase-ahead technique (PRPG/MISR clock earlier than the chain clock);
+/// `retimed` models the half-cycle re-timing stage on the PRPG side;
+/// `chain_to_misr_levels` scales the MISR-side path delay (the space
+/// compactor would add levels here).
+struct Fig3Params {
+  uint64_t shift_period_ps = 10'000;
+  int64_t skew_ps = 0;              // chain clock arrival vs PRPG/MISR clock
+  int64_t prpg_phase_lead_ps = 0;
+  bool retimed = false;
+  int delay_per_level_ps = 120;
+  int chain_to_misr_levels = 2;
+  int prpg_to_chain_levels = 1;
+};
+
+[[nodiscard]] ShiftTimingModel buildFig3Model(const Fig3Params& p);
+
+/// Structural fix: inserts a re-timing flip-flop (lockup stage, flagged
+/// kFlagRetimeFf) between a chain's scan-in port and its first cell,
+/// clocked by the chain's domain. Updates the chain in place (the stage
+/// becomes part of the shift path, lengthening it by one).
+GateId insertRetimingFlop(Netlist& nl, ScanChain& chain);
+
+}  // namespace lbist::dft

@@ -1,0 +1,125 @@
+// Fault models and fault-list management.
+//
+// Sites are gate output stems and individual fanin pins (fanout branches),
+// the classic single-stuck-line universe. Transition (delay) faults reuse
+// the same sites with slow-to-rise / slow-to-fall polarities; they are the
+// model the paper's double-capture at-speed scheme targets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace lbist::fault {
+
+enum class FaultType : uint8_t {
+  kStuckAt0,
+  kStuckAt1,
+  kSlowToRise,
+  kSlowToFall,
+};
+
+[[nodiscard]] std::string_view faultTypeName(FaultType t);
+
+/// Pin index meaning "the gate's output stem".
+inline constexpr uint8_t kOutputPin = 0xff;
+
+struct Fault {
+  GateId gate;
+  uint8_t pin = kOutputPin;  // kOutputPin or fanin slot
+  FaultType type = FaultType::kStuckAt0;
+
+  friend bool operator==(const Fault& a, const Fault& b) {
+    return a.gate == b.gate && a.pin == b.pin && a.type == b.type;
+  }
+};
+
+enum class FaultStatus : uint8_t {
+  kUndetected,
+  kDetected,        // seen at an observation point by simulation/ATPG
+  kChainTested,     // on the scan shift path; covered by the chain flush test
+  kUntestable,      // structurally untestable (e.g. unobservable stem)
+};
+
+struct FaultRecord {
+  Fault fault;
+  FaultStatus status = FaultStatus::kUndetected;
+  uint32_t detect_count = 0;       // N-detect bookkeeping
+  int64_t first_detect_pattern = -1;
+};
+
+/// Coverage summary. "Fault coverage" follows the paper's convention:
+/// detected (incl. chain-tested) over all collapsed faults. "Test
+/// coverage" excludes untestable faults from the denominator.
+struct Coverage {
+  size_t total = 0;
+  size_t detected = 0;
+  size_t chain_tested = 0;
+  size_t untestable = 0;
+
+  [[nodiscard]] double faultCoveragePercent() const {
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(detected + chain_tested) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] double testCoveragePercent() const {
+    const size_t den = total - untestable;
+    return den == 0 ? 0.0
+                    : 100.0 * static_cast<double>(detected + chain_tested) /
+                          static_cast<double>(den);
+  }
+};
+
+struct FaultListOptions {
+  bool collapse = true;          // structural equivalence collapsing
+  bool include_pin_faults = true;
+  /// When true, faults whose site lies on the scan shift path (SI/SE pins
+  /// of DFT-inserted scan muxes) are pre-marked kChainTested, mirroring
+  /// industrial accounting where the chain flush test covers them.
+  bool mark_chain_faults = true;
+};
+
+class FaultList {
+ public:
+  /// Enumerates (optionally collapsed) faults of `kind` for every
+  /// combinational gate, DFF data pin, and primary-input stem in `nl`.
+  static FaultList enumerate(const Netlist& nl, FaultType base_kind,
+                             const FaultListOptions& opts = {});
+
+  /// Stuck-at universe (SA0+SA1 per site).
+  static FaultList enumerateStuckAt(const Netlist& nl,
+                                    const FaultListOptions& opts = {});
+  /// Transition universe (STR+STF per site).
+  static FaultList enumerateTransition(const Netlist& nl,
+                                       const FaultListOptions& opts = {});
+
+  [[nodiscard]] size_t size() const { return records_.size(); }
+  [[nodiscard]] const FaultRecord& record(size_t i) const {
+    return records_[i];
+  }
+  [[nodiscard]] FaultRecord& record(size_t i) { return records_[i]; }
+  [[nodiscard]] std::span<const FaultRecord> records() const {
+    return records_;
+  }
+
+  void setStatus(size_t i, FaultStatus s) { records_[i].status = s; }
+
+  /// Marks a detection of fault `i` by pattern `pattern_index`; promotes
+  /// kUndetected to kDetected and counts repeats for N-detect stats.
+  void recordDetection(size_t i, int64_t pattern_index);
+
+  [[nodiscard]] Coverage coverage() const;
+
+  /// Indices of faults still undetected (excluding untestable/chain).
+  [[nodiscard]] std::vector<size_t> undetectedIndices() const;
+
+  [[nodiscard]] std::string describe(const Netlist& nl, size_t i) const;
+
+ private:
+  std::vector<FaultRecord> records_;
+};
+
+}  // namespace lbist::fault

@@ -1,0 +1,322 @@
+#include "fault/fsim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace lbist::fault {
+
+std::vector<GateId> defaultObservationSet(const Netlist& nl) {
+  std::vector<GateId> obs;
+  for (const OutputPort& po : nl.outputs()) obs.push_back(po.driver);
+  for (GateId dff : nl.dffs()) {
+    const Gate& g = nl.gate(dff);
+    if ((g.flags & kFlagScanCell) != 0) obs.push_back(g.fanins[0]);
+  }
+  std::sort(obs.begin(), obs.end());
+  obs.erase(std::unique(obs.begin(), obs.end()), obs.end());
+  return obs;
+}
+
+FaultSimulator::FaultSimulator(const Netlist& nl, FaultList& faults,
+                               std::vector<GateId> observed, FsimOptions opts)
+    : nl_(&nl),
+      faults_(&faults),
+      opts_(opts),
+      good_(nl),
+      fanout_(nl.buildFanoutMap()),
+      observed_(std::move(observed)) {
+  is_observed_.assign(nl.numGates(), 0);
+  for (GateId o : observed_) is_observed_[o.v] = 1;
+  fval_.assign(nl.numGates(), 0);
+  stamp_.assign(nl.numGates(), 0);
+  queued_stamp_.assign(nl.numGates(), 0);
+  level_queue_.resize(good_.levelized().maxLevel() + 1);
+  refreshActiveSet();
+}
+
+void FaultSimulator::refreshActiveSet() {
+  active_ = faults_->undetectedIndices();
+}
+
+void FaultSimulator::restrictActiveSet(std::span<const size_t> fault_indices) {
+  active_.assign(fault_indices.begin(), fault_indices.end());
+}
+
+uint64_t FaultSimulator::evalWithOverlay(GateId id) const {
+  const Gate& g = nl_->gate(id);
+  const auto good_vals = good_.rawValues();
+  auto val = [&](GateId f) -> uint64_t {
+    return stamp_[f.v] == serial_ ? fval_[f.v] : good_vals[f.v];
+  };
+  switch (g.kind) {
+    case CellKind::kBuf:
+      return val(g.fanins[0]);
+    case CellKind::kNot:
+      return ~val(g.fanins[0]);
+    case CellKind::kMux2: {
+      const uint64_t s = val(g.fanins[2]);
+      return (val(g.fanins[0]) & ~s) | (val(g.fanins[1]) & s);
+    }
+    case CellKind::kAnd:
+    case CellKind::kNand: {
+      uint64_t acc = val(g.fanins[0]);
+      for (size_t i = 1; i < g.fanins.size(); ++i) acc &= val(g.fanins[i]);
+      return g.kind == CellKind::kNand ? ~acc : acc;
+    }
+    case CellKind::kOr:
+    case CellKind::kNor: {
+      uint64_t acc = val(g.fanins[0]);
+      for (size_t i = 1; i < g.fanins.size(); ++i) acc |= val(g.fanins[i]);
+      return g.kind == CellKind::kNor ? ~acc : acc;
+    }
+    case CellKind::kXor:
+    case CellKind::kXnor: {
+      uint64_t acc = val(g.fanins[0]);
+      for (size_t i = 1; i < g.fanins.size(); ++i) acc ^= val(g.fanins[i]);
+      return g.kind == CellKind::kXnor ? ~acc : acc;
+    }
+    default:
+      return good_vals[id.v];
+  }
+}
+
+uint64_t FaultSimulator::evalPinForced(GateId id, uint8_t pin,
+                                       uint64_t forced) const {
+  const Gate& g = nl_->gate(id);
+  const auto good_vals = good_.rawValues();
+  auto val = [&](size_t slot) -> uint64_t {
+    return slot == pin ? forced : good_vals[g.fanins[slot].v];
+  };
+  switch (g.kind) {
+    case CellKind::kBuf:
+      return val(0);
+    case CellKind::kNot:
+      return ~val(0);
+    case CellKind::kMux2: {
+      const uint64_t s = val(2);
+      return (val(0) & ~s) | (val(1) & s);
+    }
+    case CellKind::kAnd:
+    case CellKind::kNand: {
+      uint64_t acc = ~uint64_t{0};
+      for (size_t i = 0; i < g.fanins.size(); ++i) acc &= val(i);
+      return g.kind == CellKind::kNand ? ~acc : acc;
+    }
+    case CellKind::kOr:
+    case CellKind::kNor: {
+      uint64_t acc = 0;
+      for (size_t i = 0; i < g.fanins.size(); ++i) acc |= val(i);
+      return g.kind == CellKind::kNor ? ~acc : acc;
+    }
+    case CellKind::kXor:
+    case CellKind::kXnor: {
+      uint64_t acc = 0;
+      for (size_t i = 0; i < g.fanins.size(); ++i) acc ^= val(i);
+      return g.kind == CellKind::kXnor ? ~acc : acc;
+    }
+    default:
+      assert(false && "pin-forced eval on non-combinational gate");
+      return 0;
+  }
+}
+
+uint64_t FaultSimulator::propagate(GateId site, uint64_t diff) {
+  const auto good_vals = good_.rawValues();
+  const Levelized& lev = good_.levelized();
+  ++serial_;
+  touched_.clear();
+  uint64_t detect = 0;
+
+  fval_[site.v] = good_vals[site.v] ^ diff;
+  stamp_[site.v] = serial_;
+  touched_.push_back(site);
+  if (is_observed_[site.v] != 0) detect |= diff;
+
+  size_t queued = 0;
+  uint32_t min_level = level_queue_.size();
+  auto schedule_fanouts = [&](GateId g) {
+    for (GateId t : fanout_.fanout(g)) {
+      if (!isCombinational(nl_->gate(t).kind)) continue;
+      if (queued_stamp_[t.v] == serial_) continue;
+      queued_stamp_[t.v] = serial_;
+      const uint32_t l = lev.level(t);
+      level_queue_[l].push_back(t.v);
+      min_level = std::min(min_level, l);
+      ++queued;
+    }
+  };
+  schedule_fanouts(site);
+
+  for (uint32_t l = min_level; queued > 0 && l < level_queue_.size(); ++l) {
+    auto& bucket = level_queue_[l];
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      const GateId g{bucket[i]};
+      --queued;
+      const uint64_t newval = evalWithOverlay(g);
+      fval_[g.v] = newval;
+      stamp_[g.v] = serial_;
+      const uint64_t d = newval ^ good_vals[g.v];
+      if (d == 0) continue;
+      touched_.push_back(g);
+      if (is_observed_[g.v] != 0) detect |= d;
+      schedule_fanouts(g);
+    }
+    bucket.clear();
+  }
+  return detect;
+}
+
+FaultSimulator::InjectResult FaultSimulator::injectStuckAt(
+    const Fault& f, uint64_t lane_mask) {
+  InjectResult res;
+  const Gate& g = nl_->gate(f.gate);
+  const auto good_vals = good_.rawValues();
+  const uint64_t forced =
+      f.type == FaultType::kStuckAt1 ? ~uint64_t{0} : uint64_t{0};
+  if (f.pin == kOutputPin) {
+    res.diff = (good_vals[f.gate.v] ^ forced) & lane_mask;
+    return res;
+  }
+  if (g.kind == CellKind::kDff) {
+    // Fault between the D net and the flip-flop: the captured value is
+    // wrong wherever the net value differs from the forced value; it is
+    // visible iff the cell is observed by scan unload.
+    const uint64_t pin_good = good_vals[g.fanins[0].v];
+    res.direct_detect = (g.flags & kFlagScanCell) != 0;
+    res.direct_mask = (pin_good ^ forced) & lane_mask;
+    return res;
+  }
+  const uint64_t faulty_out = evalPinForced(f.gate, f.pin, forced);
+  res.diff = (faulty_out ^ good_vals[f.gate.v]) & lane_mask;
+  return res;
+}
+
+FaultSimulator::InjectResult FaultSimulator::injectTransition(
+    const Fault& f, uint64_t lane_mask) {
+  InjectResult res;
+  const Gate& g = nl_->gate(f.gate);
+  const auto good_vals = good_.rawValues();
+  auto activation = [&](GateId net) {
+    const uint64_t v1 = launch_values_[net.v];
+    const uint64_t v2 = good_vals[net.v];
+    return (f.type == FaultType::kSlowToRise ? (~v1 & v2) : (v1 & ~v2)) &
+           lane_mask;
+  };
+  if (f.pin == kOutputPin) {
+    // The slow site holds its launch value through the second capture:
+    // flip the capture-cycle value in every activated lane.
+    res.diff = activation(f.gate);
+    return res;
+  }
+  const GateId src = g.fanins[f.pin];
+  const uint64_t act = activation(src);
+  if (g.kind == CellKind::kDff) {
+    res.direct_detect = (g.flags & kFlagScanCell) != 0;
+    res.direct_mask = act;
+    return res;
+  }
+  if (act == 0) return res;
+  const uint64_t held = good_vals[src.v] ^ act;  // launch value where active
+  const uint64_t faulty_out = evalPinForced(f.gate, f.pin, held);
+  res.diff = (faulty_out ^ good_vals[f.gate.v]) & lane_mask;
+  return res;
+}
+
+size_t FaultSimulator::simulateActiveFaults(int64_t pattern_base,
+                                            int n_patterns, bool transition) {
+  const uint64_t lane_mask =
+      n_patterns >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n_patterns) - 1);
+  size_t newly_detected = 0;
+
+  for (size_t ai = 0; ai < active_.size();) {
+    const size_t fi = active_[ai];
+    FaultRecord& rec = faults_->record(fi);
+    const InjectResult inj = transition
+                                 ? injectTransition(rec.fault, lane_mask)
+                                 : injectStuckAt(rec.fault, lane_mask);
+    uint64_t detect = inj.direct_detect ? inj.direct_mask : 0;
+    if (inj.diff != 0) {
+      detect |= propagate(rec.fault.gate, inj.diff);
+      if (reach_observer_ != nullptr) {
+        reach_observer_->onFaultEffects(fi, touched_);
+      }
+    }
+    if (detect != 0) {
+      const bool was_undetected = rec.status == FaultStatus::kUndetected;
+      if (was_undetected) {
+        faults_->recordDetection(
+            fi, pattern_base + std::countr_zero(detect));
+        ++newly_detected;
+        rec.detect_count +=
+            static_cast<uint32_t>(std::popcount(detect)) - 1;
+      } else {
+        rec.detect_count += static_cast<uint32_t>(std::popcount(detect));
+      }
+      if (opts_.drop_detected && rec.detect_count >= opts_.n_detect) {
+        active_[ai] = active_.back();
+        active_.pop_back();
+        continue;
+      }
+    }
+    ++ai;
+  }
+  return newly_detected;
+}
+
+size_t FaultSimulator::simulateBlockStuckAt(int64_t pattern_base,
+                                            int n_patterns) {
+  good_.eval();
+  return simulateActiveFaults(pattern_base, n_patterns, /*transition=*/false);
+}
+
+size_t FaultSimulator::simulateBlockTransition(int64_t pattern_base,
+                                               int n_patterns) {
+  // Launch cycle from the currently loaded sources.
+  good_.eval();
+  launch_values_.assign(good_.rawValues().begin(), good_.rawValues().end());
+  // Broadside follow-on capture: every DFF loads its D value, PIs held.
+  for (GateId dff : nl_->dffs()) {
+    good_.setSource(dff, launch_values_[nl_->gate(dff).fanins[0].v]);
+  }
+  good_.eval();
+  return simulateActiveFaults(pattern_base, n_patterns, /*transition=*/true);
+}
+
+size_t FaultSimulator::markUnobservable() {
+  std::vector<uint8_t> reaches(nl_->numGates(), 0);
+  std::vector<GateId> queue = observed_;
+  for (GateId o : observed_) reaches[o.v] = 1;
+  while (!queue.empty()) {
+    const GateId g = queue.back();
+    queue.pop_back();
+    if (!isCombinational(nl_->gate(g).kind)) continue;
+    for (GateId f : nl_->gate(g).fanins) {
+      if (reaches[f.v] == 0) {
+        reaches[f.v] = 1;
+        queue.push_back(f);
+      }
+    }
+  }
+
+  size_t marked = 0;
+  for (size_t fi = 0; fi < faults_->size(); ++fi) {
+    FaultRecord& rec = faults_->record(fi);
+    if (rec.status != FaultStatus::kUndetected) continue;
+    const Gate& g = nl_->gate(rec.fault.gate);
+    bool observable;
+    if (rec.fault.pin != kOutputPin && g.kind == CellKind::kDff) {
+      observable = (g.flags & kFlagScanCell) != 0;
+    } else {
+      observable = reaches[rec.fault.gate.v] != 0;
+    }
+    if (!observable) {
+      rec.status = FaultStatus::kUntestable;
+      ++marked;
+    }
+  }
+  if (marked > 0) refreshActiveSet();
+  return marked;
+}
+
+}  // namespace lbist::fault

@@ -1,0 +1,140 @@
+// Parallel-pattern single-fault-propagation (PPSFP) fault simulator.
+//
+// One call simulates up to 64 patterns: a good-machine pass, then for
+// every live fault an injection plus level-ordered event-driven
+// propagation of the faulty/good difference word through the fault's
+// output cone, accumulating detection masks at the observation set
+// (primary outputs, scan-cell capture pins, DFT observation points).
+//
+// The same engine serves both fault families:
+//  * stuck-at:   site forced to a constant,
+//  * transition: launch-on-capture double capture (paper section 2.2) —
+//    the launch cycle is the first capture pulse; a site that transitions
+//    between the two captures is forced to hold its launch value in the
+//    second capture, modelling a gross delay defect at functional speed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/sim2v.hpp"
+
+namespace lbist::fault {
+
+/// Callback receiving, per fault and per block, every gate whose value
+/// the fault corrupted in at least one pattern lane. Drives the
+/// fault-simulation-guided test-point insertion (paper section 2.1).
+class ReachObserver {
+ public:
+  virtual ~ReachObserver() = default;
+  /// `fault_index` is the index into the FaultList; `touched` lists
+  /// corrupted gates including the fault site itself.
+  virtual void onFaultEffects(size_t fault_index,
+                              std::span<const GateId> touched) = 0;
+};
+
+struct FsimOptions {
+  uint32_t n_detect = 1;   // drop a fault after this many detections
+  bool drop_detected = true;
+};
+
+class FaultSimulator {
+ public:
+  /// `observed` is the set of gates whose output values the tester can
+  /// see (PO drivers, scan-capture D drivers, observation-point taps).
+  FaultSimulator(const Netlist& nl, FaultList& faults,
+                 std::vector<GateId> observed, FsimOptions opts = {});
+
+  /// Source setting for the current block (PIs and DFF outputs).
+  void setSource(GateId id, uint64_t w) { good_.setSource(id, w); }
+
+  /// Stuck-at block: patterns are lanes [0, n_patterns). Returns the
+  /// number of newly detected faults. Pattern indices recorded into the
+  /// fault list are pattern_base + lane.
+  size_t simulateBlockStuckAt(int64_t pattern_base, int n_patterns = 64);
+
+  /// Transition block (LOC broadside): sources currently loaded are the
+  /// *launch* state; the engine computes the follow-on capture cycle
+  /// itself (PIs held). Returns newly detected faults.
+  size_t simulateBlockTransition(int64_t pattern_base, int n_patterns = 64);
+
+  /// Marks every live fault with no structural path to the observation
+  /// set as untestable. Returns how many were marked.
+  size_t markUnobservable();
+
+  /// Number of faults still live (undetected and undropped).
+  [[nodiscard]] size_t liveFaultCount() const { return active_.size(); }
+
+  /// Re-collects live faults from the fault list (after external status
+  /// changes, e.g. ATPG detections or TPI re-targeting).
+  void refreshActiveSet();
+
+  /// Restricts simulation to an explicit fault subset (TPI guidance
+  /// samples the undetected residue at large scale).
+  void restrictActiveSet(std::span<const size_t> fault_indices);
+
+  void setReachObserver(ReachObserver* obs) { reach_observer_ = obs; }
+
+  [[nodiscard]] const sim::Simulator2v& good() const { return good_; }
+  [[nodiscard]] const FaultList& faults() const { return *faults_; }
+  [[nodiscard]] std::span<const GateId> observed() const { return observed_; }
+
+  /// Good-machine next-state of a DFF in the *last* simulated cycle
+  /// (for harvesting captured responses in BIST emulation).
+  [[nodiscard]] uint64_t goodNextState(GateId dff) const {
+    return good_.dffNextState(dff);
+  }
+
+ private:
+  struct InjectResult {
+    uint64_t diff = 0;       // faulty XOR good at the site output
+    bool direct_detect = false;  // site itself observed (e.g. DFF D pin)
+    uint64_t direct_mask = 0;
+  };
+
+  InjectResult injectStuckAt(const Fault& f, uint64_t lane_mask);
+  InjectResult injectTransition(const Fault& f, uint64_t lane_mask);
+  uint64_t evalWithOverlay(GateId id) const;
+  uint64_t evalPinForced(GateId id, uint8_t pin, uint64_t forced) const;
+
+  /// Propagates `diff` from `site` through the cone; returns the
+  /// detection mask accumulated over observed gates.
+  uint64_t propagate(GateId site, uint64_t diff);
+
+  size_t simulateActiveFaults(int64_t pattern_base, int n_patterns,
+                              bool transition);
+
+  const Netlist* nl_;
+  FaultList* faults_;
+  FsimOptions opts_;
+  sim::Simulator2v good_;
+  Netlist::FanoutMap fanout_;
+  std::vector<GateId> observed_;
+  std::vector<uint8_t> is_observed_;
+
+  // Launch-cycle good values for transition simulation.
+  std::vector<uint64_t> launch_values_;
+
+  // Fault-effect overlay, epoch-stamped per fault.
+  std::vector<uint64_t> fval_;
+  std::vector<uint32_t> stamp_;
+  uint32_t serial_ = 0;
+
+  // Level-bucketed event queue.
+  std::vector<std::vector<uint32_t>> level_queue_;
+  std::vector<uint32_t> queued_stamp_;
+  std::vector<GateId> touched_;
+
+  std::vector<size_t> active_;
+  ReachObserver* reach_observer_ = nullptr;
+};
+
+/// Builds the canonical observation set for a (BIST-ready) netlist:
+/// drivers of primary outputs plus drivers of every scan-cell D pin.
+/// Observation points are scan cells themselves, so they are covered by
+/// the scan-cell rule.
+[[nodiscard]] std::vector<GateId> defaultObservationSet(const Netlist& nl);
+
+}  // namespace lbist::fault

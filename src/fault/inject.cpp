@@ -1,0 +1,20 @@
+#include "fault/inject.hpp"
+
+#include <stdexcept>
+
+namespace lbist::fault {
+
+void injectStuckAt(Netlist& nl, const Fault& f) {
+  if (f.type != FaultType::kStuckAt0 && f.type != FaultType::kStuckAt1) {
+    throw std::invalid_argument(
+        "only stuck-at faults can be hardwired into a zero-delay netlist");
+  }
+  const GateId tied = nl.addConst(f.type == FaultType::kStuckAt1);
+  if (f.pin == kOutputPin) {
+    nl.replaceAllUses(f.gate, tied);
+  } else {
+    nl.setFanin(f.gate, f.pin, tied);
+  }
+}
+
+}  // namespace lbist::fault

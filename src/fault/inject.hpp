@@ -1,0 +1,17 @@
+// Structural fault injection: permanently rewires a netlist so it behaves
+// as a defective die. Used to validate end-to-end detection through the
+// real signature path (inject -> run BIST session -> Result must be fail).
+#pragma once
+
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lbist::fault {
+
+/// Hardwires a stuck-at fault into `nl`: an output fault replaces every
+/// use of the site net with a constant; a pin fault ties just that pin.
+/// Transition faults cannot be hardwired into a zero-delay netlist and
+/// are rejected.
+void injectStuckAt(Netlist& nl, const Fault& f);
+
+}  // namespace lbist::fault

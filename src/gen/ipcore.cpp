@@ -1,0 +1,427 @@
+#include "gen/ipcore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <random>
+#include <span>
+#include <stdexcept>
+
+namespace lbist::gen {
+
+namespace {
+
+class CoreBuilder {
+ public:
+  explicit CoreBuilder(const IpCoreSpec& spec)
+      : spec_(spec), nl_(spec.name), rng_(spec.seed) {}
+
+  Netlist build() {
+    makeDomains();
+    makeInputs();
+    makeFlops();
+    for (int d = 0; d < spec_.num_domains; ++d) growDomainLogic(d);
+    makeXSources();
+    assignFlopData();
+    makeOutputs();
+    const std::string problem = nl_.validate();
+    if (!problem.empty()) {
+      throw std::logic_error("generator produced invalid netlist: " +
+                             problem);
+    }
+    return std::move(nl_);
+  }
+
+ private:
+  void makeDomains() {
+    std::vector<uint64_t> periods = spec_.domain_periods_ps;
+    if (periods.empty()) {
+      // Domain 0 at 250 MHz (4000 ps), others progressively slower.
+      uint64_t p = 4000;
+      for (int d = 0; d < spec_.num_domains; ++d) {
+        periods.push_back(p);
+        p = p * 115 / 100;
+      }
+    }
+    if (periods.size() != static_cast<size_t>(spec_.num_domains)) {
+      throw std::invalid_argument("domain_periods_ps size mismatch");
+    }
+    for (int d = 0; d < spec_.num_domains; ++d) {
+      nl_.addClockDomain("clk" + std::to_string(d),
+                         periods[static_cast<size_t>(d)]);
+    }
+  }
+
+  void makeInputs() {
+    for (int i = 0; i < spec_.num_inputs; ++i) {
+      shared_pool_.push_back(nl_.addInput("in" + std::to_string(i)));
+    }
+  }
+
+  std::vector<double> domainWeights() const {
+    std::vector<double> w = spec_.domain_weights;
+    if (w.empty()) {
+      w.assign(static_cast<size_t>(spec_.num_domains), 0.0);
+      if (spec_.num_domains == 1) {
+        w[0] = 1.0;
+      } else {
+        w[0] = 0.5;
+        for (size_t d = 1; d < w.size(); ++d) {
+          w[d] = 0.5 / static_cast<double>(spec_.num_domains - 1);
+        }
+      }
+    }
+    if (w.size() != static_cast<size_t>(spec_.num_domains)) {
+      throw std::invalid_argument("domain_weights size mismatch");
+    }
+    double total = 0.0;
+    for (double v : w) total += v;
+    for (double& v : w) v /= total;
+    return w;
+  }
+
+  void makeFlops() {
+    const std::vector<double> w = domainWeights();
+    pools_.resize(static_cast<size_t>(spec_.num_domains));
+    ffs_.resize(static_cast<size_t>(spec_.num_domains));
+    const GateId zero = nl_.addConst(false);
+    size_t made = 0;
+    for (int d = 0; d < spec_.num_domains; ++d) {
+      size_t n = static_cast<size_t>(
+          std::llround(w[static_cast<size_t>(d)] *
+                       static_cast<double>(spec_.target_ffs)));
+      if (d == spec_.num_domains - 1) n = spec_.target_ffs - made;
+      n = std::max<size_t>(n, 1);
+      made += n;
+      for (size_t i = 0; i < n; ++i) {
+        // D is patched in assignFlopData(); const0 placeholder for now.
+        const GateId ff =
+            nl_.addDff(zero, DomainId{static_cast<uint16_t>(d)});
+        ffs_[static_cast<size_t>(d)].push_back(ff);
+        pools_[static_cast<size_t>(d)].push_back(ff);
+      }
+    }
+    // A handful of non-scannable state bits (X sources after reset).
+    int remaining = spec_.num_noscan_ffs;
+    while (remaining-- > 0) {
+      const auto d = static_cast<uint16_t>(
+          rng_() % static_cast<uint64_t>(spec_.num_domains));
+      const GateId ff = nl_.addDff(zero, DomainId{d});
+      nl_.setFlag(ff, kFlagNoScan);
+      noscan_.push_back(ff);
+      ffs_[d].push_back(ff);
+    }
+  }
+
+  GateId pickNet(int domain) {
+    // Mostly from the own-domain pool (recent nets preferred, which deepens
+    // the logic), sometimes shared PIs, rarely another domain.
+    const double roll = uniform();
+    const auto& own = pools_[static_cast<size_t>(domain)];
+    if (roll < spec_.cross_domain_fraction && spec_.num_domains > 1) {
+      int other = domain;
+      while (other == domain) {
+        other = static_cast<int>(rng_() % static_cast<uint64_t>(
+                                              spec_.num_domains));
+      }
+      const auto& pool = pools_[static_cast<size_t>(other)];
+      if (!pool.empty()) return pool[rng_() % pool.size()];
+    }
+    if (roll > 0.85 || own.empty()) {
+      return shared_pool_[rng_() % shared_pool_.size()];
+    }
+    // Geometric bias toward recent nets.
+    const size_t span = std::max<size_t>(1, own.size() / 4);
+    const size_t back = static_cast<size_t>(
+        -std::log(std::max(uniform(), 1e-12)) * static_cast<double>(span));
+    const size_t idx = own.size() - 1 - std::min(back, own.size() - 1);
+    return own[idx];
+  }
+
+  /// Estimated P(net == 1), maintained incrementally so kind selection can
+  /// keep signal activity balanced. Random gate soup without this drifts
+  /// toward constant-biased nets (the random-Boolean-network damping
+  /// effect), which no synthesized core exhibits: it would tank random
+  /// coverage and breed functional redundancy.
+  double estC1(GateId g) const {
+    return g.v < c1_.size() ? c1_[g.v] : 0.5;
+  }
+
+  void recordC1(GateId g, double p) {
+    if (c1_.size() <= g.v) c1_.resize(g.v + 1, 0.5);
+    c1_[g.v] = p;
+  }
+
+  static double kindC1(CellKind kind, std::span<const GateId> ins,
+                       std::span<const double> c1s) {
+    switch (kind) {
+      case CellKind::kAnd:
+      case CellKind::kNand: {
+        double p = 1.0;
+        for (double c : c1s) p *= c;
+        return kind == CellKind::kNand ? 1.0 - p : p;
+      }
+      case CellKind::kOr:
+      case CellKind::kNor: {
+        double p = 1.0;
+        for (double c : c1s) p *= 1.0 - c;
+        return kind == CellKind::kNor ? p : 1.0 - p;
+      }
+      case CellKind::kXor:
+      case CellKind::kXnor: {
+        double p = 0.0;
+        for (double c : c1s) p = p * (1.0 - c) + (1.0 - p) * c;
+        return kind == CellKind::kXnor ? 1.0 - p : p;
+      }
+      case CellKind::kNot:
+        return 1.0 - c1s[0];
+      case CellKind::kBuf:
+        return c1s[0];
+      case CellKind::kMux2:
+        return (1.0 - c1s[2]) * c1s[0] + c1s[2] * c1s[1];
+      default:
+        (void)ins;
+        return 0.5;
+    }
+  }
+
+  /// Candidate kinds sampled per gate; the one keeping the output closest
+  /// to P(1) = 0.5 wins, so activity stays healthy at depth.
+  CellKind pickKindBalanced(std::span<const GateId> ins) {
+    static constexpr CellKind kMulti[] = {
+        CellKind::kAnd, CellKind::kNand, CellKind::kOr, CellKind::kNor,
+        CellKind::kXor, CellKind::kXnor};
+    std::vector<double> c1s;
+    c1s.reserve(ins.size());
+    for (GateId g : ins) c1s.push_back(estC1(g));
+    CellKind best = CellKind::kNand;
+    double best_score = 2.0;
+    for (int c = 0; c < 3; ++c) {
+      const CellKind cand = kMulti[rng_() % std::size(kMulti)];
+      const double score = std::abs(0.5 - kindC1(cand, ins, c1s));
+      if (score < best_score) {
+        best_score = score;
+        best = cand;
+      }
+    }
+    return best;
+  }
+
+  /// Picks `n` distinct fanins (duplicated fanins breed functionally
+  /// redundant faults, e.g. XOR(a, a) == 0).
+  std::vector<GateId> pickDistinctNets(int domain, int n) {
+    std::vector<GateId> ins;
+    ins.reserve(static_cast<size_t>(n));
+    int guard = 8 * n;
+    while (static_cast<int>(ins.size()) < n && guard-- > 0) {
+      const GateId cand = pickNet(domain);
+      if (std::find(ins.begin(), ins.end(), cand) == ins.end()) {
+        ins.push_back(cand);
+      }
+    }
+    while (static_cast<int>(ins.size()) < n) ins.push_back(pickNet(domain));
+    return ins;
+  }
+
+  void growDomainLogic(int domain) {
+    const std::vector<double> w = domainWeights();
+    const auto budget = static_cast<size_t>(
+        w[static_cast<size_t>(domain)] *
+        static_cast<double>(spec_.target_comb_gates));
+    auto& pool = pools_[static_cast<size_t>(domain)];
+
+    const auto resistant_budget = static_cast<size_t>(
+        spec_.resistant_fraction * static_cast<double>(budget));
+    size_t spent = 0;
+
+    while (spent < budget - std::min(budget, resistant_budget)) {
+      GateId g;
+      const uint64_t shape = rng_() % 100;
+      if (shape < 10) {
+        const GateId in = pickNet(domain);
+        const CellKind kind =
+            (rng_() & 1u) != 0 ? CellKind::kNot : CellKind::kBuf;
+        g = nl_.addGate(kind, {in});
+        const double c1in = estC1(in);
+        recordC1(g, kindC1(kind, {&in, 1}, {&c1in, 1}));
+      } else if (shape < 18) {
+        const std::vector<GateId> ins = pickDistinctNets(domain, 3);
+        g = nl_.addGate(CellKind::kMux2, ins);
+        const double c1s[3] = {estC1(ins[0]), estC1(ins[1]), estC1(ins[2])};
+        recordC1(g, kindC1(CellKind::kMux2, ins, c1s));
+      } else {
+        const int n = 2 + static_cast<int>(
+                              rng_() % static_cast<uint64_t>(
+                                           spec_.max_fanin - 1));
+        const std::vector<GateId> ins = pickDistinctNets(domain, n);
+        const CellKind kind = pickKindBalanced(ins);
+        g = nl_.addGate(kind, ins);
+        std::vector<double> c1s;
+        for (GateId f : ins) c1s.push_back(estC1(f));
+        recordC1(g, kindC1(kind, ins, c1s));
+      }
+      pool.push_back(g);
+      ++spent;
+    }
+
+    // Random-pattern-resistant cones: wide AND (output almost never 1
+    // under random stimulus) and wide OR (almost never 0). Their outputs
+    // feed further logic so the resistance propagates. Like the decoders
+    // and comparators of real cores, the cones are fed mostly from
+    // registers/pads — random patterns still miss the 2^-width activation,
+    // but deterministic ATPG can justify the leaves directly.
+    while (spent < budget) {
+      const int width = spec_.resistant_cone_width;
+      std::vector<GateId> leaves;
+      leaves.reserve(static_cast<size_t>(width));
+      const auto& ff_pool = ffs_[static_cast<size_t>(domain)];
+      for (int i = 0; i < width; ++i) {
+        const uint64_t roll = rng_() % 100;
+        if (roll < 60 && !ff_pool.empty()) {
+          leaves.push_back(ff_pool[rng_() % ff_pool.size()]);
+        } else if (roll < 80) {
+          leaves.push_back(shared_pool_[rng_() % shared_pool_.size()]);
+        } else {
+          leaves.push_back(pickNet(domain));
+        }
+      }
+      const bool wide_and = (rng_() & 1u) != 0;
+      GateId cone = buildTree(wide_and ? CellKind::kAnd : CellKind::kOr,
+                              leaves, spent, budget);
+      // Mix the resistant output back into the fabric.
+      const GateId mixed =
+          nl_.addGate(CellKind::kXor, {cone, pickNet(domain)});
+      ++spent;
+      pool.push_back(cone);
+      pool.push_back(mixed);
+    }
+  }
+
+  GateId buildTree(CellKind kind, std::vector<GateId> nodes, size_t& spent,
+                   size_t budget) {
+    while (nodes.size() > 1) {
+      std::vector<GateId> next;
+      for (size_t i = 0; i + 1 < nodes.size(); i += 2) {
+        next.push_back(nl_.addGate(kind, {nodes[i], nodes[i + 1]}));
+        if (spent < budget) ++spent;
+      }
+      if (nodes.size() % 2 != 0) next.push_back(nodes.back());
+      nodes = std::move(next);
+    }
+    return nodes.front();
+  }
+
+  void makeXSources() {
+    for (int i = 0; i < spec_.num_xsources; ++i) {
+      const GateId x = nl_.addXSource("xsrc" + std::to_string(i));
+      // X sources feed real logic in some domain so unbounded X would
+      // genuinely corrupt signatures.
+      const int d = static_cast<int>(rng_() % static_cast<uint64_t>(
+                                                  spec_.num_domains));
+      auto& pool = pools_[static_cast<size_t>(d)];
+      const GateId sink = nl_.addGate(CellKind::kOr, {x, pickNet(d)});
+      pool.push_back(sink);
+    }
+  }
+
+  void assignFlopData() {
+    for (int d = 0; d < spec_.num_domains; ++d) {
+      for (GateId ff : ffs_[static_cast<size_t>(d)]) {
+        nl_.setFanin(ff, 0, pickNet(d));
+      }
+    }
+  }
+
+  void makeOutputs() {
+    for (int i = 0; i < spec_.num_outputs; ++i) {
+      const int d = static_cast<int>(rng_() % static_cast<uint64_t>(
+                                                  spec_.num_domains));
+      nl_.addOutput(pickNet(d), "out" + std::to_string(i));
+    }
+    // Sweep up dangling nets so observability reflects a real core where
+    // every net drives something: XOR-reduce them into a few extra POs.
+    const Netlist::FanoutMap fanout = nl_.buildFanoutMap();
+    std::vector<GateId> dangling;
+    nl_.forEachGate([&](GateId id, const Gate& g) {
+      if (!isCombinational(g.kind)) return;
+      if (fanout.fanout(id).empty()) dangling.push_back(id);
+    });
+    for (const OutputPort& po : nl_.outputs()) {
+      // PO drivers are not dangling.
+      dangling.erase(std::remove(dangling.begin(), dangling.end(), po.driver),
+                     dangling.end());
+    }
+    size_t group = 0;
+    for (size_t i = 0; i < dangling.size(); i += 24) {
+      const size_t end = std::min(dangling.size(), i + 24);
+      std::vector<GateId> nodes(dangling.begin() + static_cast<int64_t>(i),
+                                dangling.begin() + static_cast<int64_t>(end));
+      GateId net = nodes.size() == 1 ? nodes[0]
+                                     : nl_.addGate(CellKind::kXor, nodes);
+      nl_.addOutput(net, "sweep" + std::to_string(group++));
+    }
+  }
+
+  double uniform() {
+    return static_cast<double>(rng_() >> 11) * 0x1.0p-53;
+  }
+
+  const IpCoreSpec& spec_;
+  Netlist nl_;
+  std::mt19937_64 rng_;
+  std::vector<GateId> shared_pool_;               // PIs
+  std::vector<std::vector<GateId>> pools_;        // per-domain nets
+  std::vector<std::vector<GateId>> ffs_;          // per-domain FFs
+  std::vector<GateId> noscan_;
+  std::vector<double> c1_;                        // estimated P(net == 1)
+};
+
+}  // namespace
+
+Netlist generateIpCore(const IpCoreSpec& spec) {
+  if (spec.num_domains < 1 || spec.num_inputs < 1 || spec.target_ffs < 1) {
+    throw std::invalid_argument("degenerate IpCoreSpec");
+  }
+  return CoreBuilder(spec).build();
+}
+
+IpCoreSpec coreXSpec(double scale) {
+  IpCoreSpec s;
+  s.name = "core_x";
+  s.seed = 0x5EED'C04E'0001ULL;
+  // Paper: 218.1K gates, 10.3K FFs, 2 domains, 250 MHz.
+  s.target_comb_gates = static_cast<size_t>(218'100 * scale);
+  s.target_ffs = static_cast<size_t>(10'300 * scale);
+  s.num_inputs = 96;
+  s.num_outputs = 96;
+  s.num_domains = 2;
+  s.domain_weights = {0.72, 0.28};
+  s.domain_periods_ps = {4'000, 5'000};  // 250 MHz main domain
+  s.num_xsources = 6;
+  s.num_noscan_ffs = 10;
+  s.resistant_fraction = 0.12;
+  s.resistant_cone_width = 26;
+  return s;
+}
+
+IpCoreSpec coreYSpec(double scale) {
+  IpCoreSpec s;
+  s.name = "core_y";
+  s.seed = 0x5EED'C04E'0002ULL;
+  // Paper: 633.4K gates, 33.2K FFs, 8 domains, 330 MHz.
+  s.target_comb_gates = static_cast<size_t>(633'400 * scale);
+  s.target_ffs = static_cast<size_t>(33'200 * scale);
+  s.num_inputs = 128;
+  s.num_outputs = 128;
+  s.num_domains = 8;
+  s.domain_weights = {0.44, 0.08, 0.08, 0.08, 0.08, 0.08, 0.08, 0.08};
+  s.domain_periods_ps = {3'030, 3'500, 4'000, 4'500,
+                         5'000, 5'500, 6'000, 6'600};  // 330 MHz main
+  s.num_xsources = 10;
+  s.num_noscan_ffs = 16;
+  s.resistant_fraction = 0.12;
+  s.resistant_cone_width = 26;
+  return s;
+}
+
+}  // namespace lbist::gen

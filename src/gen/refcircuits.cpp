@@ -1,0 +1,159 @@
+#include "gen/refcircuits.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace lbist::gen {
+
+Netlist buildC17() {
+  Netlist nl("c17");
+  const GateId in1 = nl.addInput("in1");
+  const GateId in2 = nl.addInput("in2");
+  const GateId in3 = nl.addInput("in3");
+  const GateId in4 = nl.addInput("in4");
+  const GateId in5 = nl.addInput("in5");
+  const GateId g1 = nl.addGate(CellKind::kNand, {in1, in3});
+  const GateId g2 = nl.addGate(CellKind::kNand, {in3, in4});
+  const GateId g3 = nl.addGate(CellKind::kNand, {in2, g2});
+  const GateId g4 = nl.addGate(CellKind::kNand, {g2, in5});
+  const GateId g5 = nl.addGate(CellKind::kNand, {g1, g3});
+  const GateId g6 = nl.addGate(CellKind::kNand, {g3, g4});
+  nl.setGateName(g1, "g1");
+  nl.setGateName(g2, "g2");
+  nl.setGateName(g3, "g3");
+  nl.setGateName(g4, "g4");
+  nl.setGateName(g5, "g5");
+  nl.setGateName(g6, "g6");
+  nl.addOutput(g5, "out1");
+  nl.addOutput(g6, "out2");
+  return nl;
+}
+
+Netlist buildRippleAdder(int n) {
+  if (n < 1) throw std::invalid_argument("adder width must be >= 1");
+  Netlist nl("adder" + std::to_string(n));
+  std::vector<GateId> a(static_cast<size_t>(n));
+  std::vector<GateId> b(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    a[static_cast<size_t>(i)] = nl.addInput("a" + std::to_string(i));
+  }
+  for (int i = 0; i < n; ++i) {
+    b[static_cast<size_t>(i)] = nl.addInput("b" + std::to_string(i));
+  }
+  GateId carry = nl.addInput("cin");
+  for (int i = 0; i < n; ++i) {
+    const GateId ai = a[static_cast<size_t>(i)];
+    const GateId bi = b[static_cast<size_t>(i)];
+    const GateId axb = nl.addGate(CellKind::kXor, {ai, bi});
+    const GateId sum = nl.addGate(CellKind::kXor, {axb, carry});
+    const GateId c1 = nl.addGate(CellKind::kAnd, {ai, bi});
+    const GateId c2 = nl.addGate(CellKind::kAnd, {axb, carry});
+    carry = nl.addGate(CellKind::kOr, {c1, c2});
+    nl.addOutput(sum, "s" + std::to_string(i));
+  }
+  nl.addOutput(carry, "cout");
+  return nl;
+}
+
+Netlist buildCounter(int n, uint64_t period_ps) {
+  if (n < 1) throw std::invalid_argument("counter width must be >= 1");
+  Netlist nl("counter" + std::to_string(n));
+  const DomainId clk = nl.addClockDomain("clk", period_ps);
+  const GateId en = nl.addInput("en");
+  const GateId zero = nl.addConst(false);
+
+  // Create flops with placeholder D, then wire the increment network.
+  std::vector<GateId> q(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    q[static_cast<size_t>(i)] = nl.addDff(zero, clk, "q" + std::to_string(i));
+  }
+  GateId carry = en;
+  for (int i = 0; i < n; ++i) {
+    const GateId qi = q[static_cast<size_t>(i)];
+    const GateId next = nl.addGate(CellKind::kXor, {qi, carry});
+    carry = nl.addGate(CellKind::kAnd, {qi, carry});
+    nl.setFanin(qi, 0, next);
+    nl.addOutput(qi, "count" + std::to_string(i));
+  }
+  nl.addOutput(carry, "overflow");
+  return nl;
+}
+
+Netlist buildMiniAlu(int n, uint64_t period_ps) {
+  if (n < 1) throw std::invalid_argument("ALU width must be >= 1");
+  Netlist nl("alu" + std::to_string(n));
+  const DomainId clk = nl.addClockDomain("clk", period_ps);
+  std::vector<GateId> a(static_cast<size_t>(n));
+  std::vector<GateId> b(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    a[static_cast<size_t>(i)] = nl.addInput("a" + std::to_string(i));
+  }
+  for (int i = 0; i < n; ++i) {
+    b[static_cast<size_t>(i)] = nl.addInput("b" + std::to_string(i));
+  }
+  const GateId op0 = nl.addInput("op0");
+  const GateId op1 = nl.addInput("op1");
+
+  GateId carry = nl.addConst(false);
+  for (int i = 0; i < n; ++i) {
+    const GateId ai = a[static_cast<size_t>(i)];
+    const GateId bi = b[static_cast<size_t>(i)];
+    const GateId and_i = nl.addGate(CellKind::kAnd, {ai, bi});
+    const GateId or_i = nl.addGate(CellKind::kOr, {ai, bi});
+    const GateId xor_i = nl.addGate(CellKind::kXor, {ai, bi});
+    const GateId sum_i = nl.addGate(CellKind::kXor, {xor_i, carry});
+    const GateId c2 = nl.addGate(CellKind::kAnd, {xor_i, carry});
+    carry = nl.addGate(CellKind::kOr, {and_i, c2});
+    // op: 00 and, 01 or, 10 xor, 11 add.
+    const GateId low = nl.addGate(CellKind::kMux2, {and_i, or_i, op0});
+    const GateId high = nl.addGate(CellKind::kMux2, {xor_i, sum_i, op0});
+    const GateId res = nl.addGate(CellKind::kMux2, {low, high, op1});
+    const GateId reg = nl.addDff(res, clk, "r" + std::to_string(i));
+    nl.addOutput(reg, "y" + std::to_string(i));
+  }
+  return nl;
+}
+
+Netlist buildTwoDomainPipe(int n, uint64_t fast_ps, uint64_t slow_ps) {
+  if (n < 1) throw std::invalid_argument("pipe width must be >= 1");
+  Netlist nl("twodomain" + std::to_string(n));
+  const DomainId fast = nl.addClockDomain("clk_fast", fast_ps);
+  const DomainId slow = nl.addClockDomain("clk_slow", slow_ps);
+  const GateId en = nl.addInput("en");
+  const GateId zero = nl.addConst(false);
+
+  // Fast-domain counter.
+  std::vector<GateId> q(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    q[static_cast<size_t>(i)] =
+        nl.addDff(zero, fast, "cnt" + std::to_string(i));
+  }
+  GateId carry = en;
+  for (int i = 0; i < n; ++i) {
+    const GateId qi = q[static_cast<size_t>(i)];
+    const GateId next = nl.addGate(CellKind::kXor, {qi, carry});
+    carry = nl.addGate(CellKind::kAnd, {qi, carry});
+    nl.setFanin(qi, 0, next);
+  }
+
+  // Slow-domain sampler: registers the counter value and compares against
+  // a threshold input — real cross-clock-domain fan-in.
+  std::vector<GateId> thr(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    thr[static_cast<size_t>(i)] = nl.addInput("thr" + std::to_string(i));
+  }
+  GateId all_eq = nl.addConst(true);
+  for (int i = 0; i < n; ++i) {
+    const GateId samp =
+        nl.addDff(q[static_cast<size_t>(i)], slow, "smp" + std::to_string(i));
+    const GateId eq = nl.addGate(
+        CellKind::kXnor, {samp, thr[static_cast<size_t>(i)]});
+    all_eq = nl.addGate(CellKind::kAnd, {all_eq, eq});
+    nl.addOutput(samp, "sample" + std::to_string(i));
+  }
+  const GateId hit = nl.addDff(all_eq, slow, "hit");
+  nl.addOutput(hit, "match");
+  return nl;
+}
+
+}  // namespace lbist::gen

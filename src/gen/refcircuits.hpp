@@ -1,0 +1,35 @@
+// Small hand-built reference circuits with known functionality, used by
+// unit tests (simulators, ATPG, fault models) and the quickstart example.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace lbist::gen {
+
+/// ISCAS-85 c17: the classic 6-NAND benchmark. 5 inputs in1..in5,
+/// 2 outputs out1/out2. Purely combinational.
+[[nodiscard]] Netlist buildC17();
+
+/// n-bit ripple-carry adder: inputs a0..a(n-1), b0..b(n-1), cin;
+/// outputs s0..s(n-1), cout. Purely combinational.
+[[nodiscard]] Netlist buildRippleAdder(int n);
+
+/// n-bit synchronous binary counter with enable, one clock domain
+/// (period_ps). Outputs q0..q(n-1).
+[[nodiscard]] Netlist buildCounter(int n, uint64_t period_ps = 4'000);
+
+/// Tiny ALU: two n-bit operands, 2-bit op select (00 and, 01 or, 10 xor,
+/// 11 add), registered output in one clock domain.
+[[nodiscard]] Netlist buildMiniAlu(int n, uint64_t period_ps = 4'000);
+
+/// Two-domain producer/consumer: an n-bit counter in a fast domain whose
+/// value is sampled by registers in a slow domain through a comparator —
+/// a minimal circuit with real cross-clock-domain logic for the
+/// double-capture and skew tests.
+[[nodiscard]] Netlist buildTwoDomainPipe(int n, uint64_t fast_ps = 4'000,
+                                         uint64_t slow_ps = 6'000);
+
+}  // namespace lbist::gen

@@ -1,0 +1,205 @@
+#include "netlist/cell.hpp"
+
+#include <cassert>
+
+namespace lbist {
+
+std::string_view cellKindName(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInput:
+      return "input";
+    case CellKind::kConst0:
+      return "tie0";
+    case CellKind::kConst1:
+      return "tie1";
+    case CellKind::kBuf:
+      return "buf";
+    case CellKind::kNot:
+      return "not";
+    case CellKind::kAnd:
+      return "and";
+    case CellKind::kNand:
+      return "nand";
+    case CellKind::kOr:
+      return "or";
+    case CellKind::kNor:
+      return "nor";
+    case CellKind::kXor:
+      return "xor";
+    case CellKind::kXnor:
+      return "xnor";
+    case CellKind::kMux2:
+      return "mux2";
+    case CellKind::kDff:
+      return "dff";
+    case CellKind::kXSource:
+      return "xsource";
+  }
+  return "?";
+}
+
+bool cellKindFromName(std::string_view name, CellKind& out) {
+  for (int i = 0; i < kNumCellKinds; ++i) {
+    const auto kind = static_cast<CellKind>(i);
+    if (cellKindName(kind) == name) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+double cellGateEquivalents(CellKind kind, int fanin_count) {
+  switch (kind) {
+    case CellKind::kInput:
+    case CellKind::kConst0:
+    case CellKind::kConst1:
+    case CellKind::kXSource:
+      return 0.0;
+    case CellKind::kBuf:
+    case CellKind::kNot:
+      return 0.5;
+    case CellKind::kAnd:
+    case CellKind::kNand:
+    case CellKind::kOr:
+    case CellKind::kNor:
+      // n-input simple gate decomposes into (n - 1) two-input gates.
+      return 1.0 * static_cast<double>(fanin_count > 1 ? fanin_count - 1 : 1);
+    case CellKind::kXor:
+    case CellKind::kXnor:
+      // XOR is ~2.5x the transistors of a NAND2 per two-input stage.
+      return 2.5 * static_cast<double>(fanin_count > 1 ? fanin_count - 1 : 1);
+    case CellKind::kMux2:
+      return 2.5;
+    case CellKind::kDff:
+      return 6.0;  // typical mux-D flip-flop weight
+  }
+  return 1.0;
+}
+
+uint64_t evalWord2v(CellKind kind, std::span<const uint64_t> ins) {
+  switch (kind) {
+    case CellKind::kBuf:
+      return ins[0];
+    case CellKind::kNot:
+      return ~ins[0];
+    case CellKind::kAnd: {
+      uint64_t acc = ~uint64_t{0};
+      for (uint64_t w : ins) acc &= w;
+      return acc;
+    }
+    case CellKind::kNand: {
+      uint64_t acc = ~uint64_t{0};
+      for (uint64_t w : ins) acc &= w;
+      return ~acc;
+    }
+    case CellKind::kOr: {
+      uint64_t acc = 0;
+      for (uint64_t w : ins) acc |= w;
+      return acc;
+    }
+    case CellKind::kNor: {
+      uint64_t acc = 0;
+      for (uint64_t w : ins) acc |= w;
+      return ~acc;
+    }
+    case CellKind::kXor: {
+      uint64_t acc = 0;
+      for (uint64_t w : ins) acc ^= w;
+      return acc;
+    }
+    case CellKind::kXnor: {
+      uint64_t acc = 0;
+      for (uint64_t w : ins) acc ^= w;
+      return ~acc;
+    }
+    case CellKind::kMux2:
+      // ins = {d0, d1, sel}
+      return (ins[0] & ~ins[2]) | (ins[1] & ins[2]);
+    default:
+      assert(false && "evalWord2v called on non-combinational cell");
+      return 0;
+  }
+}
+
+namespace {
+
+// Three-valued AND of two signals: result is 0 where either input is a
+// known 0; X where it is not known-0 and either input is X.
+Word3v and3v(const Word3v& a, const Word3v& b) {
+  const uint64_t known0 = (~a.v & ~a.x) | (~b.v & ~b.x);
+  const uint64_t x = (a.x | b.x) & ~known0;
+  const uint64_t v = a.v & b.v & ~x;
+  return {v & ~known0, x};
+}
+
+Word3v or3v(const Word3v& a, const Word3v& b) {
+  const uint64_t known1 = (a.v & ~a.x) | (b.v & ~b.x);
+  const uint64_t x = (a.x | b.x) & ~known1;
+  const uint64_t v = (a.v | b.v | known1) & ~x;
+  return {v, x};
+}
+
+Word3v not3v(const Word3v& a) { return {~a.v & ~a.x, a.x}; }
+
+Word3v xor3v(const Word3v& a, const Word3v& b) {
+  const uint64_t x = a.x | b.x;
+  return {(a.v ^ b.v) & ~x, x};
+}
+
+}  // namespace
+
+Word3v evalWord3v(CellKind kind, std::span<const Word3v> ins) {
+  switch (kind) {
+    case CellKind::kBuf:
+      return ins[0].canonical();
+    case CellKind::kNot:
+      return not3v(ins[0]).canonical();
+    case CellKind::kAnd:
+    case CellKind::kNand: {
+      Word3v acc{~uint64_t{0}, 0};
+      for (const Word3v& w : ins) acc = and3v(acc, w);
+      if (kind == CellKind::kNand) acc = not3v(acc);
+      return acc.canonical();
+    }
+    case CellKind::kOr:
+    case CellKind::kNor: {
+      Word3v acc{0, 0};
+      for (const Word3v& w : ins) acc = or3v(acc, w);
+      if (kind == CellKind::kNor) acc = not3v(acc);
+      return acc.canonical();
+    }
+    case CellKind::kXor:
+    case CellKind::kXnor: {
+      Word3v acc{0, 0};
+      for (const Word3v& w : ins) acc = xor3v(acc, w);
+      if (kind == CellKind::kXnor) acc = not3v(acc);
+      return acc.canonical();
+    }
+    case CellKind::kMux2: {
+      // out = sel ? d1 : d0; where sel is X the output is X unless d0 == d1
+      // and both are known.
+      const Word3v& d0 = ins[0];
+      const Word3v& d1 = ins[1];
+      const Word3v& sel = ins[2];
+      const uint64_t sel_known = ~sel.x;
+      const uint64_t pick1 = sel.v & sel_known;
+      const uint64_t pick0 = ~sel.v & sel_known;
+      uint64_t v = (d0.v & pick0) | (d1.v & pick1);
+      uint64_t x = (d0.x & pick0) | (d1.x & pick1);
+      // sel unknown: output known only where d0 and d1 agree and are known.
+      const uint64_t agree =
+          ~d0.x & ~d1.x & ~(d0.v ^ d1.v);
+      v |= d0.v & sel.x & agree;
+      x |= sel.x & ~agree;
+      return Word3v{v, x}.canonical();
+    }
+    case CellKind::kXSource:
+      return {0, ~uint64_t{0}};
+    default:
+      assert(false && "evalWord3v called on non-combinational cell");
+      return {0, ~uint64_t{0}};
+  }
+}
+
+}  // namespace lbist

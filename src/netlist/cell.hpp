@@ -1,0 +1,129 @@
+// Primitive cell library: the gate kinds a netlist may contain, their
+// arities, and word-parallel evaluation over two- and three-valued logic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace lbist {
+
+/// Primitive cell kinds.
+///
+/// Every cell drives exactly one output net. `kMux2` fanin order is
+/// {d0, d1, sel} with out = sel ? d1 : d0. `kDff` fanin order is {d};
+/// its clock is given by the gate's clock-domain attribute. `kXSource`
+/// models an unbounded unknown-value source (uninitialized memory output,
+/// floating bus, analog macro pin); it has no fanins and evaluates to X
+/// in three-valued simulation.
+enum class CellKind : uint8_t {
+  kInput,
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kMux2,
+  kDff,
+  kXSource,
+};
+
+inline constexpr int kNumCellKinds = static_cast<int>(CellKind::kXSource) + 1;
+
+/// Human-readable mnemonic, also used by the structural Verilog writer.
+[[nodiscard]] std::string_view cellKindName(CellKind kind);
+
+/// Parses a mnemonic produced by cellKindName. Returns false on failure.
+[[nodiscard]] bool cellKindFromName(std::string_view name, CellKind& out);
+
+/// True for gates evaluated by the combinational simulator.
+[[nodiscard]] constexpr bool isCombinational(CellKind kind) {
+  switch (kind) {
+    case CellKind::kBuf:
+    case CellKind::kNot:
+    case CellKind::kAnd:
+    case CellKind::kNand:
+    case CellKind::kOr:
+    case CellKind::kNor:
+    case CellKind::kXor:
+    case CellKind::kXnor:
+    case CellKind::kMux2:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True for source cells that take no fanin (level-0 in evaluation order).
+[[nodiscard]] constexpr bool isSource(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInput:
+    case CellKind::kConst0:
+    case CellKind::kConst1:
+    case CellKind::kXSource:
+      return true;
+    case CellKind::kDff:  // DFF output is a level-0 source for the comb core.
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Required fanin count; -1 means variadic (>= 2).
+[[nodiscard]] constexpr int cellArity(CellKind kind) {
+  switch (kind) {
+    case CellKind::kInput:
+    case CellKind::kConst0:
+    case CellKind::kConst1:
+    case CellKind::kXSource:
+      return 0;
+    case CellKind::kBuf:
+    case CellKind::kNot:
+    case CellKind::kDff:
+      return 1;
+    case CellKind::kMux2:
+      return 3;
+    case CellKind::kAnd:
+    case CellKind::kNand:
+    case CellKind::kOr:
+    case CellKind::kNor:
+    case CellKind::kXor:
+    case CellKind::kXnor:
+      return -1;
+  }
+  return -1;
+}
+
+/// Approximate transistor-pair weight used for area accounting.
+/// (2-input NAND == 1.0 gate equivalent, the usual industrial convention.)
+[[nodiscard]] double cellGateEquivalents(CellKind kind, int fanin_count);
+
+/// Word-parallel two-valued evaluation: each bit lane of the 64-bit words
+/// is an independent pattern. `ins` holds one word per fanin, in fanin
+/// order. Source kinds must not be passed here.
+[[nodiscard]] uint64_t evalWord2v(CellKind kind, std::span<const uint64_t> ins);
+
+/// Three-valued signal value in (value, unknown-mask) encoding. Where a
+/// bit of `x` is 1 the corresponding bit of `v` is meaningless (and kept 0
+/// canonically so equal signals compare equal bitwise).
+struct Word3v {
+  uint64_t v = 0;
+  uint64_t x = 0;
+
+  [[nodiscard]] Word3v canonical() const { return {v & ~x, x}; }
+
+  friend bool operator==(const Word3v& a, const Word3v& b) {
+    return (a.v & ~a.x) == (b.v & ~b.x) && a.x == b.x;
+  }
+};
+
+/// Word-parallel three-valued (01X) evaluation with controlling-value
+/// X-suppression (an AND with one 0 input is 0 even if the other is X).
+[[nodiscard]] Word3v evalWord3v(CellKind kind, std::span<const Word3v> ins);
+
+}  // namespace lbist

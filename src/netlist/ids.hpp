@@ -1,0 +1,59 @@
+// Strong identifier types shared by every module in the library.
+//
+// A netlist is a set of single-output gates; the net driven by a gate is
+// identified by the gate's id, so `GateId` doubles as a net identifier.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace lbist {
+
+/// Identifier of a gate (and of the net it drives).
+struct GateId {
+  static constexpr uint32_t kInvalid = std::numeric_limits<uint32_t>::max();
+
+  uint32_t v = kInvalid;
+
+  constexpr GateId() = default;
+  constexpr explicit GateId(uint32_t value) : v(value) {}
+
+  [[nodiscard]] constexpr bool valid() const { return v != kInvalid; }
+
+  friend constexpr bool operator==(GateId a, GateId b) { return a.v == b.v; }
+  friend constexpr bool operator!=(GateId a, GateId b) { return a.v != b.v; }
+  friend constexpr bool operator<(GateId a, GateId b) { return a.v < b.v; }
+};
+
+/// Identifier of a clock domain within a netlist.
+struct DomainId {
+  static constexpr uint16_t kInvalid = std::numeric_limits<uint16_t>::max();
+
+  uint16_t v = kInvalid;
+
+  constexpr DomainId() = default;
+  constexpr explicit DomainId(uint16_t value) : v(value) {}
+
+  [[nodiscard]] constexpr bool valid() const { return v != kInvalid; }
+
+  friend constexpr bool operator==(DomainId a, DomainId b) { return a.v == b.v; }
+  friend constexpr bool operator!=(DomainId a, DomainId b) { return a.v != b.v; }
+  friend constexpr bool operator<(DomainId a, DomainId b) { return a.v < b.v; }
+};
+
+}  // namespace lbist
+
+template <>
+struct std::hash<lbist::GateId> {
+  size_t operator()(lbist::GateId id) const noexcept {
+    return std::hash<uint32_t>{}(id.v);
+  }
+};
+
+template <>
+struct std::hash<lbist::DomainId> {
+  size_t operator()(lbist::DomainId id) const noexcept {
+    return std::hash<uint16_t>{}(id.v);
+  }
+};

@@ -1,0 +1,263 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace lbist {
+
+DomainId Netlist::addClockDomain(std::string_view name, uint64_t period_ps) {
+  if (period_ps == 0) {
+    throw std::invalid_argument("clock domain period must be non-zero");
+  }
+  domains_.push_back(ClockDomain{std::string(name), period_ps});
+  return DomainId{static_cast<uint16_t>(domains_.size() - 1)};
+}
+
+const ClockDomain& Netlist::domain(DomainId id) const {
+  return domains_.at(id.v);
+}
+
+GateId Netlist::allocGate(Gate gate) {
+  gates_.push_back(std::move(gate));
+  return GateId{static_cast<uint32_t>(gates_.size() - 1)};
+}
+
+GateId Netlist::addInput(std::string_view name) {
+  const GateId id = allocGate(Gate{CellKind::kInput, 0, DomainId{}, {}});
+  inputs_.push_back(id);
+  if (!name.empty()) setGateName(id, name);
+  return id;
+}
+
+GateId Netlist::addConst(bool value) {
+  return allocGate(
+      Gate{value ? CellKind::kConst1 : CellKind::kConst0, 0, DomainId{}, {}});
+}
+
+GateId Netlist::addXSource(std::string_view name) {
+  const GateId id = allocGate(Gate{CellKind::kXSource, 0, DomainId{}, {}});
+  xsources_.push_back(id);
+  if (!name.empty()) setGateName(id, name);
+  return id;
+}
+
+GateId Netlist::addGate(CellKind kind, std::span<const GateId> fanins) {
+  if (!isCombinational(kind)) {
+    throw std::invalid_argument(
+        "addGate only creates combinational cells; use the dedicated "
+        "builders for inputs/constants/DFFs/X-sources");
+  }
+  const int arity = cellArity(kind);
+  if (arity >= 0 && fanins.size() != static_cast<size_t>(arity)) {
+    throw std::invalid_argument("wrong fanin count for cell kind");
+  }
+  if (arity < 0 && fanins.size() < 2) {
+    throw std::invalid_argument("variadic gate needs at least two fanins");
+  }
+  for (GateId f : fanins) {
+    if (!f.valid() || f.v >= gates_.size()) {
+      throw std::invalid_argument("dangling fanin id");
+    }
+  }
+  Gate g;
+  g.kind = kind;
+  g.fanins.assign(fanins.begin(), fanins.end());
+  return allocGate(std::move(g));
+}
+
+GateId Netlist::addGate(CellKind kind, std::initializer_list<GateId> fanins) {
+  return addGate(kind, std::span<const GateId>(fanins.begin(), fanins.size()));
+}
+
+GateId Netlist::addDff(GateId d, DomainId domain, std::string_view name) {
+  if (!d.valid() || d.v >= gates_.size()) {
+    throw std::invalid_argument("dangling D fanin");
+  }
+  if (!domain.valid() || domain.v >= domains_.size()) {
+    throw std::invalid_argument("DFF requires a registered clock domain");
+  }
+  Gate g;
+  g.kind = CellKind::kDff;
+  g.domain = domain;
+  g.fanins = {d};
+  const GateId id = allocGate(std::move(g));
+  dffs_.push_back(id);
+  if (!name.empty()) setGateName(id, name);
+  return id;
+}
+
+void Netlist::addOutput(GateId driver, std::string_view name) {
+  if (!driver.valid() || driver.v >= gates_.size()) {
+    throw std::invalid_argument("dangling output driver");
+  }
+  std::string out_name =
+      name.empty() ? "po" + std::to_string(outputs_.size()) : std::string(name);
+  outputs_.push_back(OutputPort{std::move(out_name), driver});
+}
+
+void Netlist::setGateName(GateId id, std::string_view name) {
+  assert(id.v < gates_.size());
+  auto [it, inserted] = name_to_gate_.emplace(std::string(name), id.v);
+  if (!inserted && it->second != id.v) {
+    throw std::invalid_argument("duplicate gate name: " + std::string(name));
+  }
+  names_[id.v] = std::string(name);
+}
+
+std::string Netlist::gateName(GateId id) const {
+  if (auto it = names_.find(id.v); it != names_.end()) return it->second;
+  return "n" + std::to_string(id.v);
+}
+
+std::optional<GateId> Netlist::findGateByName(std::string_view name) const {
+  if (auto it = name_to_gate_.find(std::string(name));
+      it != name_to_gate_.end()) {
+    return GateId{it->second};
+  }
+  return std::nullopt;
+}
+
+double Netlist::gateEquivalents() const {
+  double total = 0.0;
+  for (const Gate& g : gates_) {
+    total += cellGateEquivalents(g.kind, static_cast<int>(g.fanins.size()));
+  }
+  return total;
+}
+
+double Netlist::dftGateEquivalents() const {
+  double total = 0.0;
+  for (const Gate& g : gates_) {
+    if ((g.flags & kFlagDftInserted) != 0) {
+      total += cellGateEquivalents(g.kind, static_cast<int>(g.fanins.size()));
+    }
+  }
+  return total;
+}
+
+void Netlist::setFanin(GateId gate, size_t slot, GateId new_src) {
+  assert(gate.v < gates_.size());
+  Gate& g = gates_[gate.v];
+  if (slot >= g.fanins.size()) {
+    throw std::out_of_range("fanin slot out of range");
+  }
+  if (!new_src.valid() || new_src.v >= gates_.size()) {
+    throw std::invalid_argument("dangling new fanin id");
+  }
+  g.fanins[slot] = new_src;
+}
+
+size_t Netlist::replaceAllUses(GateId old_src, GateId new_src) {
+  size_t rewritten = 0;
+  for (Gate& g : gates_) {
+    for (GateId& f : g.fanins) {
+      if (f == old_src) {
+        f = new_src;
+        ++rewritten;
+      }
+    }
+  }
+  for (OutputPort& out : outputs_) {
+    if (out.driver == old_src) {
+      out.driver = new_src;
+      ++rewritten;
+    }
+  }
+  return rewritten;
+}
+
+void Netlist::setOutputDriver(size_t index, GateId new_driver) {
+  if (index >= outputs_.size()) {
+    throw std::out_of_range("output index out of range");
+  }
+  if (!new_driver.valid() || new_driver.v >= gates_.size()) {
+    throw std::invalid_argument("dangling output driver");
+  }
+  outputs_[index].driver = new_driver;
+}
+
+void Netlist::setDffDomain(GateId id, DomainId domain) {
+  assert(id.v < gates_.size());
+  if (gates_[id.v].kind != CellKind::kDff) {
+    throw std::invalid_argument("setDffDomain on non-DFF gate");
+  }
+  if (!domain.valid() || domain.v >= domains_.size()) {
+    throw std::invalid_argument("unknown clock domain");
+  }
+  gates_[id.v].domain = domain;
+}
+
+Netlist::FanoutMap Netlist::buildFanoutMap() const {
+  FanoutMap map;
+  map.offsets.assign(gates_.size() + 1, 0);
+  for (const Gate& g : gates_) {
+    for (GateId f : g.fanins) ++map.offsets[f.v + 1];
+  }
+  for (size_t i = 1; i < map.offsets.size(); ++i) {
+    map.offsets[i] += map.offsets[i - 1];
+  }
+  map.targets.resize(map.offsets.back());
+  std::vector<uint32_t> cursor(map.offsets.begin(), map.offsets.end() - 1);
+  for (uint32_t gi = 0; gi < gates_.size(); ++gi) {
+    for (GateId f : gates_[gi].fanins) {
+      map.targets[cursor[f.v]++] = GateId{gi};
+    }
+  }
+  return map;
+}
+
+std::string Netlist::validate() const {
+  for (uint32_t gi = 0; gi < gates_.size(); ++gi) {
+    const Gate& g = gates_[gi];
+    const int arity = cellArity(g.kind);
+    if (arity >= 0 && g.fanins.size() != static_cast<size_t>(arity)) {
+      return "gate " + gateName(GateId{gi}) + " has wrong arity";
+    }
+    if (arity < 0 && g.fanins.size() < 2) {
+      return "gate " + gateName(GateId{gi}) + " variadic arity < 2";
+    }
+    for (GateId f : g.fanins) {
+      if (!f.valid() || f.v >= gates_.size()) {
+        return "gate " + gateName(GateId{gi}) + " has dangling fanin";
+      }
+    }
+    if (g.kind == CellKind::kDff &&
+        (!g.domain.valid() || g.domain.v >= domains_.size())) {
+      return "DFF " + gateName(GateId{gi}) + " has no clock domain";
+    }
+  }
+  // Combinational cycle check: iterative DFS over comb gates only (DFFs
+  // break cycles by construction).
+  enum class Mark : uint8_t { kWhite, kGrey, kBlack };
+  std::vector<Mark> mark(gates_.size(), Mark::kWhite);
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  for (uint32_t root = 0; root < gates_.size(); ++root) {
+    if (mark[root] != Mark::kWhite || !isCombinational(gates_[root].kind)) {
+      continue;
+    }
+    stack.emplace_back(root, 0);
+    mark[root] = Mark::kGrey;
+    while (!stack.empty()) {
+      auto& [gi, next] = stack.back();
+      const Gate& g = gates_[gi];
+      if (next < g.fanins.size()) {
+        const uint32_t f = g.fanins[next++].v;
+        if (!isCombinational(gates_[f].kind)) continue;
+        if (mark[f] == Mark::kGrey) {
+          return "combinational cycle through " + gateName(GateId{f});
+        }
+        if (mark[f] == Mark::kWhite) {
+          mark[f] = Mark::kGrey;
+          stack.emplace_back(f, 0);
+        }
+      } else {
+        mark[gi] = Mark::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace lbist

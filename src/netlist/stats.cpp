@@ -1,0 +1,51 @@
+#include "netlist/stats.hpp"
+
+#include <sstream>
+
+#include "netlist/levelize.hpp"
+
+namespace lbist {
+
+NetlistStats computeStats(const Netlist& nl) {
+  NetlistStats s;
+  s.name = nl.name();
+  s.total_cells = nl.numGates();
+  s.inputs = nl.inputs().size();
+  s.outputs = nl.outputs().size();
+  s.xsources = nl.xsources().size();
+  s.clock_domains = nl.numDomains();
+  s.gate_equivalents = nl.gateEquivalents();
+  s.dft_gate_equivalents = nl.dftGateEquivalents();
+
+  nl.forEachGate([&](GateId id, const Gate& g) {
+    ++s.kind_histogram[static_cast<size_t>(g.kind)];
+    if (isCombinational(g.kind)) ++s.comb_gates;
+    if (g.kind == CellKind::kDff) {
+      ++s.dffs;
+      if ((g.flags & kFlagScanCell) != 0) ++s.scan_dffs;
+      if ((g.flags & kFlagNoScan) != 0) ++s.no_scan_dffs;
+    }
+    if ((g.flags & kFlagDftInserted) != 0) ++s.dft_inserted_cells;
+    if ((g.flags & kFlagObservePoint) != 0) ++s.observe_points;
+    (void)id;
+  });
+
+  s.logic_depth = Levelized(nl).maxLevel();
+  return s;
+}
+
+std::string NetlistStats::toString() const {
+  std::ostringstream os;
+  os << "netlist '" << name << "': " << total_cells << " cells ("
+     << comb_gates << " comb, " << dffs << " dff of which " << scan_dffs
+     << " scan / " << no_scan_dffs << " no-scan), " << inputs << " pi, "
+     << outputs << " po, " << xsources << " x-sources, " << clock_domains
+     << " clock domains, depth " << logic_depth << ", "
+     << static_cast<uint64_t>(gate_equivalents) << " gate-equivalents";
+  if (dft_gate_equivalents > 0.0) {
+    os << " (dft overhead " << dftOverheadPercent() << "%)";
+  }
+  return os.str();
+}
+
+}  // namespace lbist

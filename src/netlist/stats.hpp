@@ -1,0 +1,43 @@
+// Netlist statistics reporting: the structural rows of the paper's
+// Table 1 (gate count, #FFs, domains, ...) come straight from here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace lbist {
+
+struct NetlistStats {
+  std::string name;
+  size_t total_cells = 0;
+  size_t comb_gates = 0;
+  size_t dffs = 0;
+  size_t scan_dffs = 0;
+  size_t no_scan_dffs = 0;
+  size_t inputs = 0;
+  size_t outputs = 0;
+  size_t xsources = 0;
+  size_t clock_domains = 0;
+  size_t dft_inserted_cells = 0;
+  size_t observe_points = 0;
+  uint32_t logic_depth = 0;  // max combinational level
+  double gate_equivalents = 0.0;
+  double dft_gate_equivalents = 0.0;
+  std::array<size_t, kNumCellKinds> kind_histogram{};
+
+  /// Area overhead of DFT-inserted logic relative to the original core,
+  /// in percent (the "Overhead" row of Table 1).
+  [[nodiscard]] double dftOverheadPercent() const {
+    const double base = gate_equivalents - dft_gate_equivalents;
+    return base <= 0.0 ? 0.0 : 100.0 * dft_gate_equivalents / base;
+  }
+
+  [[nodiscard]] std::string toString() const;
+};
+
+[[nodiscard]] NetlistStats computeStats(const Netlist& nl);
+
+}  // namespace lbist

@@ -1,0 +1,509 @@
+#include "netlist/verilog_io.hpp"
+
+#include <cctype>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace lbist {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void writeVerilog(const Netlist& nl, std::ostream& os) {
+  for (const ClockDomain& d : nl.domains()) {
+    os << "// lbist.domain " << d.name << " " << d.period_ps << "\n";
+  }
+  os << "module " << (nl.name().empty() ? "core" : nl.name()) << " (";
+  bool first = true;
+  for (GateId in : nl.inputs()) {
+    if (!first) os << ", ";
+    os << nl.gateName(in);
+    first = false;
+  }
+  for (const OutputPort& out : nl.outputs()) {
+    if (!first) os << ", ";
+    os << out.name;
+    first = false;
+  }
+  os << ");\n";
+
+  for (GateId in : nl.inputs()) os << "  input " << nl.gateName(in) << ";\n";
+  for (const OutputPort& out : nl.outputs()) {
+    os << "  output " << out.name << ";\n";
+  }
+  nl.forEachGate([&](GateId id, const Gate& g) {
+    if (g.kind == CellKind::kInput) return;
+    os << "  wire " << nl.gateName(id) << ";\n";
+  });
+
+  nl.forEachGate([&](GateId id, const Gate& g) {
+    if (g.kind == CellKind::kInput) return;
+    os << "  " << cellKindName(g.kind);
+    const bool is_dff = g.kind == CellKind::kDff;
+    if (is_dff || g.flags != 0) {
+      os << " #(";
+      bool p_first = true;
+      if (is_dff) {
+        os << ".domain(\"" << nl.domain(g.domain).name << "\")";
+        p_first = false;
+      }
+      if (g.flags != 0) {
+        if (!p_first) os << ", ";
+        os << ".flags(" << static_cast<unsigned>(g.flags) << ")";
+      }
+      os << ")";
+    }
+    os << " g" << id.v << " (" << nl.gateName(id);
+    for (GateId f : g.fanins) os << ", " << nl.gateName(f);
+    os << ");\n";
+  });
+
+  for (const OutputPort& out : nl.outputs()) {
+    os << "  assign " << out.name << " = " << nl.gateName(out.driver) << ";\n";
+  }
+  os << "endmodule\n";
+}
+
+std::string toVerilog(const Netlist& nl) {
+  std::ostringstream os;
+  writeVerilog(nl, os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kPunct, kEof };
+  Kind kind = Kind::kEof;
+  std::string text;
+  int line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string text) : text_(std::move(text)) { advance(); }
+
+  const Token& peek() const { return tok_; }
+
+  Token take() {
+    Token t = tok_;
+    advance();
+    return t;
+  }
+
+  /// Directive comments collected while scanning ("lbist.domain clk 4000").
+  const std::vector<std::pair<int, std::string>>& directives() const {
+    return directives_;
+  }
+
+  /// Scans the whole input so all directives (wherever they appear) are
+  /// known before parsing begins.
+  void collectAllDirectives() {
+    size_t saved_pos = pos_;
+    int saved_line = line_;
+    Token saved_tok = tok_;
+    while (tok_.kind != Token::Kind::kEof) advance();
+    pos_ = saved_pos;
+    line_ = saved_line;
+    tok_ = saved_tok;
+    directives_collected_ = true;
+  }
+
+ private:
+  void advance() {
+    skipSpaceAndComments();
+    tok_.line = line_;
+    if (pos_ >= text_.size()) {
+      tok_ = Token{Token::Kind::kEof, "", line_};
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '\\') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '$' || text_[pos_] == '.')) {
+        ++pos_;
+      }
+      tok_ = Token{Token::Kind::kIdent, text_.substr(start, pos_ - start),
+                   line_};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      tok_ = Token{Token::Kind::kNumber, text_.substr(start, pos_ - start),
+                   line_};
+      return;
+    }
+    if (c == '"') {
+      size_t start = ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+      if (pos_ >= text_.size()) {
+        throw std::runtime_error("line " + std::to_string(line_) +
+                                 ": unterminated string");
+      }
+      tok_ = Token{Token::Kind::kString, text_.substr(start, pos_ - start),
+                   line_};
+      ++pos_;
+      return;
+    }
+    tok_ = Token{Token::Kind::kPunct, std::string(1, c), line_};
+    ++pos_;
+  }
+
+  void skipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        size_t start = pos_ + 2;
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        std::string comment = text_.substr(start, pos_ - start);
+        // Trim leading blanks.
+        size_t b = comment.find_first_not_of(" \t");
+        if (b != std::string::npos && comment.compare(b, 6, "lbist.") == 0 &&
+            !directives_collected_) {
+          directives_.emplace_back(line_, comment.substr(b));
+        }
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, text_.size());
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  Token tok_;
+  std::vector<std::pair<int, std::string>> directives_;
+  bool directives_collected_ = false;
+};
+
+[[noreturn]] void fail(const Token& at, const std::string& msg) {
+  throw std::runtime_error("line " + std::to_string(at.line) + ": " + msg +
+                           " (got '" + at.text + "')");
+}
+
+struct InstanceParam {
+  std::string name;
+  std::string value;  // string payload or decimal number
+};
+
+struct Instance {
+  CellKind kind = CellKind::kBuf;
+  std::vector<InstanceParam> params;
+  std::string inst_name;
+  std::vector<std::string> conns;  // positional: output first
+  int line = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string text) : lex_(std::move(text)) {
+    lex_.collectAllDirectives();
+  }
+
+  Netlist parse() {
+    Netlist nl;
+    for (const auto& [line, directive] : lex_.directives()) {
+      std::istringstream ds(directive);
+      std::string tag, name;
+      uint64_t period = 0;
+      ds >> tag;
+      if (tag == "lbist.domain") {
+        if (!(ds >> name >> period)) {
+          throw std::runtime_error("line " + std::to_string(line) +
+                                   ": malformed lbist.domain directive");
+        }
+        nl.addClockDomain(name, period);
+      }
+    }
+
+    expectIdent("module");
+    nl.setName(take(Token::Kind::kIdent).text);
+    takePunct("(");
+    // Port list: names only; direction comes from input/output decls.
+    while (!atPunct(")")) {
+      take(Token::Kind::kIdent);
+      if (atPunct(",")) takePunct(",");
+    }
+    takePunct(")");
+    takePunct(";");
+
+    std::vector<std::string> input_names;
+    std::vector<std::string> output_names;
+    std::vector<Instance> instances;
+    std::vector<std::pair<std::string, std::string>> assigns;  // port, net
+
+    while (!atIdent("endmodule")) {
+      const Token head = take(Token::Kind::kIdent);
+      if (head.text == "input") {
+        readNameList(input_names);
+      } else if (head.text == "output") {
+        readNameList(output_names);
+      } else if (head.text == "wire") {
+        std::vector<std::string> ignored;
+        readNameList(ignored);
+      } else if (head.text == "assign") {
+        const std::string lhs = take(Token::Kind::kIdent).text;
+        takePunct("=");
+        const std::string rhs = take(Token::Kind::kIdent).text;
+        takePunct(";");
+        assigns.emplace_back(lhs, rhs);
+      } else {
+        instances.push_back(readInstance(head));
+      }
+    }
+
+    buildNetlist(nl, input_names, output_names, instances, assigns);
+    return nl;
+  }
+
+ private:
+  void readNameList(std::vector<std::string>& out) {
+    out.push_back(take(Token::Kind::kIdent).text);
+    while (atPunct(",")) {
+      takePunct(",");
+      out.push_back(take(Token::Kind::kIdent).text);
+    }
+    takePunct(";");
+  }
+
+  Instance readInstance(const Token& head) {
+    Instance inst;
+    inst.line = head.line;
+    std::string kind_name = head.text;
+    if (kind_name == "lbist_dff") kind_name = "dff";
+    if (kind_name == "lbist_xsource") kind_name = "xsource";
+    if (!cellKindFromName(kind_name, inst.kind)) {
+      fail(head, "unknown cell kind '" + head.text + "'");
+    }
+    if (atPunct("#")) {
+      takePunct("#");
+      takePunct("(");
+      while (!atPunct(")")) {
+        takePunct(".");
+        InstanceParam p;
+        p.name = take(Token::Kind::kIdent).text;
+        takePunct("(");
+        const Token v = lex_.take();
+        if (v.kind != Token::Kind::kString && v.kind != Token::Kind::kNumber) {
+          fail(v, "expected parameter value");
+        }
+        p.value = v.text;
+        takePunct(")");
+        inst.params.push_back(std::move(p));
+        if (atPunct(",")) takePunct(",");
+      }
+      takePunct(")");
+    }
+    inst.inst_name = take(Token::Kind::kIdent).text;
+    takePunct("(");
+    while (!atPunct(")")) {
+      inst.conns.push_back(take(Token::Kind::kIdent).text);
+      if (atPunct(",")) takePunct(",");
+    }
+    takePunct(")");
+    takePunct(";");
+    if (inst.conns.empty()) {
+      fail(head, "instance with no connections");
+    }
+    return inst;
+  }
+
+  void buildNetlist(Netlist& nl, const std::vector<std::string>& input_names,
+                    const std::vector<std::string>& output_names,
+                    const std::vector<Instance>& instances,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        assigns) {
+    std::unordered_map<std::string, GateId> net_by_name;
+    for (const std::string& in : input_names) {
+      net_by_name.emplace(in, nl.addInput(in));
+    }
+
+    // Placeholder fanin used until all drivers exist. Prefer an existing
+    // gate so the count stays lossless; a zero-input module gets one
+    // scratch tie cell.
+    GateId placeholder;
+    if (nl.numGates() > 0) {
+      placeholder = GateId{0};
+    } else {
+      placeholder = nl.addConst(false);
+      nl.setGateName(placeholder, "__parser_scratch__");
+    }
+
+    struct Patch {
+      GateId gate;
+      size_t slot;
+      std::string net;
+      int line;
+    };
+    std::vector<Patch> patches;
+
+    for (const Instance& inst : instances) {
+      const std::string& out_net = inst.conns[0];
+      const size_t fanin_count = inst.conns.size() - 1;
+      GateId id;
+      if (inst.kind == CellKind::kDff) {
+        DomainId dom;
+        uint8_t flags = 0;
+        for (const InstanceParam& p : inst.params) {
+          if (p.name == "domain") {
+            for (uint16_t di = 0; di < nl.numDomains(); ++di) {
+              if (nl.domain(DomainId{di}).name == p.value) dom = DomainId{di};
+            }
+          } else if (p.name == "flags") {
+            flags = static_cast<uint8_t>(std::stoul(p.value));
+          }
+        }
+        if (!dom.valid()) {
+          throw std::runtime_error(
+              "line " + std::to_string(inst.line) +
+              ": dff references unknown clock domain");
+        }
+        if (fanin_count != 1) {
+          throw std::runtime_error("line " + std::to_string(inst.line) +
+                                   ": dff needs exactly one data fanin");
+        }
+        id = nl.addDff(placeholder, dom, out_net);
+        if (flags != 0) {
+          for (int b = 0; b < 8; ++b) {
+            if ((flags >> b) & 1u) {
+              nl.setFlag(id, static_cast<GateFlag>(1u << b));
+            }
+          }
+        }
+        patches.push_back({id, 0, inst.conns[1], inst.line});
+      } else if (inst.kind == CellKind::kConst0 ||
+                 inst.kind == CellKind::kConst1) {
+        id = nl.addConst(inst.kind == CellKind::kConst1);
+        nl.setGateName(id, out_net);
+      } else if (inst.kind == CellKind::kXSource) {
+        id = nl.addXSource(out_net);
+      } else if (inst.kind == CellKind::kInput) {
+        throw std::runtime_error("line " + std::to_string(inst.line) +
+                                 ": 'input' is not instantiable");
+      } else {
+        std::vector<GateId> fanins(fanin_count, placeholder);
+        id = nl.addGate(inst.kind, fanins);
+        nl.setGateName(id, out_net);
+        for (size_t s = 0; s < fanin_count; ++s) {
+          patches.push_back({id, s, inst.conns[s + 1], inst.line});
+        }
+      }
+      for (const InstanceParam& p : inst.params) {
+        if (p.name == "flags" && inst.kind != CellKind::kDff) {
+          const auto flags = static_cast<uint8_t>(std::stoul(p.value));
+          for (int b = 0; b < 8; ++b) {
+            if ((flags >> b) & 1u) {
+              nl.setFlag(id, static_cast<GateFlag>(1u << b));
+            }
+          }
+        }
+      }
+      net_by_name.emplace(out_net, id);
+    }
+
+    for (const Patch& p : patches) {
+      auto it = net_by_name.find(p.net);
+      if (it == net_by_name.end()) {
+        throw std::runtime_error("line " + std::to_string(p.line) +
+                                 ": undriven net '" + p.net + "'");
+      }
+      nl.setFanin(p.gate, p.slot, it->second);
+    }
+
+    for (const std::string& out_name : output_names) {
+      const std::pair<std::string, std::string>* match = nullptr;
+      for (const auto& a : assigns) {
+        if (a.first == out_name) match = &a;
+      }
+      GateId driver;
+      if (match != nullptr) {
+        auto it = net_by_name.find(match->second);
+        if (it == net_by_name.end()) {
+          throw std::runtime_error("assign from undriven net '" +
+                                   match->second + "'");
+        }
+        driver = it->second;
+      } else if (auto it = net_by_name.find(out_name);
+                 it != net_by_name.end()) {
+        driver = it->second;  // output driven directly by an instance
+      } else {
+        throw std::runtime_error("output port '" + out_name +
+                                 "' has no driver");
+      }
+      nl.addOutput(driver, out_name);
+    }
+
+    const std::string problem = nl.validate();
+    if (!problem.empty()) {
+      throw std::runtime_error("parsed netlist invalid: " + problem);
+    }
+  }
+
+  // --- token helpers -------------------------------------------------------
+  Token take(Token::Kind kind) {
+    if (lex_.peek().kind != kind) fail(lex_.peek(), "unexpected token");
+    return lex_.take();
+  }
+  void expectIdent(std::string_view text) {
+    const Token t = take(Token::Kind::kIdent);
+    if (t.text != text) fail(t, "expected '" + std::string(text) + "'");
+  }
+  bool atIdent(std::string_view text) {
+    return lex_.peek().kind == Token::Kind::kIdent && lex_.peek().text == text;
+  }
+  bool atPunct(std::string_view text) {
+    return lex_.peek().kind == Token::Kind::kPunct && lex_.peek().text == text;
+  }
+  void takePunct(std::string_view text) {
+    if (!atPunct(text)) {
+      fail(lex_.peek(), "expected '" + std::string(text) + "'");
+    }
+    lex_.take();
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Netlist parseVerilog(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return Parser(buffer.str()).parse();
+}
+
+Netlist parseVerilogString(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace lbist

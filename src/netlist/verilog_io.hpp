@@ -1,0 +1,44 @@
+// Structural-Verilog-subset writer and reader.
+//
+// The dialect covers exactly what Netlist can represent: one module,
+// scalar ports/wires, primitive instantiations of the cell library, and
+// `lbist_dff` / `lbist_xsource` pseudo-primitives carrying clock-domain
+// info in a defparam-style comment attribute:
+//
+//   module core (a, b, y);
+//     input a, b;
+//     output y;
+//     wire n5;
+//     and g1 (n5, a, b);
+//     lbist_dff #(.domain("clk0")) r1 (y, n5);
+//   endmodule
+//
+// Clock-domain declarations appear as leading comments:
+//   // lbist.domain clk0 4000
+// (name, period in ps). The reader accepts everything the writer emits,
+// giving a lossless round-trip for BIST-ready cores.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace lbist {
+
+/// Serializes `nl` to the structural subset described above.
+void writeVerilog(const Netlist& nl, std::ostream& os);
+[[nodiscard]] std::string toVerilog(const Netlist& nl);
+
+/// Parse errors carry a 1-based line number.
+struct VerilogParseError {
+  int line = 0;
+  std::string message;
+};
+
+/// Parses the structural subset. Returns the netlist, or throws
+/// std::runtime_error with a line-annotated message on malformed input.
+[[nodiscard]] Netlist parseVerilog(std::istream& is);
+[[nodiscard]] Netlist parseVerilogString(const std::string& text);
+
+}  // namespace lbist

@@ -1,0 +1,84 @@
+// Multi-clock-domain sequential simulators (two- and three-valued).
+//
+// A "pulse" is one active clock edge delivered to a *set* of domains at
+// the same instant: combinational logic is evaluated from the current
+// state, then exactly the flip-flops of the pulsed domains load their D
+// values. The BIST clock-gating block (src/bist/clocking.*) lowers its
+// edge timeline onto sequences of pulse() calls, which is what makes the
+// double-capture scheme and inter-domain capture staggering (paper
+// Fig. 2) cycle-accurate in simulation.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "sim/sim2v.hpp"
+#include "sim/sim3v.hpp"
+
+namespace lbist::sim {
+
+class SeqSimulator {
+ public:
+  explicit SeqSimulator(const Netlist& nl);
+
+  void setInput(GateId pi, uint64_t word) { sim_.setSource(pi, word); }
+  void setState(GateId dff, uint64_t word) { sim_.setSource(dff, word); }
+  [[nodiscard]] uint64_t state(GateId dff) const { return sim_.value(dff); }
+
+  /// Sets every DFF state to `word` (per-lane broadcast).
+  void resetState(uint64_t word = 0);
+
+  /// If seeded, X-source outputs are re-randomized before every pulse,
+  /// modelling their nondeterminism in two-valued simulation.
+  void randomizeXSources(uint64_t seed);
+
+  /// One active edge for each domain in `domains` simultaneously.
+  void pulse(std::span<const DomainId> domains);
+  void pulse(DomainId domain) { pulse({&domain, 1}); }
+  /// One active edge for every domain (classic synchronous cycle).
+  void pulseAll();
+
+  /// Evaluates combinational logic without clocking anything (to inspect
+  /// steady-state values, e.g. PO reads between pulses).
+  void settle() { sim_.eval(); }
+
+  [[nodiscard]] uint64_t value(GateId id) const { return sim_.value(id); }
+  [[nodiscard]] const Netlist& netlist() const { return sim_.netlist(); }
+
+ private:
+  Simulator2v sim_;
+  std::vector<std::vector<GateId>> dffs_by_domain_;
+  std::vector<uint64_t> next_;  // captured D values, one per pulsed DFF
+  std::mt19937_64 xrng_;
+  bool randomize_x_ = false;
+};
+
+class SeqSimulator3v {
+ public:
+  explicit SeqSimulator3v(const Netlist& nl);
+
+  void setInput(GateId pi, Word3v w) { sim_.setSource(pi, w); }
+  void setState(GateId dff, Word3v w) { sim_.setSource(dff, w); }
+  [[nodiscard]] Word3v state(GateId dff) const { return sim_.value(dff); }
+
+  /// Sets every DFF state to unknown (power-on) or to a known word.
+  void resetStateAllX();
+  void resetState(uint64_t word);
+
+  void pulse(std::span<const DomainId> domains);
+  void pulse(DomainId domain) { pulse({&domain, 1}); }
+  void pulseAll();
+  void settle() { sim_.eval(); }
+
+  [[nodiscard]] Word3v value(GateId id) const { return sim_.value(id); }
+  [[nodiscard]] const Netlist& netlist() const { return sim_.netlist(); }
+
+ private:
+  Simulator3v sim_;
+  std::vector<std::vector<GateId>> dffs_by_domain_;
+  std::vector<Word3v> next_;
+};
+
+}  // namespace lbist::sim

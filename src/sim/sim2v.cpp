@@ -1,0 +1,62 @@
+#include "sim/sim2v.hpp"
+
+namespace lbist::sim {
+
+Simulator2v::Simulator2v(const Netlist& nl) : nl_(&nl), lev_(nl) {
+  values_.assign(nl.numGates(), 0);
+  scratch_.reserve(16);
+  nl.forEachGate([&](GateId id, const Gate& g) {
+    if (g.kind == CellKind::kConst1) values_[id.v] = ~uint64_t{0};
+  });
+}
+
+uint64_t Simulator2v::evalGate(GateId id) const {
+  const Gate& g = nl_->gate(id);
+  // Fast paths for the common arities avoid building a span.
+  switch (g.kind) {
+    case CellKind::kBuf:
+      return values_[g.fanins[0].v];
+    case CellKind::kNot:
+      return ~values_[g.fanins[0].v];
+    case CellKind::kMux2: {
+      const uint64_t d0 = values_[g.fanins[0].v];
+      const uint64_t d1 = values_[g.fanins[1].v];
+      const uint64_t s = values_[g.fanins[2].v];
+      return (d0 & ~s) | (d1 & s);
+    }
+    case CellKind::kAnd:
+    case CellKind::kNand: {
+      uint64_t acc = values_[g.fanins[0].v];
+      for (size_t i = 1; i < g.fanins.size(); ++i) {
+        acc &= values_[g.fanins[i].v];
+      }
+      return g.kind == CellKind::kNand ? ~acc : acc;
+    }
+    case CellKind::kOr:
+    case CellKind::kNor: {
+      uint64_t acc = values_[g.fanins[0].v];
+      for (size_t i = 1; i < g.fanins.size(); ++i) {
+        acc |= values_[g.fanins[i].v];
+      }
+      return g.kind == CellKind::kNor ? ~acc : acc;
+    }
+    case CellKind::kXor:
+    case CellKind::kXnor: {
+      uint64_t acc = values_[g.fanins[0].v];
+      for (size_t i = 1; i < g.fanins.size(); ++i) {
+        acc ^= values_[g.fanins[i].v];
+      }
+      return g.kind == CellKind::kXnor ? ~acc : acc;
+    }
+    default:
+      return values_[id.v];
+  }
+}
+
+void Simulator2v::eval() {
+  for (GateId id : lev_.combOrder()) {
+    values_[id.v] = evalGate(id);
+  }
+}
+
+}  // namespace lbist::sim

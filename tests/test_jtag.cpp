@@ -1,0 +1,134 @@
+// IEEE 1149.1 TAP controller and driver.
+#include <gtest/gtest.h>
+
+#include "jtag/tap.hpp"
+
+namespace lbist::jtag {
+namespace {
+
+TEST(TapFsm, ResetFromAnyStateInFiveTmsOnes) {
+  for (int s = 0; s < 16; ++s) {
+    TapState state = static_cast<TapState>(s);
+    for (int i = 0; i < 5; ++i) state = tapNextState(state, true);
+    EXPECT_EQ(state, TapState::kTestLogicReset)
+        << "from " << tapStateName(static_cast<TapState>(s));
+  }
+}
+
+TEST(TapFsm, CanonicalDrPath) {
+  TapState s = TapState::kRunTestIdle;
+  s = tapNextState(s, true);
+  EXPECT_EQ(s, TapState::kSelectDrScan);
+  s = tapNextState(s, false);
+  EXPECT_EQ(s, TapState::kCaptureDr);
+  s = tapNextState(s, false);
+  EXPECT_EQ(s, TapState::kShiftDr);
+  s = tapNextState(s, false);
+  EXPECT_EQ(s, TapState::kShiftDr) << "Shift-DR self-loops on TMS=0";
+  s = tapNextState(s, true);
+  EXPECT_EQ(s, TapState::kExit1Dr);
+  s = tapNextState(s, false);
+  EXPECT_EQ(s, TapState::kPauseDr);
+  s = tapNextState(s, true);
+  EXPECT_EQ(s, TapState::kExit2Dr);
+  s = tapNextState(s, true);
+  EXPECT_EQ(s, TapState::kUpdateDr);
+  s = tapNextState(s, false);
+  EXPECT_EQ(s, TapState::kRunTestIdle);
+}
+
+TEST(Tap, IdcodeReadsOutAfterReset) {
+  TapController tap(4, 0xDEADBEEF);
+  TapDriver driver(tap);
+  driver.reset();
+  // IDCODE is the selected instruction after reset; read 32 bits.
+  const auto out = driver.shiftData(std::vector<uint8_t>(32, 0));
+  uint32_t code = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (out[static_cast<size_t>(i)] != 0) code |= uint32_t{1} << i;
+  }
+  EXPECT_EQ(code, 0xDEADBEEFu);
+}
+
+TEST(Tap, UnknownOpcodeSelectsBypass) {
+  TapController tap(4, 0x1);
+  TapDriver driver(tap);
+  driver.reset();
+  driver.loadInstruction(0b0110);  // nothing bound here
+  EXPECT_EQ(tap.currentInstructionName(), "BYPASS");
+  // BYPASS is a single-bit register: data emerges delayed by one bit.
+  const std::vector<uint8_t> in{1, 0, 1, 1, 0};
+  const auto out = driver.shiftData(in);
+  for (size_t i = 1; i < in.size(); ++i) {
+    EXPECT_EQ(out[i], in[i - 1]) << "bit " << i;
+  }
+}
+
+TEST(Tap, CallbackRegisterRoundTrip) {
+  TapController tap(4, 0x1);
+  std::vector<uint8_t> stored(8, 0);
+  CallbackRegister reg(
+      8, [&] { return stored; },
+      [&](const std::vector<uint8_t>& b) { stored = b; });
+  tap.bindInstruction(0b0010, "REG", &reg);
+
+  TapDriver driver(tap);
+  driver.reset();
+  driver.loadInstruction(0b0010);
+  EXPECT_EQ(tap.currentInstructionName(), "REG");
+
+  // Write 0b10110101 (LSB first).
+  const std::vector<uint8_t> value{1, 0, 1, 0, 1, 1, 0, 1};
+  driver.shiftData(value);
+  EXPECT_EQ(stored, value);
+
+  // Read it back: capture loads `stored`, shift returns it.
+  const auto out = driver.shiftData(std::vector<uint8_t>(8, 0));
+  EXPECT_EQ(out, value);
+}
+
+TEST(Tap, IrCaptureSeedsStandardPattern) {
+  // Shifting the IR out must start with the mandated ...01 capture bits.
+  TapController tap(4, 0x1);
+  TapDriver driver(tap);
+  driver.reset();
+  // Manually walk to Shift-IR and collect TDO while shifting 4 bits.
+  tap.clockTck(true, false);   // RTI -> Select-DR
+  tap.clockTck(true, false);   // -> Select-IR
+  tap.clockTck(false, false);  // -> Capture-IR
+  tap.clockTck(false, false);  // capture executes; -> Shift-IR
+  std::vector<int> out;
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(tap.clockTck(i == 3, false) ? 1 : 0);
+  }
+  EXPECT_EQ(out[0], 1);  // LSB of 0b01
+  EXPECT_EQ(out[1], 0);
+}
+
+TEST(Tap, RejectsReservedOpcodes) {
+  TapController tap(4, 0x1);
+  DataRegister dr(4);
+  EXPECT_THROW(tap.bindInstruction(tap.bypassOpcode(), "X", &dr),
+               std::invalid_argument);
+  EXPECT_THROW(tap.bindInstruction(tap.idcodeOpcode(), "X", &dr),
+               std::invalid_argument);
+  tap.bindInstruction(0b0010, "OK", &dr);
+  EXPECT_THROW(tap.bindInstruction(0b0010, "DUP", &dr),
+               std::invalid_argument);
+}
+
+TEST(Tap, InstructionSurvivesDrOperations) {
+  TapController tap(4, 0x1);
+  DataRegister dr(4);
+  tap.bindInstruction(0b0010, "REG", &dr);
+  TapDriver driver(tap);
+  driver.reset();
+  driver.loadInstruction(0b0010);
+  driver.shiftData({1, 1, 0, 0});
+  driver.idle(3);
+  EXPECT_EQ(tap.currentInstruction(), 0b0010u);
+  EXPECT_EQ(tap.state(), TapState::kRunTestIdle);
+}
+
+}  // namespace
+}  // namespace lbist::jtag

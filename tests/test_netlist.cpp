@@ -1,0 +1,203 @@
+// Netlist graph, validation, levelization, stats, and Verilog round-trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/refcircuits.hpp"
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/verilog_io.hpp"
+
+namespace lbist {
+namespace {
+
+TEST(Netlist, BuildsAndValidates) {
+  Netlist nl("t");
+  const DomainId clk = nl.addClockDomain("clk", 4000);
+  const GateId a = nl.addInput("a");
+  const GateId b = nl.addInput("b");
+  const GateId g = nl.addGate(CellKind::kAnd, {a, b});
+  const GateId q = nl.addDff(g, clk, "q");
+  nl.addOutput(q, "y");
+  EXPECT_EQ(nl.validate(), "");
+  EXPECT_EQ(nl.numGates(), 4u);
+  EXPECT_EQ(nl.dffs().size(), 1u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+}
+
+TEST(Netlist, RejectsWrongArity) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  EXPECT_THROW(nl.addGate(CellKind::kNot, {a, a}), std::invalid_argument);
+  EXPECT_THROW(nl.addGate(CellKind::kAnd, {a}), std::invalid_argument);
+  EXPECT_THROW(nl.addGate(CellKind::kMux2, {a, a}), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsDanglingFanin) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  EXPECT_THROW(nl.addGate(CellKind::kAnd, {a, GateId{99}}),
+               std::invalid_argument);
+}
+
+TEST(Netlist, DffRequiresDomain) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  EXPECT_THROW(nl.addDff(a, DomainId{}), std::invalid_argument);
+  EXPECT_THROW(nl.addDff(a, DomainId{3}), std::invalid_argument);
+}
+
+TEST(Netlist, DetectsCombinationalCycle) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId g1 = nl.addGate(CellKind::kAnd, {a, a});
+  const GateId g2 = nl.addGate(CellKind::kOr, {g1, a});
+  // Close a comb loop g1 <- g2.
+  nl.setFanin(g1, 1, g2);
+  EXPECT_NE(nl.validate().find("cycle"), std::string::npos);
+}
+
+TEST(Netlist, DffBreaksCycleLegally) {
+  Netlist nl;
+  const DomainId clk = nl.addClockDomain("clk", 1000);
+  const GateId a = nl.addInput("a");
+  const GateId zero = nl.addConst(false);
+  const GateId ff = nl.addDff(zero, clk, "ff");
+  const GateId g = nl.addGate(CellKind::kXor, {a, ff});
+  nl.setFanin(ff, 0, g);  // feedback through the flop
+  EXPECT_EQ(nl.validate(), "");
+}
+
+TEST(Netlist, FanoutMap) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId b = nl.addInput("b");
+  const GateId g1 = nl.addGate(CellKind::kAnd, {a, b});
+  const GateId g2 = nl.addGate(CellKind::kOr, {a, g1});
+  nl.addOutput(g2, "y");
+  const auto fanout = nl.buildFanoutMap();
+  EXPECT_EQ(fanout.fanout(a).size(), 2u);
+  EXPECT_EQ(fanout.fanout(b).size(), 1u);
+  EXPECT_EQ(fanout.fanout(g1).size(), 1u);
+  EXPECT_EQ(fanout.fanout(g1)[0], g2);
+  EXPECT_TRUE(fanout.fanout(g2).empty());
+}
+
+TEST(Netlist, ReplaceAllUses) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId b = nl.addInput("b");
+  const GateId g1 = nl.addGate(CellKind::kAnd, {a, a});
+  nl.addOutput(a, "pass");
+  const size_t n = nl.replaceAllUses(a, b);
+  EXPECT_EQ(n, 3u);  // two fanin slots + one output port
+  EXPECT_EQ(nl.gate(g1).fanins[0], b);
+  EXPECT_EQ(nl.outputs()[0].driver, b);
+}
+
+TEST(Netlist, NamesAreUniqueAndSynthesized) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId b = nl.addInput("b");
+  EXPECT_THROW(nl.setGateName(b, "a"), std::invalid_argument);
+  const GateId g = nl.addGate(CellKind::kNot, {a});
+  EXPECT_EQ(nl.gateName(g), "n" + std::to_string(g.v));
+  EXPECT_EQ(*nl.findGateByName("a"), a);
+}
+
+TEST(Levelize, LevelsRespectDependencies) {
+  Netlist nl = gen::buildC17();
+  const Levelized lev(nl);
+  nl.forEachGate([&](GateId id, const Gate& g) {
+    if (!isCombinational(g.kind)) return;
+    for (GateId f : g.fanins) {
+      EXPECT_LT(lev.level(f), lev.level(id));
+    }
+  });
+  EXPECT_EQ(lev.maxLevel(), 3u);  // c17 is 3 NAND levels deep
+}
+
+TEST(Levelize, CombOrderCoversAllCombGates) {
+  Netlist nl = gen::buildRippleAdder(8);
+  const Levelized lev(nl);
+  size_t comb = 0;
+  nl.forEachGate([&](GateId, const Gate& g) {
+    if (isCombinational(g.kind)) ++comb;
+  });
+  EXPECT_EQ(lev.combOrder().size(), comb);
+}
+
+TEST(Levelize, ThrowsOnCycle) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId g1 = nl.addGate(CellKind::kAnd, {a, a});
+  const GateId g2 = nl.addGate(CellKind::kOr, {g1, a});
+  nl.setFanin(g1, 1, g2);
+  EXPECT_THROW(Levelized{nl}, std::runtime_error);
+}
+
+TEST(Stats, CountsMatchKnownCircuit) {
+  Netlist nl = gen::buildCounter(4);
+  const NetlistStats s = computeStats(nl);
+  EXPECT_EQ(s.dffs, 4u);
+  EXPECT_EQ(s.inputs, 1u);
+  EXPECT_EQ(s.outputs, 5u);
+  EXPECT_EQ(s.clock_domains, 1u);
+  EXPECT_GT(s.gate_equivalents, 0.0);
+  EXPECT_EQ(s.dft_inserted_cells, 0u);
+}
+
+TEST(VerilogIo, RoundTripPreservesStructure) {
+  Netlist nl = gen::buildMiniAlu(4);
+  const std::string text = toVerilog(nl);
+  const Netlist back = parseVerilogString(text);
+  EXPECT_EQ(back.validate(), "");
+  EXPECT_EQ(back.numGates(), nl.numGates());
+  EXPECT_EQ(back.dffs().size(), nl.dffs().size());
+  EXPECT_EQ(back.inputs().size(), nl.inputs().size());
+  EXPECT_EQ(back.outputs().size(), nl.outputs().size());
+  EXPECT_EQ(back.numDomains(), nl.numDomains());
+  EXPECT_EQ(back.domain(DomainId{0}).period_ps,
+            nl.domain(DomainId{0}).period_ps);
+  // Second round trip must be textually identical (fixpoint).
+  EXPECT_EQ(toVerilog(back), text);
+}
+
+TEST(VerilogIo, RoundTripPreservesFlags) {
+  Netlist nl;
+  const DomainId clk = nl.addClockDomain("clk", 2500);
+  const GateId a = nl.addInput("a");
+  const GateId ff = nl.addDff(a, clk, "ff");
+  nl.setFlag(ff, kFlagNoScan);
+  nl.addOutput(ff, "y");
+  const Netlist back = parseVerilogString(toVerilog(nl));
+  const GateId ff2 = *back.findGateByName("ff");
+  EXPECT_TRUE(back.hasFlag(ff2, kFlagNoScan));
+}
+
+TEST(VerilogIo, ParseErrorsCarryLineNumbers) {
+  const std::string bad = "module m (a);\n  input a;\n  bogus g (a);\n";
+  try {
+    (void)parseVerilogString(bad);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(VerilogIo, ParsesForwardReferences) {
+  const std::string text =
+      "module m (a, y);\n"
+      "  input a;\n  output y;\n  wire w1, w2;\n"
+      "  and g2 (w2, w1, a);\n"  // uses w1 before its driver appears
+      "  not g1 (w1, a);\n"
+      "  assign y = w2;\n"
+      "endmodule\n";
+  const Netlist nl = parseVerilogString(text);
+  EXPECT_EQ(nl.validate(), "");
+  EXPECT_EQ(nl.outputs().size(), 1u);
+}
+
+}  // namespace
+}  // namespace lbist

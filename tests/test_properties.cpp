@@ -1,0 +1,330 @@
+// Property-style parameterized suites over the library's core invariants:
+// round-trips, sequence-shift properties, simulator agreement, coverage
+// monotonicity, and schedule invariants across configuration sweeps.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bist/clocking.hpp"
+#include "bist/lfsr.hpp"
+#include "bist/phase_shifter.hpp"
+#include "bist/prpg.hpp"
+#include "core/architect.hpp"
+#include "core/flow.hpp"
+#include "core/session.hpp"
+#include "fault/inject.hpp"
+#include "dft/xbound.hpp"
+#include "fault/fsim.hpp"
+#include "gen/ipcore.hpp"
+#include "gen/refcircuits.hpp"
+#include "netlist/verilog_io.hpp"
+#include "sim/seqsim.hpp"
+
+namespace lbist {
+namespace {
+
+// --- Verilog round-trip fuzz --------------------------------------------------
+
+class VerilogRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VerilogRoundTrip, GeneratedCoresSurviveTwoRoundTrips) {
+  gen::IpCoreSpec spec;
+  spec.seed = GetParam();
+  spec.target_comb_gates = 400 + (GetParam() % 7) * 97;
+  spec.target_ffs = 30 + (GetParam() % 5) * 11;
+  spec.num_domains = 1 + static_cast<int>(GetParam() % 4);
+  spec.num_xsources = static_cast<int>(GetParam() % 3);
+  spec.num_noscan_ffs = static_cast<int>(GetParam() % 4);
+  const Netlist nl = gen::generateIpCore(spec);
+  const std::string once = toVerilog(nl);
+  const Netlist back = parseVerilogString(once);
+  EXPECT_EQ(back.validate(), "");
+  EXPECT_EQ(toVerilog(back), once) << "round-trip must be a fixpoint";
+  EXPECT_EQ(back.numGates(), nl.numGates());
+  EXPECT_EQ(back.dffs().size(), nl.dffs().size());
+  EXPECT_EQ(back.xsources().size(), nl.xsources().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerilogRoundTrip,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// --- round-trip preserves function ----------------------------------------------
+
+TEST(VerilogRoundTrip, PreservesSimulationSemantics) {
+  gen::IpCoreSpec spec;
+  spec.seed = 71;
+  spec.target_comb_gates = 500;
+  spec.target_ffs = 40;
+  spec.num_xsources = 0;
+  const Netlist a = gen::generateIpCore(spec);
+  const Netlist b = parseVerilogString(toVerilog(a));
+
+  sim::SeqSimulator sa(a);
+  sim::SeqSimulator sb(b);
+  std::mt19937_64 rng(5);
+  sa.resetState(0);
+  sb.resetState(0);
+  for (GateId pi : a.inputs()) {
+    const uint64_t w = rng();
+    sa.setInput(pi, w);
+    sb.setInput(*b.findGateByName(a.gateName(pi)), w);
+  }
+  for (int t = 0; t < 6; ++t) {
+    sa.pulseAll();
+    sb.pulseAll();
+  }
+  for (const OutputPort& po : a.outputs()) {
+    sa.settle();
+    sb.settle();
+    const GateId driver_b =
+        b.outputs()[&po - a.outputs().data()].driver;
+    EXPECT_EQ(sa.value(po.driver), sb.value(driver_b)) << po.name;
+  }
+}
+
+// --- phase shifter separation across configurations ----------------------------
+
+struct PsCase {
+  int degree;
+  int channels;
+  uint64_t separation;
+  uint64_t slack;
+};
+
+class PhaseShifterSweep : public ::testing::TestWithParam<PsCase> {};
+
+TEST_P(PhaseShifterSweep, EveryChannelIsTheDeclaredShift) {
+  const auto [degree, channels, separation, slack] = GetParam();
+  bist::Lfsr ref(degree, 0x1F2F);
+  bist::PhaseShifterOptions opts;
+  opts.separation = separation;
+  opts.slack = slack;
+  bist::PhaseShifter ps(ref, channels, opts);
+
+  // Reference stream long enough to cover the largest offset + window.
+  uint64_t max_offset = 0;
+  for (int c = 0; c < channels; ++c) {
+    max_offset = std::max(max_offset, ps.offset(c));
+  }
+  const size_t window = 48;
+  std::vector<int> ref_stream;
+  bist::Lfsr run = ref;
+  for (size_t t = 0; t < max_offset + window; ++t) {
+    ref_stream.push_back(run.outputBit());
+    run.step();
+  }
+  // Channel c's stream equals the reference advanced by offset(c).
+  run = ref;
+  for (size_t t = 0; t < window; ++t) {
+    for (int c = 0; c < channels; ++c) {
+      EXPECT_EQ(ps.outputBit(c, run.state()),
+                ref_stream[t + ps.offset(c)])
+          << "degree " << degree << " channel " << c << " t " << t;
+    }
+    run.step();
+  }
+  // Offsets respect the requested separation.
+  for (int c = 1; c < channels; ++c) {
+    EXPECT_GE(ps.offset(c) - ps.offset(c - 1), separation - slack);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, PhaseShifterSweep,
+    ::testing::Values(PsCase{13, 4, 50, 0}, PsCase{19, 8, 300, 0},
+                      PsCase{19, 8, 300, 16}, PsCase{23, 12, 700, 8},
+                      PsCase{31, 16, 1024, 32}));
+
+// --- PRPG determinism & stream equivalence under expander ----------------------
+
+TEST(PrpgProperty, PeekMatchesNextSliceAcrossConfigs) {
+  for (int chains : {3, 8, 17}) {
+    for (int ps_channels : {0, 2}) {
+      bist::PrpgConfig cfg;
+      cfg.length = 19;
+      cfg.chains = chains;
+      cfg.ps_channels = ps_channels == 0 ? 0 : std::min(ps_channels, chains);
+      cfg.seed = 0xFEED;
+      bist::Prpg p(cfg);
+      std::vector<uint8_t> slice(static_cast<size_t>(chains));
+      for (int t = 0; t < 50; ++t) {
+        std::vector<uint8_t> expected(static_cast<size_t>(chains));
+        for (int c = 0; c < chains; ++c) expected[static_cast<size_t>(c)] = p.peekChainBit(c);
+        p.nextSlice(slice);
+        EXPECT_EQ(slice, expected) << "t=" << t;
+      }
+    }
+  }
+}
+
+// --- coverage monotonicity -------------------------------------------------------
+
+TEST(CoverageProperty, MorePatternsNeverLowerCoverage) {
+  gen::IpCoreSpec spec;
+  spec.seed = 17;
+  spec.target_comb_gates = 1'000;
+  spec.target_ffs = 80;
+  spec.num_domains = 1;
+  const Netlist raw = gen::generateIpCore(spec);
+  core::LbistConfig cfg;
+  cfg.num_chains = 4;
+  cfg.test_points = 0;
+  cfg.tpi_method = core::TpiMethod::kNone;
+  const core::BistReadyCore ready = core::buildBistReadyCore(raw, cfg);
+  core::CoverageFlow flow(ready);
+  double prev = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    flow.runRandomPhase(256);
+    const double now = flow.faults().coverage().faultCoveragePercent();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(CoverageProperty, NDetectCountsAreMonotoneInN) {
+  // With dropping disabled, every fault's detect_count only grows.
+  Netlist nl = gen::buildRippleAdder(8);
+  fault::FaultList fl = fault::FaultList::enumerateStuckAt(nl);
+  std::vector<GateId> obs;
+  for (const OutputPort& po : nl.outputs()) obs.push_back(po.driver);
+  fault::FaultSimulator fsim(nl, fl, obs, fault::FsimOptions{1, false});
+  std::mt19937_64 rng(9);
+  std::vector<uint32_t> last(fl.size(), 0);
+  for (int round = 0; round < 4; ++round) {
+    for (GateId pi : nl.inputs()) fsim.setSource(pi, rng());
+    fsim.simulateBlockStuckAt(round * 64, 64);
+    for (size_t i = 0; i < fl.size(); ++i) {
+      EXPECT_GE(fl.record(i).detect_count, last[i]);
+      last[i] = fl.record(i).detect_count;
+    }
+  }
+}
+
+// --- schedule invariants across domain counts ----------------------------------
+
+class ScheduleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleSweep, InvariantsHoldForAnyDomainCount) {
+  const int nd = GetParam();
+  std::vector<ClockDomain> domains;
+  for (int d = 0; d < nd; ++d) {
+    domains.push_back({"clk" + std::to_string(d),
+                       3'000 + 700 * static_cast<uint64_t>(d)});
+  }
+  bist::AtSpeedTimingConfig cfg;
+  bist::BistSchedule sched(domains, cfg, 6, 3);
+
+  int launches = 0;
+  int captures = 0;
+  int shift = 0;
+  uint64_t prev_t = 0;
+  std::vector<uint64_t> launch_t(static_cast<size_t>(nd), 0);
+  while (auto ev = sched.next()) {
+    EXPECT_GE(ev->time_ps, prev_t) << "events must be time-ordered";
+    prev_t = ev->time_ps;
+    switch (ev->kind) {
+      case bist::ScheduleEvent::Kind::kShiftPulse:
+        ++shift;
+        break;
+      case bist::ScheduleEvent::Kind::kLaunchPulse:
+        ++launches;
+        launch_t[ev->domain.v] = ev->time_ps;
+        break;
+      case bist::ScheduleEvent::Kind::kCapturePulse:
+        ++captures;
+        // At-speed: capture exactly one functional period after launch.
+        EXPECT_EQ(ev->time_ps - launch_t[ev->domain.v],
+                  domains[ev->domain.v].period_ps);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(shift, 6 * 3);
+  EXPECT_EQ(launches, nd * 3);
+  EXPECT_EQ(captures, nd * 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(DomainCounts, ScheduleSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+// --- X-bounding is sufficient across generated cores ----------------------------
+
+class XBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XBoundSweep, BoundedCoreNeverLeaksXToObservation) {
+  gen::IpCoreSpec spec;
+  spec.seed = GetParam() * 31 + 7;
+  spec.target_comb_gates = 600;
+  spec.target_ffs = 50;
+  spec.num_domains = 1 + static_cast<int>(GetParam() % 3);
+  spec.num_xsources = 1 + static_cast<int>(GetParam() % 5);
+  spec.num_noscan_ffs = static_cast<int>(GetParam() % 6);
+  Netlist nl = gen::generateIpCore(spec);
+  dft::boundAllX(nl);
+  dft::ScanConfig cfg;
+  cfg.num_chains = spec.num_domains * 2;
+  (void)dft::insertScan(nl, cfg);
+  EXPECT_TRUE(dft::verifyNoXToObservation(nl).empty())
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XBoundSweep,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// --- session/flow cross-validation ----------------------------------------------
+
+TEST(CrossValidation, FsimDetectedFaultBreaksSessionSignature) {
+  // A fault the PPSFP engine reports detected within the session's
+  // pattern budget must corrupt the cycle-accurate session signature too
+  // (end-to-end agreement between the fast and the exact paths).
+  gen::IpCoreSpec spec;
+  spec.seed = 314;
+  spec.target_comb_gates = 700;
+  spec.target_ffs = 60;
+  spec.num_domains = 2;
+  spec.num_xsources = 0;
+  spec.num_noscan_ffs = 0;
+  const Netlist raw = gen::generateIpCore(spec);
+  core::LbistConfig cfg;
+  cfg.num_chains = 4;
+  cfg.test_points = 0;
+  cfg.tpi_method = core::TpiMethod::kNone;
+  const core::BistReadyCore ready = core::buildBistReadyCore(raw, cfg);
+
+  const int64_t kPatterns = 64;
+  core::CoverageFlow flow(ready);
+  flow.runRandomPhase(kPatterns);
+
+  // Pick faults detected within the first 64 patterns.
+  core::SessionOptions opts;
+  opts.patterns = kPatterns;
+  core::BistSession golden_session(ready, ready.netlist);
+  const core::SessionResult golden = golden_session.run(opts);
+
+  size_t checked = 0;
+  for (size_t i = 0; i < flow.faults().size() && checked < 6; ++i) {
+    const auto& rec = flow.faults().record(i);
+    if (rec.status != fault::FaultStatus::kDetected) continue;
+    if (rec.fault.type != fault::FaultType::kStuckAt0 &&
+        rec.fault.type != fault::FaultType::kStuckAt1) {
+      continue;
+    }
+    // Skip pin faults on DFFs (injection helper handles them, but output
+    // stems give the cleanest end-to-end check).
+    if (rec.fault.pin != fault::kOutputPin) continue;
+    Netlist bad = ready.netlist;
+    fault::injectStuckAt(bad, rec.fault);
+    core::BistSession dut(ready, bad);
+    const core::SessionResult res = dut.run(opts, &golden);
+    EXPECT_FALSE(res.result_pass)
+        << "fsim says pattern " << rec.first_detect_pattern
+        << " detects fault " << flow.faults().describe(ready.netlist, i)
+        << " but the session signature still matches";
+    ++checked;
+  }
+  EXPECT_GE(checked, 3u);
+}
+
+}  // namespace
+}  // namespace lbist

@@ -1,0 +1,263 @@
+// Two- and three-valued simulators, sequential engine, waveforms.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "gen/refcircuits.hpp"
+#include "sim/seqsim.hpp"
+#include "sim/sim2v.hpp"
+#include "sim/sim3v.hpp"
+#include "sim/waveform.hpp"
+
+namespace lbist {
+namespace {
+
+// c17 reference function (from the NAND structure).
+std::pair<bool, bool> c17Reference(bool i1, bool i2, bool i3, bool i4,
+                                   bool i5) {
+  const bool g1 = !(i1 && i3);
+  const bool g2 = !(i3 && i4);
+  const bool g3 = !(i2 && g2);
+  const bool g4 = !(g2 && i5);
+  const bool g5 = !(g1 && g3);
+  const bool g6 = !(g3 && g4);
+  return {g5, g6};
+}
+
+TEST(Sim2v, C17MatchesTruthTable) {
+  Netlist nl = gen::buildC17();
+  sim::Simulator2v sim(nl);
+  // All 32 input combinations in parallel lanes.
+  for (int bit = 0; bit < 5; ++bit) {
+    uint64_t w = 0;
+    for (int lane = 0; lane < 32; ++lane) {
+      if ((lane >> bit) & 1) w |= uint64_t{1} << lane;
+    }
+    sim.setSource(nl.inputs()[static_cast<size_t>(bit)], w);
+  }
+  sim.eval();
+  for (int lane = 0; lane < 32; ++lane) {
+    const auto [e1, e2] =
+        c17Reference((lane >> 0) & 1, (lane >> 1) & 1, (lane >> 2) & 1,
+                     (lane >> 3) & 1, (lane >> 4) & 1);
+    EXPECT_EQ((sim.value(nl.outputs()[0].driver) >> lane) & 1,
+              static_cast<uint64_t>(e1));
+    EXPECT_EQ((sim.value(nl.outputs()[1].driver) >> lane) & 1,
+              static_cast<uint64_t>(e2));
+  }
+}
+
+class AdderWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderWidth, AddsCorrectlyAcrossRandomLanes) {
+  const int n = GetParam();
+  Netlist nl = gen::buildRippleAdder(n);
+  sim::Simulator2v sim(nl);
+  std::mt19937_64 rng(42 + static_cast<uint64_t>(n));
+
+  // 64 random (a, b, cin) triples, bit i of operand in its own PI word.
+  std::vector<uint64_t> a_bits(static_cast<size_t>(n));
+  std::vector<uint64_t> b_bits(static_cast<size_t>(n));
+  for (auto& w : a_bits) w = rng();
+  for (auto& w : b_bits) w = rng();
+  const uint64_t cin = rng();
+  for (int i = 0; i < n; ++i) {
+    sim.setSource(*nl.findGateByName("a" + std::to_string(i)),
+                  a_bits[static_cast<size_t>(i)]);
+    sim.setSource(*nl.findGateByName("b" + std::to_string(i)),
+                  b_bits[static_cast<size_t>(i)]);
+  }
+  sim.setSource(*nl.findGateByName("cin"), cin);
+  sim.eval();
+
+  for (int lane = 0; lane < 64; ++lane) {
+    uint64_t a = 0;
+    uint64_t b = 0;
+    for (int i = 0; i < n; ++i) {
+      a |= ((a_bits[static_cast<size_t>(i)] >> lane) & 1) << i;
+      b |= ((b_bits[static_cast<size_t>(i)] >> lane) & 1) << i;
+    }
+    const uint64_t expect = a + b + ((cin >> lane) & 1);
+    for (int i = 0; i < n; ++i) {
+      const GateId s = nl.outputs()[static_cast<size_t>(i)].driver;
+      EXPECT_EQ((sim.value(s) >> lane) & 1, (expect >> i) & 1)
+          << "lane " << lane << " sum bit " << i;
+    }
+    const GateId cout = nl.outputs()[static_cast<size_t>(n)].driver;
+    EXPECT_EQ((sim.value(cout) >> lane) & 1, (expect >> n) & 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidth,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 24, 32));
+
+TEST(Sim3v, ControllingValuesSuppressX) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId x = nl.addXSource("x");
+  const GateId and_g = nl.addGate(CellKind::kAnd, {a, x});
+  const GateId or_g = nl.addGate(CellKind::kOr, {a, x});
+  const GateId xor_g = nl.addGate(CellKind::kXor, {a, x});
+  nl.addOutput(and_g, "o_and");
+  nl.addOutput(or_g, "o_or");
+  nl.addOutput(xor_g, "o_xor");
+
+  sim::Simulator3v sim(nl);
+  sim.setSource(a, {0, 0});  // a = 0
+  sim.eval();
+  EXPECT_EQ(sim.value(and_g).x, 0u) << "0 AND X must be 0";
+  EXPECT_EQ(sim.value(and_g).v, 0u);
+  EXPECT_EQ(sim.value(or_g).x, ~uint64_t{0}) << "0 OR X is X";
+  EXPECT_EQ(sim.value(xor_g).x, ~uint64_t{0}) << "XOR never masks X";
+
+  sim.setSource(a, {~uint64_t{0}, 0});  // a = 1
+  sim.eval();
+  EXPECT_EQ(sim.value(or_g).x, 0u) << "1 OR X must be 1";
+  EXPECT_EQ(sim.value(or_g).v, ~uint64_t{0});
+  EXPECT_EQ(sim.value(and_g).x, ~uint64_t{0}) << "1 AND X is X";
+}
+
+TEST(Sim3v, MuxWithUnknownSelect) {
+  Netlist nl;
+  const GateId d0 = nl.addInput("d0");
+  const GateId d1 = nl.addInput("d1");
+  const GateId x = nl.addXSource("sel");
+  const GateId mux = nl.addGate(CellKind::kMux2, {d0, d1, x});
+  nl.addOutput(mux, "y");
+  sim::Simulator3v sim(nl);
+  // d0 == d1 == 1: output known 1 despite X select.
+  sim.setSource(d0, {~uint64_t{0}, 0});
+  sim.setSource(d1, {~uint64_t{0}, 0});
+  sim.eval();
+  EXPECT_EQ(sim.value(mux).x, 0u);
+  EXPECT_EQ(sim.value(mux).v, ~uint64_t{0});
+  // d0 != d1: X.
+  sim.setSource(d0, {0, 0});
+  sim.eval();
+  EXPECT_EQ(sim.value(mux).x, ~uint64_t{0});
+}
+
+TEST(Sim3v, AgreesWithSim2vWhenNoX) {
+  Netlist nl = gen::buildMiniAlu(6);
+  sim::Simulator2v s2(nl);
+  sim::Simulator3v s3(nl);
+  std::mt19937_64 rng(7);
+  for (GateId pi : nl.inputs()) {
+    const uint64_t w = rng();
+    s2.setSource(pi, w);
+    s3.setSource(pi, {w, 0});
+  }
+  for (GateId ff : nl.dffs()) {
+    const uint64_t w = rng();
+    s2.setSource(ff, w);
+    s3.setSource(ff, {w, 0});
+  }
+  s2.eval();
+  s3.eval();
+  nl.forEachGate([&](GateId id, const Gate&) {
+    EXPECT_EQ(s3.value(id).x, 0u);
+    EXPECT_EQ(s3.value(id).v, s2.value(id)) << "gate " << nl.gateName(id);
+  });
+}
+
+TEST(SeqSim, CounterCounts) {
+  Netlist nl = gen::buildCounter(6);
+  sim::SeqSimulator sim(nl);
+  sim.resetState(0);
+  sim.setInput(*nl.findGateByName("en"), ~uint64_t{0});
+  for (int t = 1; t <= 20; ++t) {
+    sim.pulseAll();
+    uint64_t count = 0;
+    for (int i = 0; i < 6; ++i) {
+      count |= (sim.state(*nl.findGateByName("q" + std::to_string(i))) & 1)
+               << i;
+    }
+    EXPECT_EQ(count, static_cast<uint64_t>(t % 64)) << "cycle " << t;
+  }
+}
+
+TEST(SeqSim, DisabledCounterHolds) {
+  Netlist nl = gen::buildCounter(4);
+  sim::SeqSimulator sim(nl);
+  sim.resetState(0);
+  sim.setInput(*nl.findGateByName("en"), 0);
+  for (int t = 0; t < 5; ++t) sim.pulseAll();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sim.state(*nl.findGateByName("q" + std::to_string(i))), 0u);
+  }
+}
+
+TEST(SeqSim, PerDomainPulsesOnlyTouchThatDomain) {
+  Netlist nl = gen::buildTwoDomainPipe(4);
+  sim::SeqSimulator sim(nl);
+  sim.resetState(0);
+  sim.setInput(*nl.findGateByName("en"), ~uint64_t{0});
+  for (int i = 0; i < 4; ++i) {
+    sim.setInput(*nl.findGateByName("thr" + std::to_string(i)), 0);
+  }
+  // Pulse only the fast domain: samplers (slow domain) must hold 0.
+  sim.pulse(DomainId{0});
+  sim.pulse(DomainId{0});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(sim.state(*nl.findGateByName("smp" + std::to_string(i))), 0u);
+  }
+  // Counter advanced to 2.
+  EXPECT_EQ(sim.state(*nl.findGateByName("cnt1")) & 1, 1u);
+  // Now pulse the slow domain: samplers capture the counter value.
+  sim.pulse(DomainId{1});
+  EXPECT_EQ(sim.state(*nl.findGateByName("smp1")) & 1, 1u);
+  EXPECT_EQ(sim.state(*nl.findGateByName("smp0")) & 1, 0u);
+}
+
+TEST(SeqSim3v, PowerOnXClearsAfterLoad) {
+  Netlist nl = gen::buildCounter(4);
+  sim::SeqSimulator3v sim(nl);
+  sim.resetStateAllX();
+  sim.setInput(*nl.findGateByName("en"), {~uint64_t{0}, 0});
+  sim.settle();
+  EXPECT_NE(sim.value(nl.outputs()[0].driver).x, 0u);
+  sim.resetState(0);
+  sim.settle();
+  nl.forEachGate([&](GateId id, const Gate&) {
+    EXPECT_EQ(sim.value(id).x, 0u);
+  });
+}
+
+TEST(Waveform, EdgesAndValueQueries) {
+  sim::Waveform wf;
+  const auto clk = wf.addSignal("clk");
+  wf.pulse(clk, 100, 10);
+  wf.pulse(clk, 200, 10);
+  EXPECT_EQ(wf.valueAt(clk, 99), sim::WireValue::kLow);
+  EXPECT_EQ(wf.valueAt(clk, 105), sim::WireValue::kHigh);
+  EXPECT_EQ(wf.valueAt(clk, 150), sim::WireValue::kLow);
+  const auto rises = wf.risingEdges(clk);
+  ASSERT_EQ(rises.size(), 2u);
+  EXPECT_EQ(rises[0], 100u);
+  EXPECT_EQ(rises[1], 200u);
+  EXPECT_EQ(wf.endTime(), 210u);
+}
+
+TEST(Waveform, VcdContainsDefinitionsAndChanges) {
+  sim::Waveform wf;
+  const auto s = wf.addSignal("se", sim::WireValue::kHigh);
+  wf.change(s, 500, sim::WireValue::kLow);
+  std::ostringstream os;
+  wf.writeVcd(os, "tb");
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("$var wire 1 ! se $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#500"), std::string::npos);
+}
+
+TEST(Waveform, AsciiRenderShowsActivity) {
+  sim::Waveform wf;
+  const auto clk = wf.addSignal("clk");
+  for (uint64_t t = 0; t < 1000; t += 100) wf.pulse(clk, t + 50, 20);
+  const std::string art = wf.renderAscii(80);
+  EXPECT_NE(art.find("clk"), std::string::npos);
+  EXPECT_NE(art.find('/'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbist
