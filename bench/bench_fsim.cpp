@@ -3,14 +3,26 @@
 // Reports gate-evaluations per second for the good machine and effective
 // pattern throughput of full fault-simulation blocks with dropping — the
 // quantities that determine the Table 1 "CPU Time" row.
+//
+// In addition to the google-benchmark suites, main() runs a worker-thread
+// sweep (1/2/4/8) over the largest reference circuit and a generated IP
+// core and writes the results to BENCH_fsim.json so the performance
+// trajectory of the engine is recorded per commit. Pass --sweep-only to
+// skip the google-benchmark suites.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "fault/fsim.hpp"
 #include "gen/ipcore.hpp"
+#include "gen/refcircuits.hpp"
 #include "sim/sim2v.hpp"
 
 namespace {
@@ -48,11 +60,7 @@ BENCHMARK(BM_GoodSim64Patterns)->Arg(2'000)->Arg(10'000)->Arg(40'000);
 
 void BM_FaultSimBlock(benchmark::State& state) {
   const Netlist nl = makeCore(static_cast<size_t>(state.range(0)));
-  std::vector<GateId> obs;
-  for (const OutputPort& po : nl.outputs()) obs.push_back(po.driver);
-  for (GateId dff : nl.dffs()) obs.push_back(nl.gate(dff).fanins[0]);
-  std::sort(obs.begin(), obs.end());
-  obs.erase(std::unique(obs.begin(), obs.end()), obs.end());
+  const std::vector<GateId> obs = fault::fullObservationSet(nl);
 
   std::mt19937_64 rng(2);
   int64_t base = 0;
@@ -80,11 +88,7 @@ BENCHMARK(BM_FaultSimBlock)->Arg(2'000)->Arg(10'000);
 
 void BM_TransitionBlock(benchmark::State& state) {
   const Netlist nl = makeCore(static_cast<size_t>(state.range(0)));
-  std::vector<GateId> obs;
-  for (const OutputPort& po : nl.outputs()) obs.push_back(po.driver);
-  for (GateId dff : nl.dffs()) obs.push_back(nl.gate(dff).fanins[0]);
-  std::sort(obs.begin(), obs.end());
-  obs.erase(std::unique(obs.begin(), obs.end()), obs.end());
+  const std::vector<GateId> obs = fault::fullObservationSet(nl);
   fault::FaultList faults = fault::FaultList::enumerateTransition(nl);
   fault::FaultSimulator fsim(nl, faults, obs);
   std::mt19937_64 rng(3);
@@ -99,6 +103,120 @@ void BM_TransitionBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_TransitionBlock)->Arg(2'000);
 
+// ------------------------------------------------------------------
+// Thread-sweep JSON reporter.
+
+struct SweepRow {
+  std::string circuit;
+  size_t gates = 0;
+  size_t faults = 0;
+  unsigned threads = 0;
+  int64_t patterns = 0;
+  double fault_pattern_evals = 0;  // sum over blocks of live faults * 64
+  double seconds = 0;
+};
+
+SweepRow runSweep(const std::string& name, const Netlist& nl,
+                  unsigned threads, int blocks) {
+  fault::FaultList faults = fault::FaultList::enumerateStuckAt(nl);
+  fault::FsimOptions opts;
+  opts.n_detect = 4;  // keep a dense live set so the sweep measures work
+  opts.threads = threads;
+  fault::FaultSimulator sim(nl, faults, fault::fullObservationSet(nl), opts);
+
+  SweepRow row;
+  row.circuit = name;
+  row.gates = nl.numGates();
+  row.faults = faults.size();
+  row.threads = threads;
+
+  std::mt19937_64 rng(11);
+  const auto t0 = std::chrono::steady_clock::now();
+  int64_t base = 0;
+  for (int b = 0; b < blocks; ++b) {
+    row.fault_pattern_evals +=
+        static_cast<double>(sim.liveFaultCount()) * 64.0;
+    for (GateId pi : nl.inputs()) sim.setSource(pi, rng());
+    for (GateId dff : nl.dffs()) sim.setSource(dff, rng());
+    sim.simulateBlockStuckAt(base, 64);
+    base += 64;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  row.patterns = base;
+  row.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return row;
+}
+
+void writeSweepJson(const char* path) {
+  struct Workload {
+    std::string name;
+    Netlist nl;
+    int blocks;
+  };
+  std::vector<Workload> workloads;
+  // Largest hand-built reference circuit, scaled up.
+  workloads.push_back({"refcircuit_adder512", gen::buildRippleAdder(512), 24});
+  workloads.push_back({"refcircuit_alu64", gen::buildMiniAlu(64), 24});
+  // Generated IP core at bench scale.
+  workloads.push_back({"ipcore_20k", makeCore(20'000), 8});
+
+  std::vector<SweepRow> rows;
+  for (const Workload& w : workloads) {
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      rows.push_back(runSweep(w.name, w.nl, threads, w.blocks));
+      std::fprintf(stderr, "sweep %s threads=%u: %.3fs\n",
+                   rows.back().circuit.c_str(), threads,
+                   rows.back().seconds);
+    }
+  }
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fsim_thread_sweep\",\n  \"runs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    double base_seconds = r.seconds;
+    for (const SweepRow& s : rows) {
+      if (s.circuit == r.circuit && s.threads == 1) base_seconds = s.seconds;
+    }
+    std::fprintf(
+        f,
+        "    {\"circuit\": \"%s\", \"gates\": %zu, \"faults\": %zu, "
+        "\"threads\": %u, \"patterns\": %lld, \"seconds\": %.6f, "
+        "\"patterns_per_sec\": %.1f, \"fault_pattern_evals_per_sec\": %.1f, "
+        "\"speedup_vs_1t\": %.3f}%s\n",
+        r.circuit.c_str(), r.gates, r.faults, r.threads,
+        static_cast<long long>(r.patterns), r.seconds,
+        static_cast<double>(r.patterns) / r.seconds,
+        r.fault_pattern_evals / r.seconds, base_seconds / r.seconds,
+        i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool sweep_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep-only") == 0) {
+      sweep_only = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  if (!sweep_only) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  writeSweepJson("BENCH_fsim.json");
+  return 0;
+}

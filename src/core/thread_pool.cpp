@@ -1,0 +1,68 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace lbist::core {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run(unsigned n_shards,
+                     const std::function<void(unsigned)>& fn) {
+  if (n_shards == 0) return;
+  if (workers_.empty() || n_shards == 1) {
+    for (unsigned s = 0; s < n_shards; ++s) fn(s);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  n_shards_ = n_shards;
+  next_shard_ = 0;
+  pending_ = n_shards;
+  ++generation_;
+  work_cv_.notify_all();
+  while (next_shard_ < n_shards_) {
+    const unsigned shard = next_shard_++;
+    lock.unlock();
+    fn(shard);
+    lock.lock();
+    --pending_;
+  }
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+    if (stop_) return;
+    seen_generation = generation_;
+    while (next_shard_ < n_shards_) {
+      const unsigned shard = next_shard_++;
+      const std::function<void(unsigned)>* job = job_;
+      lock.unlock();
+      (*job)(shard);
+      lock.lock();
+      --pending_;
+      if (pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace lbist::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <thread>
 
 namespace lbist::fault {
 
@@ -18,6 +19,15 @@ std::vector<GateId> defaultObservationSet(const Netlist& nl) {
   return obs;
 }
 
+std::vector<GateId> fullObservationSet(const Netlist& nl) {
+  std::vector<GateId> obs;
+  for (const OutputPort& po : nl.outputs()) obs.push_back(po.driver);
+  for (GateId dff : nl.dffs()) obs.push_back(nl.gate(dff).fanins[0]);
+  std::sort(obs.begin(), obs.end());
+  obs.erase(std::unique(obs.begin(), obs.end()), obs.end());
+  return obs;
+}
+
 FaultSimulator::FaultSimulator(const Netlist& nl, FaultList& faults,
                                std::vector<GateId> observed, FsimOptions opts)
     : nl_(&nl),
@@ -28,10 +38,6 @@ FaultSimulator::FaultSimulator(const Netlist& nl, FaultList& faults,
       observed_(std::move(observed)) {
   is_observed_.assign(nl.numGates(), 0);
   for (GateId o : observed_) is_observed_[o.v] = 1;
-  fval_.assign(nl.numGates(), 0);
-  stamp_.assign(nl.numGates(), 0);
-  queued_stamp_.assign(nl.numGates(), 0);
-  level_queue_.resize(good_.levelized().maxLevel() + 1);
   refreshActiveSet();
 }
 
@@ -43,11 +49,39 @@ void FaultSimulator::restrictActiveSet(std::span<const size_t> fault_indices) {
   active_.assign(fault_indices.begin(), fault_indices.end());
 }
 
-uint64_t FaultSimulator::evalWithOverlay(GateId id) const {
+void FaultSimulator::setThreads(uint32_t threads) {
+  opts_.threads = threads;
+}
+
+unsigned FaultSimulator::resolveThreads(size_t n_active) const {
+  unsigned t = opts_.threads != 0
+                   ? opts_.threads
+                   : std::max(1u, std::thread::hardware_concurrency());
+  const size_t workload_cap = std::max<size_t>(
+      1, n_active / std::max<uint32_t>(1, opts_.min_faults_per_thread));
+  return static_cast<unsigned>(
+      std::min<size_t>(t, workload_cap));
+}
+
+void FaultSimulator::ensureWorkers(unsigned threads) {
+  while (scratch_.size() < threads) {
+    auto sc = std::make_unique<Scratch>();
+    sc->fval.assign(nl_->numGates(), 0);
+    sc->stamp.assign(nl_->numGates(), 0);
+    sc->queued_stamp.assign(nl_->numGates(), 0);
+    sc->level_queue.resize(good_.levelized().maxLevel() + 1);
+    scratch_.push_back(std::move(sc));
+  }
+  if (threads > 1 && (pool_ == nullptr || pool_->threads() < threads)) {
+    pool_ = std::make_unique<core::ThreadPool>(threads);
+  }
+}
+
+uint64_t FaultSimulator::evalWithOverlay(const Scratch& sc, GateId id) const {
   const Gate& g = nl_->gate(id);
   const auto good_vals = good_.rawValues();
   auto val = [&](GateId f) -> uint64_t {
-    return stamp_[f.v] == serial_ ? fval_[f.v] : good_vals[f.v];
+    return sc.stamp[f.v] == sc.serial ? sc.fval[f.v] : good_vals[f.v];
   };
   switch (g.kind) {
     case CellKind::kBuf:
@@ -121,44 +155,45 @@ uint64_t FaultSimulator::evalPinForced(GateId id, uint8_t pin,
   }
 }
 
-uint64_t FaultSimulator::propagate(GateId site, uint64_t diff) {
+uint64_t FaultSimulator::propagate(Scratch& sc, GateId site,
+                                   uint64_t diff) const {
   const auto good_vals = good_.rawValues();
   const Levelized& lev = good_.levelized();
-  ++serial_;
-  touched_.clear();
+  ++sc.serial;
+  sc.touched.clear();
   uint64_t detect = 0;
 
-  fval_[site.v] = good_vals[site.v] ^ diff;
-  stamp_[site.v] = serial_;
-  touched_.push_back(site);
+  sc.fval[site.v] = good_vals[site.v] ^ diff;
+  sc.stamp[site.v] = sc.serial;
+  sc.touched.push_back(site);
   if (is_observed_[site.v] != 0) detect |= diff;
 
   size_t queued = 0;
-  uint32_t min_level = level_queue_.size();
+  uint32_t min_level = sc.level_queue.size();
   auto schedule_fanouts = [&](GateId g) {
     for (GateId t : fanout_.fanout(g)) {
       if (!isCombinational(nl_->gate(t).kind)) continue;
-      if (queued_stamp_[t.v] == serial_) continue;
-      queued_stamp_[t.v] = serial_;
+      if (sc.queued_stamp[t.v] == sc.serial) continue;
+      sc.queued_stamp[t.v] = sc.serial;
       const uint32_t l = lev.level(t);
-      level_queue_[l].push_back(t.v);
+      sc.level_queue[l].push_back(t.v);
       min_level = std::min(min_level, l);
       ++queued;
     }
   };
   schedule_fanouts(site);
 
-  for (uint32_t l = min_level; queued > 0 && l < level_queue_.size(); ++l) {
-    auto& bucket = level_queue_[l];
+  for (uint32_t l = min_level; queued > 0 && l < sc.level_queue.size(); ++l) {
+    auto& bucket = sc.level_queue[l];
     for (size_t i = 0; i < bucket.size(); ++i) {
       const GateId g{bucket[i]};
       --queued;
-      const uint64_t newval = evalWithOverlay(g);
-      fval_[g.v] = newval;
-      stamp_[g.v] = serial_;
+      const uint64_t newval = evalWithOverlay(sc, g);
+      sc.fval[g.v] = newval;
+      sc.stamp[g.v] = sc.serial;
       const uint64_t d = newval ^ good_vals[g.v];
       if (d == 0) continue;
-      touched_.push_back(g);
+      sc.touched.push_back(g);
       if (is_observed_[g.v] != 0) detect |= d;
       schedule_fanouts(g);
     }
@@ -168,7 +203,7 @@ uint64_t FaultSimulator::propagate(GateId site, uint64_t diff) {
 }
 
 FaultSimulator::InjectResult FaultSimulator::injectStuckAt(
-    const Fault& f, uint64_t lane_mask) {
+    const Fault& f, uint64_t lane_mask) const {
   InjectResult res;
   const Gate& g = nl_->gate(f.gate);
   const auto good_vals = good_.rawValues();
@@ -193,7 +228,7 @@ FaultSimulator::InjectResult FaultSimulator::injectStuckAt(
 }
 
 FaultSimulator::InjectResult FaultSimulator::injectTransition(
-    const Fault& f, uint64_t lane_mask) {
+    const Fault& f, uint64_t lane_mask) const {
   InjectResult res;
   const Gate& g = nl_->gate(f.gate);
   const auto good_vals = good_.rawValues();
@@ -227,26 +262,69 @@ size_t FaultSimulator::simulateActiveFaults(int64_t pattern_base,
                                             int n_patterns, bool transition) {
   const uint64_t lane_mask =
       n_patterns >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n_patterns) - 1);
-  size_t newly_detected = 0;
+  const size_t n_active = active_.size();
+  if (n_active == 0) return 0;
 
-  for (size_t ai = 0; ai < active_.size();) {
-    const size_t fi = active_[ai];
-    FaultRecord& rec = faults_->record(fi);
-    const InjectResult inj = transition
-                                 ? injectTransition(rec.fault, lane_mask)
-                                 : injectStuckAt(rec.fault, lane_mask);
-    uint64_t detect = inj.direct_detect ? inj.direct_mask : 0;
-    if (inj.diff != 0) {
-      detect |= propagate(rec.fault.gate, inj.diff);
-      if (reach_observer_ != nullptr) {
-        reach_observer_->onFaultEffects(fi, touched_);
+  const unsigned n_threads = resolveThreads(n_active);
+  ensureWorkers(n_threads);
+
+  const bool capture_reach = reach_observer_ != nullptr;
+  // With one worker the compute loop already visits faults in merge order,
+  // so observer callbacks stream straight from the scratch instead of
+  // buffering every fault's reach cone for the merge phase.
+  const bool inline_observer = capture_reach && n_threads <= 1;
+  const bool buffer_reach = capture_reach && !inline_observer;
+  block_detect_.assign(n_active, 0);
+  block_had_diff_.assign(n_active, 0);
+  if (buffer_reach) block_touched_.resize(n_active);
+
+  // Phase 1 — compute: workers read the shared good machine and fault
+  // records, write only their own scratch and their slice of the
+  // position-indexed result buffers. No shared mutable state, no atomics.
+  auto compute_range = [&](Scratch& sc, size_t lo, size_t hi) {
+    for (size_t ai = lo; ai < hi; ++ai) {
+      const Fault& f = faults_->record(active_[ai]).fault;
+      const InjectResult inj = transition ? injectTransition(f, lane_mask)
+                                          : injectStuckAt(f, lane_mask);
+      uint64_t detect = inj.direct_detect ? inj.direct_mask : 0;
+      if (inj.diff != 0) {
+        detect |= propagate(sc, f.gate, inj.diff);
+        block_had_diff_[ai] = 1;
+        if (inline_observer) {
+          reach_observer_->onFaultEffects(active_[ai], sc.touched);
+        } else if (buffer_reach) {
+          block_touched_[ai].assign(sc.touched.begin(), sc.touched.end());
+        }
       }
+      block_detect_[ai] = detect;
     }
+  };
+  if (n_threads <= 1) {
+    compute_range(*scratch_[0], 0, n_active);
+  } else {
+    pool_->run(n_threads, [&](unsigned shard) {
+      const size_t lo = n_active * shard / n_threads;
+      const size_t hi = n_active * (shard + 1) / n_threads;
+      compute_range(*scratch_[shard], lo, hi);
+    });
+  }
+
+  // Phase 2 — merge, serially and in fault-list order: detection
+  // bookkeeping, reach-observer callbacks, and n-detect dropping are
+  // therefore identical for every thread count and shard layout.
+  size_t newly_detected = 0;
+  size_t out = 0;
+  for (size_t ai = 0; ai < n_active; ++ai) {
+    const size_t fi = active_[ai];
+    if (buffer_reach && block_had_diff_[ai] != 0) {
+      reach_observer_->onFaultEffects(fi, block_touched_[ai]);
+    }
+    const uint64_t detect = block_detect_[ai];
     if (detect != 0) {
+      FaultRecord& rec = faults_->record(fi);
       const bool was_undetected = rec.status == FaultStatus::kUndetected;
       if (was_undetected) {
-        faults_->recordDetection(
-            fi, pattern_base + std::countr_zero(detect));
+        faults_->recordDetection(fi, pattern_base + std::countr_zero(detect));
         ++newly_detected;
         rec.detect_count +=
             static_cast<uint32_t>(std::popcount(detect)) - 1;
@@ -254,13 +332,12 @@ size_t FaultSimulator::simulateActiveFaults(int64_t pattern_base,
         rec.detect_count += static_cast<uint32_t>(std::popcount(detect));
       }
       if (opts_.drop_detected && rec.detect_count >= opts_.n_detect) {
-        active_[ai] = active_.back();
-        active_.pop_back();
-        continue;
+        continue;  // dropped: stable-compact the survivors
       }
     }
-    ++ai;
+    active_[out++] = fi;
   }
+  active_.resize(out);
   return newly_detected;
 }
 

@@ -15,9 +15,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "core/thread_pool.hpp"
 #include "fault/fault.hpp"
 #include "sim/sim2v.hpp"
 
@@ -38,6 +40,16 @@ class ReachObserver {
 struct FsimOptions {
   uint32_t n_detect = 1;   // drop a fault after this many detections
   bool drop_detected = true;
+  /// Worker threads for the per-fault propagation loop. 0 means hardware
+  /// concurrency. Results are bit-identical for every thread count: the
+  /// workers only compute per-fault detection masks, and a serial merge
+  /// in fault-list order applies detections, observer callbacks, and
+  /// n-detect dropping.
+  uint32_t threads = 1;
+  /// Below this many live faults per worker the engine uses fewer shards —
+  /// thread dispatch overhead beats the propagation work. Results are
+  /// unaffected; tests lower it to force the parallel path on tiny nets.
+  uint32_t min_faults_per_thread = 256;
 };
 
 class FaultSimulator {
@@ -67,6 +79,12 @@ class FaultSimulator {
   /// Number of faults still live (undetected and undropped).
   [[nodiscard]] size_t liveFaultCount() const { return active_.size(); }
 
+  /// Live fault indices in simulation order (stable across blocks:
+  /// dropping compacts without reordering survivors).
+  [[nodiscard]] std::span<const size_t> activeFaults() const {
+    return active_;
+  }
+
   /// Re-collects live faults from the fault list (after external status
   /// changes, e.g. ATPG detections or TPI re-targeting).
   void refreshActiveSet();
@@ -76,6 +94,10 @@ class FaultSimulator {
   void restrictActiveSet(std::span<const size_t> fault_indices);
 
   void setReachObserver(ReachObserver* obs) { reach_observer_ = obs; }
+
+  /// Changes the worker-thread count between blocks (0 = hardware
+  /// concurrency). Detection results are unaffected by this setting.
+  void setThreads(uint32_t threads);
 
   [[nodiscard]] const sim::Simulator2v& good() const { return good_; }
   [[nodiscard]] const FaultList& faults() const { return *faults_; }
@@ -94,17 +116,31 @@ class FaultSimulator {
     uint64_t direct_mask = 0;
   };
 
-  InjectResult injectStuckAt(const Fault& f, uint64_t lane_mask);
-  InjectResult injectTransition(const Fault& f, uint64_t lane_mask);
-  uint64_t evalWithOverlay(GateId id) const;
+  /// Per-worker propagation state: the fault-effect overlay (epoch-stamped
+  /// per fault), the level-bucketed event queue, and the touched-gate log.
+  struct Scratch {
+    std::vector<uint64_t> fval;
+    std::vector<uint32_t> stamp;
+    uint32_t serial = 0;
+    std::vector<std::vector<uint32_t>> level_queue;
+    std::vector<uint32_t> queued_stamp;
+    std::vector<GateId> touched;
+  };
+
+  InjectResult injectStuckAt(const Fault& f, uint64_t lane_mask) const;
+  InjectResult injectTransition(const Fault& f, uint64_t lane_mask) const;
+  uint64_t evalWithOverlay(const Scratch& sc, GateId id) const;
   uint64_t evalPinForced(GateId id, uint8_t pin, uint64_t forced) const;
 
   /// Propagates `diff` from `site` through the cone; returns the
-  /// detection mask accumulated over observed gates.
-  uint64_t propagate(GateId site, uint64_t diff);
+  /// detection mask accumulated over observed gates. Fills sc.touched.
+  uint64_t propagate(Scratch& sc, GateId site, uint64_t diff) const;
 
   size_t simulateActiveFaults(int64_t pattern_base, int n_patterns,
                               bool transition);
+
+  [[nodiscard]] unsigned resolveThreads(size_t n_active) const;
+  void ensureWorkers(unsigned threads);
 
   const Netlist* nl_;
   FaultList* faults_;
@@ -117,15 +153,15 @@ class FaultSimulator {
   // Launch-cycle good values for transition simulation.
   std::vector<uint64_t> launch_values_;
 
-  // Fault-effect overlay, epoch-stamped per fault.
-  std::vector<uint64_t> fval_;
-  std::vector<uint32_t> stamp_;
-  uint32_t serial_ = 0;
+  // One propagation scratch per worker (index 0 doubles as the serial
+  // path's scratch), created on demand.
+  std::vector<std::unique_ptr<Scratch>> scratch_;
+  std::unique_ptr<core::ThreadPool> pool_;
 
-  // Level-bucketed event queue.
-  std::vector<std::vector<uint32_t>> level_queue_;
-  std::vector<uint32_t> queued_stamp_;
-  std::vector<GateId> touched_;
+  // Per-block compute results, indexed by position in `active_`.
+  std::vector<uint64_t> block_detect_;
+  std::vector<uint8_t> block_had_diff_;
+  std::vector<std::vector<GateId>> block_touched_;
 
   std::vector<size_t> active_;
   ReachObserver* reach_observer_ = nullptr;
@@ -136,5 +172,10 @@ class FaultSimulator {
 /// Observation points are scan cells themselves, so they are covered by
 /// the scan-cell rule.
 [[nodiscard]] std::vector<GateId> defaultObservationSet(const Netlist& nl);
+
+/// Observation set treating every flip-flop as observable (PO drivers plus
+/// all DFF D drivers) — the convention for raw, pre-DFT netlists where no
+/// scan flags exist yet (reference circuits, benches).
+[[nodiscard]] std::vector<GateId> fullObservationSet(const Netlist& nl);
 
 }  // namespace lbist::fault

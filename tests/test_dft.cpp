@@ -154,7 +154,7 @@ TEST(XBound, BlocksAllSourcesAndVerifies) {
   const XBoundResult xb = boundAllX(nl);
   EXPECT_EQ(xb.bounded_xsources, 2u);
   EXPECT_EQ(xb.bounded_noscan_ffs, 3u);
-  insertScan(nl, {.num_chains = 4});
+  (void)insertScan(nl, {.num_chains = 4});
   EXPECT_EQ(nl.validate(), "");
   const auto offenders = verifyNoXToObservation(nl);
   EXPECT_TRUE(offenders.empty())

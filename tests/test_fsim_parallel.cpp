@@ -1,0 +1,212 @@
+// Determinism of the multi-threaded PPSFP engine: for every thread count
+// the engine must produce bit-identical detection results — per-block
+// detection counts, per-fault status / n-detect counters / first-detect
+// pattern indices, live-set drop order, and the reach-observer event
+// stream — to the single-threaded engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/fsim.hpp"
+#include "gen/refcircuits.hpp"
+
+namespace lbist::fault {
+namespace {
+
+class RecordingObserver : public ReachObserver {
+ public:
+  struct Event {
+    size_t fault_index;
+    std::vector<GateId> touched;
+    friend bool operator==(const Event&, const Event&) = default;
+  };
+
+  void onFaultEffects(size_t fault_index,
+                      std::span<const GateId> touched) override {
+    events_.push_back({fault_index, {touched.begin(), touched.end()}});
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+
+ private:
+  std::vector<Event> events_;
+};
+
+struct CampaignResult {
+  std::vector<FaultStatus> status;
+  std::vector<uint32_t> detect_count;
+  std::vector<int64_t> first_detect;
+  std::vector<size_t> newly_per_block;
+  std::vector<std::vector<size_t>> live_order_per_block;
+  std::vector<RecordingObserver::Event> reach_events;
+};
+
+/// Runs `n_blocks` 64-pattern blocks with a deterministic pattern stream
+/// and snapshots everything the engine is allowed to affect.
+CampaignResult runCampaign(const Netlist& nl, bool transition,
+                           uint32_t n_detect, uint32_t threads,
+                           bool with_observer, int n_blocks = 12) {
+  FaultList faults = transition ? FaultList::enumerateTransition(nl)
+                                : FaultList::enumerateStuckAt(nl);
+  FsimOptions opts;
+  opts.n_detect = n_detect;
+  opts.threads = threads;
+  // Force full sharding even on tiny circuits (c17) so the parallel code
+  // path genuinely executes instead of clamping back to one worker.
+  opts.min_faults_per_thread = 1;
+  FaultSimulator fsim(nl, faults, fullObservationSet(nl), opts);
+  RecordingObserver observer;
+  if (with_observer) fsim.setReachObserver(&observer);
+
+  std::mt19937_64 rng(0xD0E5'1B57u);
+  CampaignResult res;
+  int64_t base = 0;
+  for (int block = 0; block < n_blocks; ++block) {
+    for (GateId pi : nl.inputs()) fsim.setSource(pi, rng());
+    for (GateId dff : nl.dffs()) fsim.setSource(dff, rng());
+    const size_t newly = transition ? fsim.simulateBlockTransition(base)
+                                    : fsim.simulateBlockStuckAt(base);
+    res.newly_per_block.push_back(newly);
+    const auto live = fsim.activeFaults();
+    res.live_order_per_block.emplace_back(live.begin(), live.end());
+    base += 64;
+  }
+  for (size_t i = 0; i < faults.size(); ++i) {
+    const FaultRecord& rec = faults.record(i);
+    res.status.push_back(rec.status);
+    res.detect_count.push_back(rec.detect_count);
+    res.first_detect.push_back(rec.first_detect_pattern);
+  }
+  res.reach_events = observer.events();
+  return res;
+}
+
+void expectIdentical(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.detect_count, b.detect_count);
+  EXPECT_EQ(a.first_detect, b.first_detect);
+  EXPECT_EQ(a.newly_per_block, b.newly_per_block);
+  EXPECT_EQ(a.live_order_per_block, b.live_order_per_block);
+  EXPECT_EQ(a.reach_events.size(), b.reach_events.size());
+  for (size_t i = 0; i < std::min(a.reach_events.size(),
+                                  b.reach_events.size());
+       ++i) {
+    EXPECT_TRUE(a.reach_events[i] == b.reach_events[i])
+        << "reach event " << i << " diverges";
+  }
+}
+
+struct Config {
+  const char* name;
+  Netlist nl;
+};
+
+std::vector<Config> combinationalCircuits() {
+  std::vector<Config> cfgs;
+  cfgs.push_back({"c17", gen::buildC17()});
+  cfgs.push_back({"adder64", gen::buildRippleAdder(64)});
+  return cfgs;
+}
+
+std::vector<Config> sequentialCircuits() {
+  std::vector<Config> cfgs;
+  cfgs.push_back({"alu32", gen::buildMiniAlu(32)});
+  cfgs.push_back({"pipe8", gen::buildTwoDomainPipe(8)});
+  return cfgs;
+}
+
+TEST(FsimParallel, StuckAtMatchesSingleThread) {
+  for (auto& cfg : combinationalCircuits()) {
+    SCOPED_TRACE(cfg.name);
+    for (uint32_t n_detect : {1u, 4u}) {
+      SCOPED_TRACE("n_detect=" + std::to_string(n_detect));
+      const CampaignResult serial =
+          runCampaign(cfg.nl, /*transition=*/false, n_detect, /*threads=*/1,
+                      /*with_observer=*/false);
+      for (uint32_t threads : {2u, 4u, 8u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const CampaignResult parallel =
+            runCampaign(cfg.nl, /*transition=*/false, n_detect, threads,
+                        /*with_observer=*/false);
+        expectIdentical(serial, parallel);
+      }
+    }
+  }
+}
+
+TEST(FsimParallel, TransitionMatchesSingleThread) {
+  for (auto& cfg : sequentialCircuits()) {
+    SCOPED_TRACE(cfg.name);
+    for (uint32_t n_detect : {1u, 4u}) {
+      SCOPED_TRACE("n_detect=" + std::to_string(n_detect));
+      const CampaignResult serial =
+          runCampaign(cfg.nl, /*transition=*/true, n_detect, /*threads=*/1,
+                      /*with_observer=*/false);
+      for (uint32_t threads : {2u, 4u, 8u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const CampaignResult parallel =
+            runCampaign(cfg.nl, /*transition=*/true, n_detect, threads,
+                        /*with_observer=*/false);
+        expectIdentical(serial, parallel);
+      }
+    }
+  }
+}
+
+TEST(FsimParallel, ReachObserverStreamMatchesSingleThread) {
+  // TPI consumes the per-fault reach stream; its order must not depend
+  // on the thread count. n_detect > 1 keeps faults live across blocks so
+  // the stream stays dense.
+  Netlist nl = gen::buildMiniAlu(16);
+  const CampaignResult serial =
+      runCampaign(nl, /*transition=*/false, /*n_detect=*/4, /*threads=*/1,
+                  /*with_observer=*/true);
+  const CampaignResult parallel =
+      runCampaign(nl, /*transition=*/false, /*n_detect=*/4, /*threads=*/4,
+                  /*with_observer=*/true);
+  expectIdentical(serial, parallel);
+  EXPECT_FALSE(serial.reach_events.empty());
+}
+
+TEST(FsimParallel, SetThreadsMidCampaignKeepsResults) {
+  // Switching the worker count between blocks must splice into the same
+  // deterministic trajectory.
+  Netlist nl = gen::buildRippleAdder(48);
+  FaultList ref_faults = FaultList::enumerateStuckAt(nl);
+  FaultList sweep_faults = FaultList::enumerateStuckAt(nl);
+  FsimOptions opts;
+  opts.n_detect = 4;
+  FaultSimulator ref(nl, ref_faults, fullObservationSet(nl), opts);
+  FaultSimulator sweep(nl, sweep_faults, fullObservationSet(nl), opts);
+
+  std::mt19937_64 rng(7);
+  int64_t base = 0;
+  const uint32_t schedule[] = {1, 4, 2, 8, 1, 4};
+  for (uint32_t threads : schedule) {
+    sweep.setThreads(threads);
+    for (GateId pi : nl.inputs()) {
+      const uint64_t w = rng();
+      ref.setSource(pi, w);
+      sweep.setSource(pi, w);
+    }
+    const size_t ref_newly = ref.simulateBlockStuckAt(base);
+    const size_t sweep_newly = sweep.simulateBlockStuckAt(base);
+    EXPECT_EQ(ref_newly, sweep_newly) << "threads=" << threads;
+    ASSERT_EQ(ref.liveFaultCount(), sweep.liveFaultCount());
+    base += 64;
+  }
+  for (size_t i = 0; i < ref_faults.size(); ++i) {
+    EXPECT_EQ(ref_faults.record(i).status, sweep_faults.record(i).status);
+    EXPECT_EQ(ref_faults.record(i).detect_count,
+              sweep_faults.record(i).detect_count);
+    EXPECT_EQ(ref_faults.record(i).first_detect_pattern,
+              sweep_faults.record(i).first_detect_pattern);
+  }
+}
+
+}  // namespace
+}  // namespace lbist::fault
