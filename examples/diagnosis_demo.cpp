@@ -1,0 +1,81 @@
+// Diagnosing a failing run: from a failing BIST signature to a ranked
+// list of candidate fault sites.
+//
+//   1. Make a core BIST-ready and capture golden interval signatures.
+//   2. Manufacture a "defective die" by hardwiring a stuck-at fault.
+//   3. Diagnoser narrows the failure to dirty signature windows, pins
+//      the first failing pattern by binary-search replay, matches the
+//      syndrome against a PPSFP response dictionary, and confirms the
+//      top candidates by injected-session replay.
+#include <cstdio>
+
+#include "core/architect.hpp"
+#include "diag/diagnoser.hpp"
+#include "fault/inject.hpp"
+#include "gen/ipcore.hpp"
+
+int main() {
+  using namespace lbist;
+  std::printf("=== Signature-based fault diagnosis ===\n\n");
+
+  // --- 1. the BIST-ready core ---------------------------------------------
+  gen::IpCoreSpec spec;
+  spec.name = "diag_core";
+  spec.seed = 90;
+  spec.target_comb_gates = 1'500;
+  spec.target_ffs = 96;
+  spec.num_domains = 2;
+  spec.num_inputs = 16;
+  spec.num_outputs = 12;
+  // Diagnosis assumes a fully scanned core: non-scan state islands run
+  // free in the real session but sit at reset in the dictionary model,
+  // which blurs the per-pattern match (see src/diag/diagnoser.hpp).
+  spec.num_noscan_ffs = 0;
+  spec.num_xsources = 2;
+  const Netlist raw = gen::generateIpCore(spec);
+
+  core::LbistConfig cfg;
+  cfg.num_chains = 6;
+  cfg.test_points = 8;
+  const core::BistReadyCore ready = core::buildBistReadyCore(raw, cfg);
+
+  // --- 2. a defective die ----------------------------------------------------
+  diag::DiagnosisOptions opts;
+  opts.patterns = 192;
+  opts.signature_interval = 32;
+  opts.threads = 2;
+  diag::Diagnoser diagnoser(ready, opts);
+
+  // Pick a defect the demo injects: the first combinational stem the
+  // dictionary says random patterns excite.
+  const diag::ResponseDictionary& dict = diagnoser.dictionary();
+  size_t defect = 0;
+  for (size_t fi = 0; fi < dict.faults(); ++fi) {
+    const fault::Fault& f = diagnoser.faults().record(fi).fault;
+    const Gate& g = ready.netlist.gate(f.gate);
+    if (f.pin == fault::kOutputPin && isCombinational(g.kind) &&
+        (g.flags & kFlagDftInserted) == 0 && dict.detectionCount(fi) >= 4) {
+      defect = fi;
+      break;
+    }
+  }
+  const fault::Fault defect_fault = diagnoser.faults().record(defect).fault;
+  Netlist bad_die = ready.netlist;
+  fault::injectStuckAt(bad_die, defect_fault);
+  std::printf("injected defect: %s\n\n",
+              defect_fault.describe(ready.netlist).c_str());
+
+  // --- 3. diagnose -----------------------------------------------------------
+  const diag::Diagnosis d = diagnoser.diagnoseDie(bad_die);
+  std::printf("%s\n", diag::renderDiagnosisReport(d).c_str());
+
+  if (!d.candidates.empty() && d.candidates[0].fault == defect_fault) {
+    std::printf("top-ranked site is the injected defect — localized in "
+                "%zu session runs and %.3fs.\n",
+                d.session_runs, d.total_seconds);
+  } else {
+    std::printf("unexpected: injected defect was not ranked first\n");
+    return 1;
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 
 #include "core/architect.hpp"
 #include "core/flow.hpp"
+#include "core/report.hpp"
 #include "gen/ipcore.hpp"
 
 int main() {
@@ -62,5 +63,9 @@ int main() {
               before.faultCoveragePercent(),
               topup.final_coverage.faultCoveragePercent(),
               topup.patterns.size(), static_cast<long long>(total));
+
+  std::printf("\n%s", core::renderUndetectedFaults(ready.netlist,
+                                                   flow.faults())
+                          .c_str());
   return 0;
 }

@@ -45,6 +45,8 @@ void BistController::start() {
   capture_pulses_ = 0;
   signatures_match_ = false;
   match_provided_ = false;
+  checkpoint_due_ = false;
+  checkpoints_done_ = 0;
 }
 
 void BistController::seedsLoaded() {
@@ -54,6 +56,7 @@ void BistController::seedsLoaded() {
 
 void BistController::onEvent(const ScheduleEvent& ev) {
   using Kind = ScheduleEvent::Kind;
+  checkpoint_due_ = false;
   switch (ev.kind) {
     case Kind::kShiftPulse:
       if (state_ != ControllerState::kShift) illegal(state_, "shift pulse");
@@ -85,6 +88,11 @@ void BistController::onEvent(const ScheduleEvent& ev) {
         illegal(state_, "pattern end");
       }
       ++patterns_done_;
+      if (signature_interval_ > 0 &&
+          patterns_done_ % signature_interval_ == 0) {
+        checkpoint_due_ = true;
+        ++checkpoints_done_;
+      }
       state_ = ControllerState::kShift;
       return;
     case Kind::kSessionEnd:

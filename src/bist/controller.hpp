@@ -51,6 +51,19 @@ class BistController {
   /// The session reports whether every domain's signature matched.
   void setSignatureMatch(bool match);
 
+  // --- interval-signature windows ----------------------------------------
+  /// With a non-zero interval the controller requests a MISR snapshot
+  /// every `k` completed patterns: checkpointDue() is true right after
+  /// the qualifying kPatternEnd event. Signature-based diagnosis
+  /// (src/diag) uses the snapshots to narrow a failing run to failing
+  /// windows before replaying. Set before start().
+  void setSignatureInterval(int64_t k) { signature_interval_ = k; }
+  [[nodiscard]] int64_t signatureInterval() const {
+    return signature_interval_;
+  }
+  [[nodiscard]] bool checkpointDue() const { return checkpoint_due_; }
+  [[nodiscard]] int64_t checkpointsDone() const { return checkpoints_done_; }
+
   [[nodiscard]] ControllerState state() const { return state_; }
   [[nodiscard]] int64_t patternsDone() const { return patterns_done_; }
   [[nodiscard]] uint64_t shiftPulses() const { return shift_pulses_; }
@@ -64,6 +77,9 @@ class BistController {
   int64_t patterns_done_ = 0;
   uint64_t shift_pulses_ = 0;
   uint64_t capture_pulses_ = 0;
+  int64_t signature_interval_ = 0;
+  bool checkpoint_due_ = false;
+  int64_t checkpoints_done_ = 0;
 };
 
 }  // namespace lbist::bist

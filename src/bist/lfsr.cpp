@@ -84,6 +84,10 @@ void Misr::step(uint64_t inputs) {
   state_ = n ^ (inputs & mask_);
 }
 
+uint64_t Misr::advance(uint64_t state, uint64_t cycles) const {
+  return matrix_.pow(cycles).apply(state & mask_);
+}
+
 WideMisr::WideMisr(int length) : length_(length) {
   if (length < 2) {
     throw std::out_of_range("WideMisr length must be >= 2");
@@ -118,6 +122,41 @@ void WideMisr::step(std::span<const uint8_t> inputs) {
     }
     segments_[s].step(packed);
   }
+}
+
+std::vector<uint64_t> WideMisr::advance(std::span<const uint64_t> words,
+                                        uint64_t cycles) const {
+  if (words.size() != segments_.size()) {
+    throw std::invalid_argument("WideMisr::advance: word count mismatch");
+  }
+  std::vector<uint64_t> out;
+  out.reserve(segments_.size());
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    out.push_back(segments_[s].advance(words[s], cycles));
+  }
+  return out;
+}
+
+WideMisr::Advancer WideMisr::advancer(uint64_t cycles) const {
+  Advancer a;
+  a.mats_.reserve(segments_.size());
+  for (const Misr& seg : segments_) {
+    a.mats_.push_back(seg.transitionMatrix().pow(cycles));
+  }
+  return a;
+}
+
+std::vector<uint64_t> WideMisr::Advancer::apply(
+    std::span<const uint64_t> words) const {
+  if (words.size() != mats_.size()) {
+    throw std::invalid_argument("WideMisr::Advancer: word count mismatch");
+  }
+  std::vector<uint64_t> out;
+  out.reserve(mats_.size());
+  for (size_t s = 0; s < mats_.size(); ++s) {
+    out.push_back(mats_[s].apply(words[s]));
+  }
+  return out;
 }
 
 std::vector<uint64_t> WideMisr::signatureWords() const {

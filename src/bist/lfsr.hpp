@@ -69,6 +69,13 @@ class Misr {
   /// One compaction clock with up to `length` parallel input bits.
   void step(uint64_t inputs);
 
+  /// State after `cycles` further clocks with all-zero inputs, starting
+  /// from `state` instead of the live register. Because the MISR is
+  /// linear, this also advances an error word E = faulty XOR golden:
+  /// E' = A^cycles * E — the relation interval-signature diagnosis uses
+  /// to tell which checkpoint window injected new errors.
+  [[nodiscard]] uint64_t advance(uint64_t state, uint64_t cycles) const;
+
   [[nodiscard]] const Gf2Matrix& transitionMatrix() const { return matrix_; }
 
  private:
@@ -99,6 +106,26 @@ class WideMisr {
   /// One compaction clock; input bit i goes into MISR cell i. `inputs`
   /// may be shorter than length() (remaining cells get 0).
   void step(std::span<const uint8_t> inputs);
+
+  /// Advances a signature (or, by linearity, a signature-difference)
+  /// word vector by `cycles` zero-input clocks, segment by segment.
+  [[nodiscard]] std::vector<uint64_t> advance(std::span<const uint64_t> words,
+                                              uint64_t cycles) const;
+
+  /// Precomputed advance-by-`cycles` operator (per-segment A^cycles).
+  /// Build once, apply per checkpoint: interval diagnosis walks hundreds
+  /// of checkpoints with the same step size, and the matrix power is the
+  /// expensive part.
+  class Advancer {
+   public:
+    [[nodiscard]] std::vector<uint64_t> apply(
+        std::span<const uint64_t> words) const;
+
+   private:
+    friend class WideMisr;
+    std::vector<Gf2Matrix> mats_;
+  };
+  [[nodiscard]] Advancer advancer(uint64_t cycles) const;
 
   [[nodiscard]] std::vector<uint64_t> signatureWords() const;
   [[nodiscard]] std::string signatureHex() const;

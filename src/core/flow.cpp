@@ -41,54 +41,9 @@ CoverageFlow::CoverageFlow(const BistReadyCore& core, bool transition)
       faults_(makeFaults(core.netlist, transition)),
       observed_(fault::defaultObservationSet(core.netlist)),
       assignable_(makeAssignable(core)),
-      fsim_(core.netlist, faults_, observed_) {
-  fixed_.emplace_back(core.scan.se_port, false);
-  if (core.scan.test_mode_port.valid()) {
-    fixed_.emplace_back(core.scan.test_mode_port, true);
-  }
-  for (const DomainBist& db : core.domain_bist) {
-    prpgs_.emplace_back(db.prpg);
-  }
-  cell_words_.assign(core.netlist.numGates(), 0);
+      fsim_(core.netlist, faults_, observed_),
+      source_(core) {
   fsim_.markUnobservable();
-}
-
-void CoverageFlow::loadBlockSources(int lanes) {
-  const Netlist& nl = core_->netlist;
-  const int shift_cycles = core_->shiftCyclesPerPattern();
-
-  std::fill(cell_words_.begin(), cell_words_.end(), 0);
-  std::vector<std::vector<uint8_t>> slice(prpgs_.size());
-  for (size_t i = 0; i < prpgs_.size(); ++i) {
-    slice[i].resize(core_->domain_bist[i].chain_indices.size());
-  }
-
-  for (int lane = 0; lane < lanes; ++lane) {
-    for (size_t i = 0; i < prpgs_.size(); ++i) {
-      const DomainBist& db = core_->domain_bist[i];
-      for (int k = 0; k < shift_cycles; ++k) {
-        prpgs_[i].nextSlice(slice[i]);
-        // The bit injected at cycle k ends up in cell (L-1-k) of each
-        // chain (closest-to-SI cell receives the last bit).
-        const int cell_pos = shift_cycles - 1 - k;
-        for (size_t c = 0; c < db.chain_indices.size(); ++c) {
-          const dft::ScanChain& chain =
-              core_->scan.chains[db.chain_indices[c]];
-          if (cell_pos < static_cast<int>(chain.cells.size()) &&
-              slice[i][c] != 0) {
-            cell_words_[chain.cells[static_cast<size_t>(cell_pos)].v] |=
-                uint64_t{1} << lane;
-          }
-        }
-      }
-    }
-  }
-
-  for (GateId pi : nl.inputs()) fsim_.setSource(pi, 0);
-  for (GateId dff : nl.dffs()) fsim_.setSource(dff, cell_words_[dff.v]);
-  for (const auto& [id, v] : fixed_) {
-    fsim_.setSource(id, v ? ~uint64_t{0} : 0);
-  }
 }
 
 RandomPhaseResult CoverageFlow::runRandomPhase(int64_t n_patterns) {
@@ -98,7 +53,7 @@ RandomPhaseResult CoverageFlow::runRandomPhase(int64_t n_patterns) {
   for (int64_t base = 0; base < n_patterns; base += 64) {
     const int lanes =
         static_cast<int>(std::min<int64_t>(64, n_patterns - base));
-    loadBlockSources(lanes);
+    source_.loadBlock(fsim_, lanes);
     if (transition_) {
       fsim_.simulateBlockTransition(base, lanes);
     } else {
@@ -114,7 +69,7 @@ RandomPhaseResult CoverageFlow::runRandomPhase(int64_t n_patterns) {
 
 atpg::TopUpResult CoverageFlow::runTopUp(const atpg::TopUpConfig& cfg) {
   return atpg::runTopUp(core_->netlist, faults_, fsim_, observed_,
-                        assignable_, fixed_, cfg);
+                        assignable_, source_.fixedPins(), cfg);
 }
 
 }  // namespace lbist::core

@@ -16,6 +16,7 @@
 
 #include "atpg/topup.hpp"
 #include "core/architect.hpp"
+#include "core/pattern_source.hpp"
 #include "fault/fsim.hpp"
 
 namespace lbist::core {
@@ -49,17 +50,13 @@ class CoverageFlow {
   }
 
  private:
-  void loadBlockSources(int lanes);
-
   const BistReadyCore* core_;
   bool transition_;
   fault::FaultList faults_;
   std::vector<GateId> observed_;
   std::vector<GateId> assignable_;
-  std::vector<std::pair<GateId, bool>> fixed_;
   fault::FaultSimulator fsim_;
-  std::vector<bist::Prpg> prpgs_;
-  std::vector<uint64_t> cell_words_;  // per gate id, current block
+  PrpgPatternSource source_;
 };
 
 }  // namespace lbist::core

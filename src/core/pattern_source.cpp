@@ -1,0 +1,54 @@
+#include "core/pattern_source.hpp"
+
+#include <algorithm>
+
+namespace lbist::core {
+
+PrpgPatternSource::PrpgPatternSource(const BistReadyCore& core)
+    : core_(&core) {
+  for (const DomainBist& db : core.domain_bist) {
+    prpgs_.emplace_back(db.prpg);
+    slice_.emplace_back(db.chain_indices.size(), 0);
+  }
+  fixed_.emplace_back(core.scan.se_port, false);
+  if (core.scan.test_mode_port.valid()) {
+    fixed_.emplace_back(core.scan.test_mode_port, true);
+  }
+  cell_words_.assign(core.netlist.numGates(), 0);
+}
+
+void PrpgPatternSource::loadBlock(fault::FaultSimulator& fsim, int lanes) {
+  const Netlist& nl = core_->netlist;
+  const int shift_cycles = core_->shiftCyclesPerPattern();
+
+  std::fill(cell_words_.begin(), cell_words_.end(), 0);
+
+  for (int lane = 0; lane < lanes; ++lane) {
+    for (size_t i = 0; i < prpgs_.size(); ++i) {
+      const DomainBist& db = core_->domain_bist[i];
+      for (int k = 0; k < shift_cycles; ++k) {
+        prpgs_[i].nextSlice(slice_[i]);
+        // The bit injected at cycle k ends up in cell (L-1-k) of each
+        // chain (closest-to-SI cell receives the last bit).
+        const int cell_pos = shift_cycles - 1 - k;
+        for (size_t c = 0; c < db.chain_indices.size(); ++c) {
+          const dft::ScanChain& chain =
+              core_->scan.chains[db.chain_indices[c]];
+          if (cell_pos < static_cast<int>(chain.cells.size()) &&
+              slice_[i][c] != 0) {
+            cell_words_[chain.cells[static_cast<size_t>(cell_pos)].v] |=
+                uint64_t{1} << lane;
+          }
+        }
+      }
+    }
+  }
+
+  for (GateId pi : nl.inputs()) fsim.setSource(pi, 0);
+  for (GateId dff : nl.dffs()) fsim.setSource(dff, cell_words_[dff.v]);
+  for (const auto& [id, v] : fixed_) {
+    fsim.setSource(id, v ? ~uint64_t{0} : 0);
+  }
+}
+
+}  // namespace lbist::core

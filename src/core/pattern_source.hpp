@@ -1,0 +1,46 @@
+// PRPG-exact scan-state source for block fault simulation.
+//
+// Computes, for 64-pattern blocks, the per-scan-cell stimulus words the
+// real per-domain PRPG + phase-shifter hardware shifts in over the shift
+// schedule, and loads them into a FaultSimulator. Shared by the coverage
+// flow (Table 1 accounting) and the diagnosis dictionary builder
+// (src/diag) so both agree bit-for-bit with the cycle-accurate
+// BistSession on what "pattern p" is.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bist/prpg.hpp"
+#include "core/architect.hpp"
+#include "fault/fsim.hpp"
+
+namespace lbist::core {
+
+class PrpgPatternSource {
+ public:
+  explicit PrpgPatternSource(const BistReadyCore& core);
+
+  /// Loads sources for the next `lanes` patterns into `fsim`: PIs held 0,
+  /// SE low / test-mode high, every scan cell set to the state the PRPGs
+  /// shift in. Advances the PRPGs; successive calls emit consecutive
+  /// pattern blocks.
+  void loadBlock(fault::FaultSimulator& fsim, int lanes);
+
+  /// Pins the session holds at a fixed level during capture (SE low,
+  /// test-mode high) — also what deterministic top-up must respect.
+  [[nodiscard]] const std::vector<std::pair<GateId, bool>>& fixedPins()
+      const {
+    return fixed_;
+  }
+
+ private:
+  const BistReadyCore* core_;
+  std::vector<bist::Prpg> prpgs_;
+  std::vector<std::pair<GateId, bool>> fixed_;
+  std::vector<uint64_t> cell_words_;  // per gate id, current block
+  std::vector<std::vector<uint8_t>> slice_;
+};
+
+}  // namespace lbist::core

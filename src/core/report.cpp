@@ -157,4 +157,21 @@ std::string renderTable1(std::span<const Table1Column> cols) {
   return os.str();
 }
 
+std::string renderUndetectedFaults(const Netlist& nl,
+                                   const fault::FaultList& faults,
+                                   size_t max_faults) {
+  const std::vector<size_t> undet = faults.undetectedIndices();
+  std::ostringstream os;
+  os << "undetected faults: " << undet.size();
+  if (undet.empty()) {
+    os << "\n";
+    return os.str();
+  }
+  os << " (showing " << std::min(max_faults, undet.size()) << ")\n";
+  for (size_t k = 0; k < undet.size() && k < max_faults; ++k) {
+    os << "  " << faults.record(undet[k]).fault.describe(nl) << "\n";
+  }
+  return os.str();
+}
+
 }  // namespace lbist::core

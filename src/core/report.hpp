@@ -45,4 +45,11 @@ struct Table1Column {
 /// Renders one table with a column per core, row names as in the paper.
 [[nodiscard]] std::string renderTable1(std::span<const Table1Column> cols);
 
+/// Lists up to `max_faults` still-undetected faults by site name, port
+/// and type (Fault::describe) — the residue a flow report shows instead
+/// of raw gate ids.
+[[nodiscard]] std::string renderUndetectedFaults(
+    const Netlist& nl, const fault::FaultList& faults,
+    size_t max_faults = 10);
+
 }  // namespace lbist::core

@@ -68,15 +68,26 @@ SessionResult BistSession::run(const SessionOptions& opts,
   seedPrpgs();
 
   bist::BistController ctrl;
+  ctrl.setSignatureInterval(opts.signature_interval);
   ctrl.start();
   ctrl.seedsLoaded();
 
   const int shift_cycles = core_->shiftCyclesPerPattern();
-  bist::BistSchedule sched(die_->domains(), core_->config.timing,
-                           shift_cycles, opts.patterns, opts.capture_order);
+  const bist::AtSpeedTimingConfig& timing =
+      opts.timing_override ? *opts.timing_override : core_->config.timing;
+  bist::BistSchedule sched(die_->domains(), timing, shift_cycles,
+                           opts.patterns, opts.capture_order);
+
+  auto snapshot = [&]() {
+    SignatureCheckpoint cp;
+    cp.patterns_done = ctrl.patternsDone();
+    for (bist::Odc& odc : odcs_) cp.domain_words.push_back(odc.signature());
+    res.checkpoints.push_back(std::move(cp));
+  };
 
   while (auto ev = sched.next()) {
     ctrl.onEvent(*ev);
+    if (ctrl.checkpointDue()) snapshot();
     switch (ev->kind) {
       case bist::ScheduleEvent::Kind::kShiftPulse:
         sim_.setInput(core_->scan.se_port, ~uint64_t{0});
@@ -109,7 +120,10 @@ SessionResult BistSession::run(const SessionOptions& opts,
   res.patterns_done = ctrl.patternsDone();
   res.shift_pulses = ctrl.shiftPulses();
   res.capture_pulses = ctrl.capturePulses();
-  for (bist::Odc& odc : odcs_) res.signatures.push_back(odc.signatureHex());
+  for (bist::Odc& odc : odcs_) {
+    res.signatures.push_back(odc.signatureHex());
+    res.signature_words.push_back(odc.signature());
+  }
 
   bool match = golden != nullptr;
   if (golden != nullptr) {

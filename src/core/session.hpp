@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,10 +32,37 @@ struct SessionOptions {
   /// Extra shift window after the last pattern to flush final responses
   /// into the MISRs (always needed; exposed for the truncation test).
   bool final_unload = true;
+  /// Interval-signature windows: snapshot every domain's MISR after each
+  /// `signature_interval` completed patterns (0 = none). Diagnosis
+  /// (src/diag) narrows a failing run to failing windows from these; the
+  /// memory cost is one signature per window per domain.
+  int64_t signature_interval = 0;
+  /// Replaces the core's capture timing for this run. Diagnosis sessions
+  /// over the stuck-at universe disable double capture so the response
+  /// dictionary's single-capture model matches the die cycle-for-cycle.
+  std::optional<bist::AtSpeedTimingConfig> timing_override;
+};
+
+/// MISR states captured at one interval-signature checkpoint.
+struct SignatureCheckpoint {
+  int64_t patterns_done = 0;
+  /// Per DomainBist, the MISR signature words (WideMisr segment order).
+  std::vector<std::vector<uint64_t>> domain_words;
+
+  friend bool operator==(const SignatureCheckpoint& a,
+                         const SignatureCheckpoint& b) {
+    return a.patterns_done == b.patterns_done &&
+           a.domain_words == b.domain_words;
+  }
 };
 
 struct SessionResult {
   std::vector<std::string> signatures;  // per DomainBist, hex
+  /// Final MISR words per DomainBist (same data as `signatures`, in the
+  /// form the diagnosis algebra consumes).
+  std::vector<std::vector<uint64_t>> signature_words;
+  /// Interval snapshots, oldest first (empty unless signature_interval).
+  std::vector<SignatureCheckpoint> checkpoints;
   int64_t patterns_done = 0;
   uint64_t shift_pulses = 0;
   uint64_t capture_pulses = 0;

@@ -170,15 +170,18 @@ std::vector<size_t> FaultList::undetectedIndices() const {
   return out;
 }
 
-std::string FaultList::describe(const Netlist& nl, size_t i) const {
-  const FaultRecord& r = records_[i];
-  std::string s = nl.gateName(r.fault.gate);
-  if (r.fault.pin != kOutputPin) {
-    s += ".in" + std::to_string(r.fault.pin);
+std::string Fault::describe(const Netlist& nl) const {
+  std::string s = nl.gateName(gate);
+  if (pin != kOutputPin) {
+    s += ".in" + std::to_string(pin);
   }
   s += " ";
-  s += faultTypeName(r.fault.type);
+  s += faultTypeName(type);
   return s;
+}
+
+std::string FaultList::describe(const Netlist& nl, size_t i) const {
+  return records_[i].fault.describe(nl);
 }
 
 }  // namespace lbist::fault

@@ -32,6 +32,10 @@ struct Fault {
   uint8_t pin = kOutputPin;  // kOutputPin or fanin slot
   FaultType type = FaultType::kStuckAt0;
 
+  /// "u42.in1 sa0"-style rendering: site name, port, fault type. Reports
+  /// print this instead of raw gate ids.
+  [[nodiscard]] std::string describe(const Netlist& nl) const;
+
   friend bool operator==(const Fault& a, const Fault& b) {
     return a.gate == b.gate && a.pin == b.pin && a.type == b.type;
   }

@@ -77,51 +77,14 @@ void FaultSimulator::ensureWorkers(unsigned threads) {
   }
 }
 
-uint64_t FaultSimulator::evalWithOverlay(const Scratch& sc, GateId id) const {
-  const Gate& g = nl_->gate(id);
-  const auto good_vals = good_.rawValues();
-  auto val = [&](GateId f) -> uint64_t {
-    return sc.stamp[f.v] == sc.serial ? sc.fval[f.v] : good_vals[f.v];
-  };
-  switch (g.kind) {
-    case CellKind::kBuf:
-      return val(g.fanins[0]);
-    case CellKind::kNot:
-      return ~val(g.fanins[0]);
-    case CellKind::kMux2: {
-      const uint64_t s = val(g.fanins[2]);
-      return (val(g.fanins[0]) & ~s) | (val(g.fanins[1]) & s);
-    }
-    case CellKind::kAnd:
-    case CellKind::kNand: {
-      uint64_t acc = val(g.fanins[0]);
-      for (size_t i = 1; i < g.fanins.size(); ++i) acc &= val(g.fanins[i]);
-      return g.kind == CellKind::kNand ? ~acc : acc;
-    }
-    case CellKind::kOr:
-    case CellKind::kNor: {
-      uint64_t acc = val(g.fanins[0]);
-      for (size_t i = 1; i < g.fanins.size(); ++i) acc |= val(g.fanins[i]);
-      return g.kind == CellKind::kNor ? ~acc : acc;
-    }
-    case CellKind::kXor:
-    case CellKind::kXnor: {
-      uint64_t acc = val(g.fanins[0]);
-      for (size_t i = 1; i < g.fanins.size(); ++i) acc ^= val(g.fanins[i]);
-      return g.kind == CellKind::kXnor ? ~acc : acc;
-    }
-    default:
-      return good_vals[id.v];
-  }
-}
+namespace {
 
-uint64_t FaultSimulator::evalPinForced(GateId id, uint8_t pin,
-                                       uint64_t forced) const {
-  const Gate& g = nl_->gate(id);
-  const auto good_vals = good_.rawValues();
-  auto val = [&](size_t slot) -> uint64_t {
-    return slot == pin ? forced : good_vals[g.fanins[slot].v];
-  };
+/// One shared gate-function switch: every evaluation flavor differs only
+/// in how a fanin slot's value is read (plain good values, overlay, a
+/// forced pin). `val(slot)` supplies that; `fallback` is the result for
+/// non-combinational kinds.
+template <typename ValFn>
+uint64_t evalCombGate(const Gate& g, ValFn&& val, uint64_t fallback) {
   switch (g.kind) {
     case CellKind::kBuf:
       return val(0);
@@ -150,23 +113,63 @@ uint64_t FaultSimulator::evalPinForced(GateId id, uint8_t pin,
       return g.kind == CellKind::kXnor ? ~acc : acc;
     }
     default:
-      assert(false && "pin-forced eval on non-combinational gate");
-      return 0;
+      return fallback;
   }
 }
 
-uint64_t FaultSimulator::propagate(Scratch& sc, GateId site,
-                                   uint64_t diff) const {
-  const auto good_vals = good_.rawValues();
+}  // namespace
+
+uint64_t FaultSimulator::evalWithOverlay(
+    const Scratch& sc, GateId id, std::span<const uint64_t> good_vals) const {
+  const Gate& g = nl_->gate(id);
+  return evalCombGate(
+      g,
+      [&](size_t slot) -> uint64_t {
+        const GateId f = g.fanins[slot];
+        return sc.stamp[f.v] == sc.serial ? sc.fval[f.v] : good_vals[f.v];
+      },
+      good_vals[id.v]);
+}
+
+uint64_t FaultSimulator::evalPinForced(
+    GateId id, uint8_t pin, uint64_t forced,
+    std::span<const uint64_t> good_vals) const {
+  const Gate& g = nl_->gate(id);
+  assert(isCombinational(g.kind) &&
+         "pin-forced eval on non-combinational gate");
+  return evalCombGate(
+      g,
+      [&](size_t slot) -> uint64_t {
+        return slot == pin ? forced : good_vals[g.fanins[slot].v];
+      },
+      0);
+}
+
+uint64_t FaultSimulator::evalPinForcedOverlay(
+    const Scratch& sc, GateId id, uint8_t pin, uint64_t forced,
+    std::span<const uint64_t> good_vals) const {
+  const Gate& g = nl_->gate(id);
+  assert(isCombinational(g.kind) &&
+         "pin-forced eval on non-combinational gate");
+  return evalCombGate(
+      g,
+      [&](size_t slot) -> uint64_t {
+        if (slot == pin) return forced;
+        const GateId f = g.fanins[slot];
+        return sc.stamp[f.v] == sc.serial ? sc.fval[f.v] : good_vals[f.v];
+      },
+      0);
+}
+
+uint64_t FaultSimulator::propagateSeeds(Scratch& sc,
+                                        std::span<const Seed> seeds,
+                                        std::span<const uint64_t> good_vals,
+                                        const std::vector<uint8_t>& observed,
+                                        const Fault* forced) const {
   const Levelized& lev = good_.levelized();
   ++sc.serial;
   sc.touched.clear();
   uint64_t detect = 0;
-
-  sc.fval[site.v] = good_vals[site.v] ^ diff;
-  sc.stamp[site.v] = sc.serial;
-  sc.touched.push_back(site);
-  if (is_observed_[site.v] != 0) detect |= diff;
 
   size_t queued = 0;
   uint32_t min_level = sc.level_queue.size();
@@ -181,20 +184,41 @@ uint64_t FaultSimulator::propagate(Scratch& sc, GateId site,
       ++queued;
     }
   };
-  schedule_fanouts(site);
 
+  for (const Seed& s : seeds) {
+    if (s.diff == 0) continue;
+    sc.fval[s.gate.v] = good_vals[s.gate.v] ^ s.diff;
+    sc.stamp[s.gate.v] = sc.serial;
+    sc.touched.push_back(s.gate);
+    if (observed[s.gate.v] != 0) detect |= s.diff;
+    schedule_fanouts(s.gate);
+  }
+
+  const uint64_t forced_word =
+      forced != nullptr && forced->type == FaultType::kStuckAt1
+          ? ~uint64_t{0}
+          : uint64_t{0};
   for (uint32_t l = min_level; queued > 0 && l < sc.level_queue.size(); ++l) {
     auto& bucket = sc.level_queue[l];
     for (size_t i = 0; i < bucket.size(); ++i) {
       const GateId g{bucket[i]};
       --queued;
-      const uint64_t newval = evalWithOverlay(sc, g);
+      uint64_t newval;
+      if (forced != nullptr && g == forced->gate) {
+        // A seed's cone feeds the fault site: keep the fault applied.
+        newval = forced->pin == kOutputPin
+                     ? forced_word
+                     : evalPinForcedOverlay(sc, g, forced->pin, forced_word,
+                                            good_vals);
+      } else {
+        newval = evalWithOverlay(sc, g, good_vals);
+      }
       sc.fval[g.v] = newval;
       sc.stamp[g.v] = sc.serial;
       const uint64_t d = newval ^ good_vals[g.v];
       if (d == 0) continue;
       sc.touched.push_back(g);
-      if (is_observed_[g.v] != 0) detect |= d;
+      if (observed[g.v] != 0) detect |= d;
       schedule_fanouts(g);
     }
     bucket.clear();
@@ -203,10 +227,10 @@ uint64_t FaultSimulator::propagate(Scratch& sc, GateId site,
 }
 
 FaultSimulator::InjectResult FaultSimulator::injectStuckAt(
-    const Fault& f, uint64_t lane_mask) const {
+    const Fault& f, uint64_t lane_mask,
+    std::span<const uint64_t> good_vals) const {
   InjectResult res;
   const Gate& g = nl_->gate(f.gate);
-  const auto good_vals = good_.rawValues();
   const uint64_t forced =
       f.type == FaultType::kStuckAt1 ? ~uint64_t{0} : uint64_t{0};
   if (f.pin == kOutputPin) {
@@ -222,7 +246,7 @@ FaultSimulator::InjectResult FaultSimulator::injectStuckAt(
     res.direct_mask = (pin_good ^ forced) & lane_mask;
     return res;
   }
-  const uint64_t faulty_out = evalPinForced(f.gate, f.pin, forced);
+  const uint64_t faulty_out = evalPinForced(f.gate, f.pin, forced, good_vals);
   res.diff = (faulty_out ^ good_vals[f.gate.v]) & lane_mask;
   return res;
 }
@@ -253,7 +277,8 @@ FaultSimulator::InjectResult FaultSimulator::injectTransition(
   }
   if (act == 0) return res;
   const uint64_t held = good_vals[src.v] ^ act;  // launch value where active
-  const uint64_t faulty_out = evalPinForced(f.gate, f.pin, held);
+  const uint64_t faulty_out =
+      evalPinForced(f.gate, f.pin, held, good_vals);
   res.diff = (faulty_out ^ good_vals[f.gate.v]) & lane_mask;
   return res;
 }
@@ -281,14 +306,18 @@ size_t FaultSimulator::simulateActiveFaults(int64_t pattern_base,
   // Phase 1 — compute: workers read the shared good machine and fault
   // records, write only their own scratch and their slice of the
   // position-indexed result buffers. No shared mutable state, no atomics.
+  const auto good_vals = good_.rawValues();
   auto compute_range = [&](Scratch& sc, size_t lo, size_t hi) {
     for (size_t ai = lo; ai < hi; ++ai) {
       const Fault& f = faults_->record(active_[ai]).fault;
-      const InjectResult inj = transition ? injectTransition(f, lane_mask)
-                                          : injectStuckAt(f, lane_mask);
+      const InjectResult inj =
+          transition ? injectTransition(f, lane_mask)
+                     : injectStuckAt(f, lane_mask, good_vals);
       uint64_t detect = inj.direct_detect ? inj.direct_mask : 0;
       if (inj.diff != 0) {
-        detect |= propagate(sc, f.gate, inj.diff);
+        const Seed seed{f.gate, inj.diff};
+        detect |= propagateSeeds(sc, {&seed, 1}, good_vals, is_observed_,
+                                 /*forced=*/nullptr);
         block_had_diff_[ai] = 1;
         if (inline_observer) {
           reach_observer_->onFaultEffects(active_[ai], sc.touched);
@@ -309,9 +338,14 @@ size_t FaultSimulator::simulateActiveFaults(int64_t pattern_base,
     });
   }
 
+  return mergeBlock(pattern_base, buffer_reach);
+}
+
+size_t FaultSimulator::mergeBlock(int64_t pattern_base, bool buffer_reach) {
   // Phase 2 — merge, serially and in fault-list order: detection
-  // bookkeeping, reach-observer callbacks, and n-detect dropping are
+  // bookkeeping, observer callbacks, and n-detect dropping are
   // therefore identical for every thread count and shard layout.
+  const size_t n_active = active_.size();
   size_t newly_detected = 0;
   size_t out = 0;
   for (size_t ai = 0; ai < n_active; ++ai) {
@@ -320,6 +354,9 @@ size_t FaultSimulator::simulateActiveFaults(int64_t pattern_base,
       reach_observer_->onFaultEffects(fi, block_touched_[ai]);
     }
     const uint64_t detect = block_detect_[ai];
+    if (detect != 0 && detection_observer_ != nullptr) {
+      detection_observer_->onDetectionMask(fi, pattern_base, detect);
+    }
     if (detect != 0) {
       FaultRecord& rec = faults_->record(fi);
       const bool was_undetected = rec.status == FaultStatus::kUndetected;
@@ -339,6 +376,112 @@ size_t FaultSimulator::simulateActiveFaults(int64_t pattern_base,
   }
   active_.resize(out);
   return newly_detected;
+}
+
+size_t FaultSimulator::simulateBlockStuckAtStaged(
+    int64_t pattern_base, int n_patterns,
+    std::span<const std::vector<GateId>> stages) {
+  const uint64_t lane_mask =
+      n_patterns >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n_patterns) - 1);
+  const size_t n_active = active_.size();
+  const size_t n_stages = stages.size();
+  if (n_active == 0 || n_stages == 0) return 0;
+
+  // Good-machine capture frames: frame 0 is the loaded state; frame j+1
+  // has stages[0..j] updated to their captured values.
+  good_.eval();
+  frame_vals_.resize(n_stages);
+  frame_vals_[0].assign(good_.rawValues().begin(), good_.rawValues().end());
+  for (size_t j = 0; j + 1 < n_stages; ++j) {
+    for (GateId ff : stages[j]) {
+      good_.setSource(ff, frame_vals_[j][nl_->gate(ff).fanins[0].v]);
+    }
+    good_.eval();
+    frame_vals_[j + 1].assign(good_.rawValues().begin(),
+                              good_.rawValues().end());
+  }
+
+  // Per-stage observation flags: detection counts at a stage DFF's D
+  // driver at that stage's own pulse (and only if globally observed).
+  stage_observed_.resize(n_stages);
+  for (size_t j = 0; j < n_stages; ++j) {
+    stage_observed_[j].assign(nl_->numGates(), 0);
+    for (GateId ff : stages[j]) {
+      const GateId driver = nl_->gate(ff).fanins[0];
+      if (is_observed_[driver.v] != 0) stage_observed_[j][driver.v] = 1;
+    }
+  }
+  assert(reach_observer_ == nullptr &&
+         "reach observer is not supported in staged mode");
+  const unsigned n_threads = resolveThreads(n_active);
+  ensureWorkers(n_threads);
+  block_detect_.assign(n_active, 0);
+
+  auto compute_range = [&](Scratch& sc, size_t lo, size_t hi) {
+    std::vector<Seed> seeds;
+    std::vector<Seed> held;  // corrupted captured values, held to window end
+    for (size_t ai = lo; ai < hi; ++ai) {
+      const Fault& f = faults_->record(active_[ai]).fault;
+      const Gate& g = nl_->gate(f.gate);
+      const bool dff_pin = f.pin != kOutputPin && g.kind == CellKind::kDff;
+      const uint64_t forced_word =
+          f.type == FaultType::kStuckAt1 ? ~uint64_t{0} : uint64_t{0};
+      held.clear();
+      uint64_t detect = 0;
+
+      for (size_t j = 0; j < n_stages; ++j) {
+        seeds.assign(held.begin(), held.end());
+        if (!dff_pin) {
+          // The stuck line is active in every frame; re-inject against
+          // this frame's good values.
+          const InjectResult inj =
+              injectStuckAt(f, lane_mask, frame_vals_[j]);
+          if (inj.diff != 0) seeds.push_back({f.gate, inj.diff});
+        }
+        const bool propagated = !seeds.empty();
+        if (propagated) {
+          detect |= propagateSeeds(sc, seeds, frame_vals_[j],
+                                   stage_observed_[j], dff_pin ? nullptr : &f) &
+                    lane_mask;
+        }
+
+        // Collect this stage's corrupted captures: they stay corrupted
+        // (and keep corrupting later stages) until the window ends.
+        if (j + 1 < n_stages || dff_pin) {
+          for (GateId ff : stages[j]) {
+            // An output-stuck DFF never presents its captured value: the
+            // stem stays forced (re-injected every frame), so carrying a
+            // captured diff for it would be wrong.
+            if (!dff_pin && ff == f.gate) continue;
+            const GateId driver = nl_->gate(ff).fanins[0];
+            uint64_t dd = 0;
+            if (propagated && sc.stamp[driver.v] == sc.serial) {
+              dd = (sc.fval[driver.v] ^ frame_vals_[j][driver.v]) & lane_mask;
+            }
+            if (dff_pin && ff == f.gate) {
+              // The faulted pin captures the forced value regardless of
+              // the net driving it; visible at its own scan unload.
+              dd = (frame_vals_[j][driver.v] ^ forced_word) & lane_mask;
+              if ((nl_->gate(ff).flags & kFlagScanCell) != 0) detect |= dd;
+            }
+            if (dd != 0) held.push_back({ff, dd});
+          }
+        }
+      }
+      block_detect_[ai] = detect;
+    }
+  };
+  if (n_threads <= 1) {
+    compute_range(*scratch_[0], 0, n_active);
+  } else {
+    pool_->run(n_threads, [&](unsigned shard) {
+      const size_t lo = n_active * shard / n_threads;
+      const size_t hi = n_active * (shard + 1) / n_threads;
+      compute_range(*scratch_[shard], lo, hi);
+    });
+  }
+
+  return mergeBlock(pattern_base, /*buffer_reach=*/false);
 }
 
 size_t FaultSimulator::simulateBlockStuckAt(int64_t pattern_base,

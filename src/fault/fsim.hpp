@@ -37,6 +37,21 @@ class ReachObserver {
                               std::span<const GateId> touched) = 0;
 };
 
+/// Callback receiving, per simulated block and in fault-list order, the
+/// per-pattern-lane detection mask of every fault that produced one.
+/// Fired from the serial merge phase, so the stream is bit-identical for
+/// every worker-thread count. Drives the diagnosis response dictionaries
+/// (src/diag/dictionary); record with dropping disabled to get complete
+/// per-pattern rows.
+class DetectionObserver {
+ public:
+  virtual ~DetectionObserver() = default;
+  /// Lane l of `detect_mask` set means fault `fault_index` is detected by
+  /// pattern `pattern_base + l` at the observation set.
+  virtual void onDetectionMask(size_t fault_index, int64_t pattern_base,
+                               uint64_t detect_mask) = 0;
+};
+
 struct FsimOptions {
   uint32_t n_detect = 1;   // drop a fault after this many detections
   bool drop_detected = true;
@@ -67,6 +82,21 @@ class FaultSimulator {
   /// fault list are pattern_base + lane.
   size_t simulateBlockStuckAt(int64_t pattern_base, int n_patterns = 64);
 
+  /// Ordered-capture stuck-at block, modeling the session's staggered
+  /// capture window: stages[j] lists every DFF clocked by capture pulse
+  /// j (one stage per clock domain, in capture order). Stage 0 captures
+  /// from the loaded sources; later stages see earlier stages' freshly
+  /// captured state, and fault effects hop stages through corrupted
+  /// captured values — the cross-domain mechanism a simultaneous-capture
+  /// model misses. Detection is recorded at the D drivers of observed
+  /// stage DFFs at their own capture pulse; observed gates not driving
+  /// any stage DFF (e.g. raw primary outputs) are ignored. The reach
+  /// observer is not supported in this mode. With a single stage this is
+  /// equivalent to simulateBlockStuckAt over a scan observation set.
+  size_t simulateBlockStuckAtStaged(
+      int64_t pattern_base, int n_patterns,
+      std::span<const std::vector<GateId>> stages);
+
   /// Transition block (LOC broadside): sources currently loaded are the
   /// *launch* state; the engine computes the follow-on capture cycle
   /// itself (PIs held). Returns newly detected faults.
@@ -94,6 +124,9 @@ class FaultSimulator {
   void restrictActiveSet(std::span<const size_t> fault_indices);
 
   void setReachObserver(ReachObserver* obs) { reach_observer_ = obs; }
+  void setDetectionObserver(DetectionObserver* obs) {
+    detection_observer_ = obs;
+  }
 
   /// Changes the worker-thread count between blocks (0 = hardware
   /// concurrency). Detection results are unaffected by this setting.
@@ -116,6 +149,13 @@ class FaultSimulator {
     uint64_t direct_mask = 0;
   };
 
+  /// A fault-effect source for one propagation frame: `gate`'s value
+  /// differs from the frame's good machine in the `diff` lanes.
+  struct Seed {
+    GateId gate;
+    uint64_t diff = 0;
+  };
+
   /// Per-worker propagation state: the fault-effect overlay (epoch-stamped
   /// per fault), the level-bucketed event queue, and the touched-gate log.
   struct Scratch {
@@ -127,17 +167,33 @@ class FaultSimulator {
     std::vector<GateId> touched;
   };
 
-  InjectResult injectStuckAt(const Fault& f, uint64_t lane_mask) const;
+  InjectResult injectStuckAt(const Fault& f, uint64_t lane_mask,
+                             std::span<const uint64_t> good_vals) const;
   InjectResult injectTransition(const Fault& f, uint64_t lane_mask) const;
-  uint64_t evalWithOverlay(const Scratch& sc, GateId id) const;
-  uint64_t evalPinForced(GateId id, uint8_t pin, uint64_t forced) const;
+  uint64_t evalWithOverlay(const Scratch& sc, GateId id,
+                           std::span<const uint64_t> good_vals) const;
+  uint64_t evalPinForced(GateId id, uint8_t pin, uint64_t forced,
+                         std::span<const uint64_t> good_vals) const;
+  uint64_t evalPinForcedOverlay(const Scratch& sc, GateId id, uint8_t pin,
+                                uint64_t forced,
+                                std::span<const uint64_t> good_vals) const;
 
-  /// Propagates `diff` from `site` through the cone; returns the
-  /// detection mask accumulated over observed gates. Fills sc.touched.
-  uint64_t propagate(Scratch& sc, GateId site, uint64_t diff) const;
+  /// Propagates the seeds' diffs through their cones against the
+  /// `good_vals` frame; returns the detection mask accumulated over
+  /// gates flagged in `observed`. Fills sc.touched. When `forced` names
+  /// a stuck-at fault, re-evaluations of its gate keep the fault applied
+  /// (needed when another seed's cone feeds the fault site).
+  uint64_t propagateSeeds(Scratch& sc, std::span<const Seed> seeds,
+                          std::span<const uint64_t> good_vals,
+                          const std::vector<uint8_t>& observed,
+                          const Fault* forced) const;
 
   size_t simulateActiveFaults(int64_t pattern_base, int n_patterns,
                               bool transition);
+
+  /// Serial phase-2 merge over block_detect_: detection bookkeeping,
+  /// observer callbacks, n-detect dropping — in fault-list order.
+  size_t mergeBlock(int64_t pattern_base, bool buffer_reach);
 
   [[nodiscard]] unsigned resolveThreads(size_t n_active) const;
   void ensureWorkers(unsigned threads);
@@ -153,6 +209,11 @@ class FaultSimulator {
   // Launch-cycle good values for transition simulation.
   std::vector<uint64_t> launch_values_;
 
+  // Staged capture: good-machine values per capture frame, and per-stage
+  // observation flags (D drivers of that stage's observed DFFs).
+  std::vector<std::vector<uint64_t>> frame_vals_;
+  std::vector<std::vector<uint8_t>> stage_observed_;
+
   // One propagation scratch per worker (index 0 doubles as the serial
   // path's scratch), created on demand.
   std::vector<std::unique_ptr<Scratch>> scratch_;
@@ -165,6 +226,7 @@ class FaultSimulator {
 
   std::vector<size_t> active_;
   ReachObserver* reach_observer_ = nullptr;
+  DetectionObserver* detection_observer_ = nullptr;
 };
 
 /// Builds the canonical observation set for a (BIST-ready) netlist:

@@ -326,5 +326,69 @@ TEST(CrossValidation, FsimDetectedFaultBreaksSessionSignature) {
   EXPECT_GE(checked, 3u);
 }
 
+// --- MISR linearity -----------------------------------------------------------
+//
+// The interval-signature diagnosis (src/diag) relies on the MISR being a
+// linear map: the signature of an error stream equals the XOR of the
+// faulty and golden signatures, and an error word advances autonomously
+// between checkpoints. Both invariants are checked over random response
+// streams at the paper's register lengths.
+
+class MisrLinearity : public ::testing::TestWithParam<int> {};
+
+TEST_P(MisrLinearity, SignatureOfXorIsXorOfSignatures) {
+  const int length = GetParam();
+  std::mt19937_64 rng(0xA11CE + static_cast<uint64_t>(length));
+  bist::WideMisr ma(length);
+  bist::WideMisr mb(length);
+  bist::WideMisr mx(length);
+  std::vector<uint8_t> a(static_cast<size_t>(length));
+  std::vector<uint8_t> b(static_cast<size_t>(length));
+  std::vector<uint8_t> x(static_cast<size_t>(length));
+  for (int cycle = 0; cycle < 257; ++cycle) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<uint8_t>(rng() & 1);
+      b[i] = static_cast<uint8_t>(rng() & 1);
+      x[i] = a[i] ^ b[i];
+    }
+    ma.step(a);
+    mb.step(b);
+    mx.step(x);
+
+    const std::vector<uint64_t> wa = ma.signatureWords();
+    const std::vector<uint64_t> wb = mb.signatureWords();
+    const std::vector<uint64_t> wx = mx.signatureWords();
+    for (size_t s = 0; s < wx.size(); ++s) {
+      ASSERT_EQ(wx[s], wa[s] ^ wb[s])
+          << "sig(a^b) != sig(a)^sig(b) at cycle " << cycle << " length "
+          << length;
+    }
+  }
+}
+
+TEST_P(MisrLinearity, AdvanceMatchesZeroInputStepping) {
+  const int length = GetParam();
+  std::mt19937_64 rng(0xB0B + static_cast<uint64_t>(length));
+  bist::WideMisr m(length);
+  std::vector<uint8_t> slice(static_cast<size_t>(length));
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    for (uint8_t& bit : slice) bit = static_cast<uint8_t>(rng() & 1);
+    m.step(slice);
+  }
+  const std::vector<uint64_t> base = m.signatureWords();
+  std::fill(slice.begin(), slice.end(), 0);
+  uint64_t stepped = 0;
+  for (const uint64_t jump : {1u, 7u, 64u, 1000u}) {
+    for (uint64_t i = 0; i < jump; ++i) m.step(slice);
+    stepped += jump;
+    EXPECT_EQ(m.signatureWords(), m.advance(base, stepped))
+        << "advance(" << stepped << ") diverges from stepping, length "
+        << length;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RegisterLengths, MisrLinearity,
+                         ::testing::Values(19, 37, 80, 99));
+
 }  // namespace
 }  // namespace lbist
