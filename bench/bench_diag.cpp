@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "core/architect.hpp"
 #include "diag/diagnoser.hpp"
 #include "fault/inject.hpp"
@@ -146,7 +147,9 @@ int main() {
     std::fprintf(stderr, "cannot write BENCH_diag.json\n");
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"diag_window_sweep\",\n  \"runs\": [\n");
+  std::fprintf(f, "{\n  \"bench\": \"diag_window_sweep\",\n");
+  lbist::bench::writeMetaJson(f);
+  std::fprintf(f, "  \"runs\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(

@@ -1,0 +1,60 @@
+// Build/host metadata block shared by the bench JSON writers, so every
+// committed BENCH_*.json records the environment that produced it and
+// the CI delta step can refuse to compare apples to oranges.
+//
+// LBIST_GIT_SHA and LBIST_CXX_FLAGS are injected per bench target from
+// CMake (the SHA is captured at configure time, so re-configure after
+// committing if an exact stamp matters); the compiler string comes from
+// the compiler itself at compile time.
+#pragma once
+
+#include <cstdio>
+#include <thread>
+
+#ifndef LBIST_GIT_SHA
+#define LBIST_GIT_SHA "unknown"
+#endif
+#ifndef LBIST_CXX_FLAGS
+#define LBIST_CXX_FLAGS ""
+#endif
+
+#if defined(__clang__)
+#define LBIST_COMPILER_NAME "clang"
+#elif defined(__GNUC__)
+#define LBIST_COMPILER_NAME "gcc"
+#else
+#define LBIST_COMPILER_NAME "unknown"
+#endif
+
+namespace lbist::bench {
+
+/// Emits `s` with JSON string escaping — compiler version strings and
+/// user CXX flags can legally contain quotes/backslashes (-DTAG="x").
+inline void writeJsonEscaped(std::FILE* f, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', f);
+      std::fputc(c, f);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(f, "\\u%04x", c);
+    } else {
+      std::fputc(c, f);
+    }
+  }
+}
+
+/// Writes the `"meta": {...},` object (with trailing comma) into an
+/// already-open JSON object.
+inline void writeMetaJson(std::FILE* f) {
+  std::fprintf(f, "  \"meta\": {\"git_sha\": \"");
+  writeJsonEscaped(f, LBIST_GIT_SHA);
+  std::fprintf(f, "\", \"compiler\": \"");
+  writeJsonEscaped(f, LBIST_COMPILER_NAME " " __VERSION__);
+  std::fprintf(f, "\", \"flags\": \"");
+  writeJsonEscaped(f, LBIST_CXX_FLAGS);
+  std::fprintf(f, "\", \"hardware_concurrency\": %u},\n",
+               std::thread::hardware_concurrency());
+}
+
+}  // namespace lbist::bench

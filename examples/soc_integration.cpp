@@ -48,7 +48,8 @@ bool testOverJtag(EmbeddedCore& c, const std::vector<std::string>& golden,
   const bool result = status[1] != 0;
 
   std::printf("  %-10s TCKs=%-6llu Finish=%d Result=%s\n", c.name.c_str(),
-              static_cast<unsigned long long>(driver.tckCount()), finish ? 1 : 0,
+              static_cast<unsigned long long>(driver.tckCount()),
+              finish ? 1 : 0,
               result ? "PASS" : "FAIL");
 
   if (!result) {

@@ -32,6 +32,7 @@ int main() {
   const core::BistReadyCore ready = core::buildBistReadyCore(raw, cfg);
   core::CoverageFlow flow(ready);
 
+  std::printf("%s", core::renderCollapseStats(flow.collapseStats()).c_str());
   std::printf("%-22s %-12s %s\n", "phase", "patterns", "fault coverage");
   int64_t total = 0;
   for (const int64_t burst : {1'024, 3'072, 4'096, 8'192}) {

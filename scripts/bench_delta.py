@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Compares two BENCH_fsim.json files and prints the patterns/sec delta.
+
+Usage: bench_delta.py OLD.json NEW.json
+
+Exits 0 always — the comparison is informational (CI runs it
+non-blocking); regressions are reported in the output, not the exit
+code. Rows are matched on (circuit, threads); the meta blocks are
+printed so apples-to-oranges comparisons (different host, compiler, or
+flags) are visible at a glance.
+"""
+
+import json
+import sys
+
+
+def rows(doc):
+    return {(r["circuit"], r["threads"]): r for r in doc.get("runs", [])}
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip())
+        return 0
+    try:
+        with open(sys.argv[1]) as f:
+            old = json.load(f)
+        with open(sys.argv[2]) as f:
+            new = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_delta: cannot compare: {e}")
+        return 0
+
+    print(f"old meta: {old.get('meta')}")
+    print(f"new meta: {new.get('meta')}")
+    old_rows, new_rows = rows(old), rows(new)
+    common = sorted(set(old_rows) & set(new_rows), key=str)
+    if not common:
+        print("bench_delta: no common (circuit, threads) rows")
+        return 0
+
+    print(f"{'circuit':<24} {'thr':>3} {'old pat/s':>12} {'new pat/s':>12} "
+          f"{'delta':>8}")
+    for key in common:
+        o, n = old_rows[key], new_rows[key]
+        old_pps, new_pps = o["patterns_per_sec"], n["patterns_per_sec"]
+        delta = (new_pps / old_pps - 1.0) * 100.0 if old_pps else float("nan")
+        flag = "  <-- regression" if delta < -10.0 else ""
+        print(f"{key[0]:<24} {key[1]:>3} {old_pps:>12.1f} {new_pps:>12.1f} "
+              f"{delta:>+7.1f}%{flag}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,13 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
   std::vector<uint8_t> tried(faults.size(), 0);
   int64_t pattern_base = 0;
 
+  // Dominance-prunable faults are deferred: their tests come for free
+  // with the faults they dominate. Once the main pass runs dry the
+  // deferral is lifted and any survivors are targeted directly.
+  const fault::CollapseMap& cmap = fsim.collapseMap();
+  bool defer_prunable =
+      cfg.dominance_prune && !cmap.representatives().empty();
+
   while (true) {
     if (cfg.max_patterns != 0 && result.patterns.size() >= cfg.max_patterns) {
       break;
@@ -58,6 +65,7 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
           rec.status != fault::FaultStatus::kUndetected) {
         continue;
       }
+      if (defer_prunable && cmap.dominancePrunable(fi)) continue;
       tried[fi] = 1;
       ++result.targeted;
       TestCube cube;
@@ -88,7 +96,13 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
         batch.push_back(std::move(cube));
       }
     }
-    if (batch.empty()) break;
+    if (batch.empty()) {
+      if (defer_prunable) {
+        defer_prunable = false;  // second pass: target the deferred residue
+        continue;
+      }
+      break;
+    }
 
     // --- fill, store, and fault-simulate the batch --------------------------
     std::vector<uint64_t> lane_words(assignable.size(), 0);

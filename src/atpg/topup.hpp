@@ -30,6 +30,14 @@ struct TopUpConfig {
   /// Stop after this many merged patterns (0 = unlimited).
   size_t max_patterns = 0;
   bool compact = true;
+  /// Defer targeting faults the collapse analysis marks
+  /// dominance-prunable (any test for some other listed fault detects
+  /// them, so the batch fault simulation usually drops them for free).
+  /// A second pass still targets whatever survives deferral, so final
+  /// coverage is never reduced — only the targeting work and the
+  /// pattern count shrink. No-op when the simulator was built with
+  /// collapsing off.
+  bool dominance_prune = true;
 };
 
 struct TopUpResult {

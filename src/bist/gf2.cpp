@@ -57,7 +57,8 @@ int Gf2Matrix::rank() const {
       }
     }
     if (pivot < 0) continue;
-    std::swap(rows[static_cast<size_t>(pivot)], rows[static_cast<size_t>(rank)]);
+    std::swap(rows[static_cast<size_t>(pivot)],
+              rows[static_cast<size_t>(rank)]);
     for (int r = 0; r < n_; ++r) {
       if (r != rank && (rows[static_cast<size_t>(r)] & bit) != 0) {
         rows[static_cast<size_t>(r)] ^= rows[static_cast<size_t>(rank)];

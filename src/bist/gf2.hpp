@@ -22,7 +22,9 @@ class Gf2Matrix {
   static Gf2Matrix identity(int n);
 
   [[nodiscard]] int dim() const { return n_; }
-  [[nodiscard]] uint64_t row(int i) const { return rows_[static_cast<size_t>(i)]; }
+  [[nodiscard]] uint64_t row(int i) const {
+    return rows_[static_cast<size_t>(i)];
+  }
   void setRow(int i, uint64_t bits) { rows_[static_cast<size_t>(i)] = bits; }
 
   [[nodiscard]] bool get(int i, int j) const {

@@ -105,7 +105,8 @@ class InputSelector {
  public:
   enum class Mode : uint8_t { kRandom, kExternal };
 
-  explicit InputSelector(int chains) : external_(static_cast<size_t>(chains), 0) {}
+  explicit InputSelector(int chains)
+      : external_(static_cast<size_t>(chains), 0) {}
 
   void setMode(Mode m) { mode_ = m; }
   [[nodiscard]] Mode mode() const { return mode_; }

@@ -64,7 +64,8 @@ void SpaceCompactor::apply(std::span<const uint8_t> chain_out,
   }
   for (int i = 0; i < misr_; ++i) misr_in[static_cast<size_t>(i)] = 0;
   for (int j = 0; j < chains_; ++j) {
-    misr_in[static_cast<size_t>(j % misr_)] ^= chain_out[static_cast<size_t>(j)] & 1u;
+    misr_in[static_cast<size_t>(j % misr_)] ^=
+        chain_out[static_cast<size_t>(j)] & 1u;
   }
 }
 

@@ -38,7 +38,8 @@ class SpaceExpander {
   std::vector<std::vector<int>> taps_;
 };
 
-/// Compactor: MISR input i is the XOR of chain outputs {j : j % misr_inputs == i}.
+/// Compactor: MISR input i is the XOR of chain outputs
+/// {j : j % misr_inputs == i}.
 class SpaceCompactor {
  public:
   SpaceCompactor(int chain_outputs, int misr_inputs);

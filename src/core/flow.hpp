@@ -42,6 +42,11 @@ class CoverageFlow {
 
   [[nodiscard]] fault::FaultList& faults() { return faults_; }
   [[nodiscard]] const fault::FaultList& faults() const { return faults_; }
+  /// Structural-collapsing summary of the flow's fault simulator (for
+  /// core::renderCollapseStats report lines).
+  [[nodiscard]] const fault::CollapseStats& collapseStats() const {
+    return fsim_.collapseStats();
+  }
   [[nodiscard]] const std::vector<GateId>& observed() const {
     return observed_;
   }

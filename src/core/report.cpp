@@ -118,7 +118,9 @@ std::string renderTable1(std::span<const Table1Column> cols) {
     return std::to_string(c.test_points) + " (Obv-Only)";
   });
   add("# of Random Patterns",
-      [](const auto& c) { return withK(static_cast<size_t>(c.random_patterns)); });
+      [](const auto& c) {
+        return withK(static_cast<size_t>(c.random_patterns));
+      });
   add("Fault Coverage 1",
       [](const auto& c) { return percent(c.fault_coverage_1); });
   add("CPU Time", [](const auto& c) { return formatDuration(c.cpu_seconds); });
@@ -171,6 +173,19 @@ std::string renderUndetectedFaults(const Netlist& nl,
   for (size_t k = 0; k < undet.size() && k < max_faults; ++k) {
     os << "  " << faults.record(undet[k]).fault.describe(nl) << "\n";
   }
+  return os.str();
+}
+
+std::string renderCollapseStats(const fault::CollapseStats& s) {
+  std::ostringstream os;
+  if (s.classes == 0) {
+    os << "fault collapsing: off\n";
+    return os.str();
+  }
+  os << "fault collapsing: " << s.total << " faults -> " << s.classes
+     << " classes (" << std::fixed << std::setprecision(1)
+     << s.foldedPercent() << "% folded), " << s.dominance_prunable
+     << " dominance-prunable ATPG targets\n";
   return os.str();
 }
 

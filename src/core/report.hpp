@@ -52,4 +52,9 @@ struct Table1Column {
     const Netlist& nl, const fault::FaultList& faults,
     size_t max_faults = 10);
 
+/// One-line summary of the structural collapsing a flow's fault
+/// simulator ran with: universe size, equivalence classes, fold
+/// percentage, dominance-prunable ATPG targets.
+[[nodiscard]] std::string renderCollapseStats(const fault::CollapseStats& s);
+
 }  // namespace lbist::core

@@ -50,7 +50,8 @@ void ThreadPool::workerLoop() {
   uint64_t seen_generation = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+    work_cv_.wait(lock,
+                  [&] { return stop_ || generation_ != seen_generation; });
     if (stop_) return;
     seen_generation = generation_;
     while (next_shard_ < n_shards_) {

@@ -166,7 +166,7 @@ ScanResult insertScan(Netlist& nl, const ScanConfig& cfg) {
     }
   }
 
-  // -- stitching ---------------------------------------------------------------
+  // -- stitching --------------------------------------------------------------
   const GateId se = nl.findGateByName(cfg.se_name).value_or(GateId{});
   const GateId se_port = se.valid() ? se : nl.addInput(cfg.se_name);
   result.se_port = se_port;

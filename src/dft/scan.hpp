@@ -38,7 +38,8 @@ struct ScanConfig {
 struct ScanResult {
   std::vector<ScanChain> chains;
   GateId se_port;
-  GateId test_mode_port;  // invalid when wrap_ios == false and no X-bounding used it
+  // Invalid when wrap_ios == false and no X-bounding used it.
+  GateId test_mode_port;
   size_t scan_cells = 0;
   size_t wrapper_cells = 0;
   size_t max_chain_length = 0;

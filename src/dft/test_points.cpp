@@ -195,7 +195,7 @@ TpiResult selectObservePointsFaultSim(const Netlist& nl,
       guide.simulateBlockStuckAt(base, lanes);
     }
 
-    // --- candidate pool -------------------------------------------------------
+    // --- candidate pool ------------------------------------------------------
     std::vector<GateId> candidates;
     nl.forEachGate([&](GateId id, const Gate&) {
       if (counter.counts()[id.v] > 0 &&
@@ -211,7 +211,7 @@ TpiResult selectObservePointsFaultSim(const Netlist& nl,
     }
     if (candidates.empty()) break;
 
-    // --- pass B: per-candidate cover bitsets ----------------------------------
+    // --- pass B: per-candidate cover bitsets ---------------------------------
     fault::FaultSimulator cover_sim(nl, faults, obs,
                                     fault::FsimOptions{1, /*drop=*/false});
     cover_sim.restrictActiveSet(undetected);
@@ -224,7 +224,7 @@ TpiResult selectObservePointsFaultSim(const Netlist& nl,
       cover_sim.simulateBlockStuckAt(base, lanes);
     }
 
-    // --- greedy set cover ------------------------------------------------------
+    // --- greedy set cover ----------------------------------------------------
     covered.assign(recorder.words(), 0);
     std::vector<uint8_t> taken(candidates.size(), 0);
     while (result.points.size() < cfg.max_points) {

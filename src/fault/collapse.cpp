@@ -1,0 +1,178 @@
+#include "fault/collapse.hpp"
+
+
+namespace lbist::fault {
+
+namespace {
+
+constexpr uint32_t kNone = 0xffffffffu;
+
+bool isLowFault(FaultType t) {
+  return t == FaultType::kStuckAt0 || t == FaultType::kSlowToRise;
+}
+
+bool isTransitionFault(FaultType t) {
+  return t == FaultType::kSlowToRise || t == FaultType::kSlowToFall;
+}
+
+bool invertsPolarity(CellKind k) {
+  return k == CellKind::kNot || k == CellKind::kNand || k == CellKind::kNor;
+}
+
+/// Polarity of the output-stem fault a controlling input fault maps to
+/// through a gate of kind `k`.
+FaultType throughGate(FaultType t, CellKind k) {
+  if (!invertsPolarity(k)) return t;
+  switch (t) {
+    case FaultType::kStuckAt0:
+      return FaultType::kStuckAt1;
+    case FaultType::kStuckAt1:
+      return FaultType::kStuckAt0;
+    case FaultType::kSlowToRise:
+      return FaultType::kSlowToFall;
+    case FaultType::kSlowToFall:
+      return FaultType::kSlowToRise;
+  }
+  return t;
+}
+
+/// Transition-fault folds are equivalence-exact only through single-input
+/// gates (see header comment).
+bool transitionFoldable(CellKind k) {
+  return k == CellKind::kBuf || k == CellKind::kNot;
+}
+
+}  // namespace
+
+NetUses buildNetUses(const Netlist& nl) {
+  NetUses u;
+  const size_t n_gates = nl.numGates();
+  u.count.assign(n_gates, 0);
+  u.gate.assign(n_gates, NetUses::kNone);
+  u.slot.assign(n_gates, 0);
+  nl.forEachGate([&](GateId id, const Gate& g) {
+    for (size_t slot = 0; slot < g.fanins.size(); ++slot) {
+      const uint32_t src = g.fanins[slot].v;
+      ++u.count[src];
+      u.gate[src] = id.v;
+      u.slot[src] = static_cast<uint32_t>(slot);
+    }
+  });
+  return u;
+}
+
+CollapseMap buildCollapseMap(const Netlist& nl, const FaultList& faults,
+                             std::span<const GateId> observed) {
+  CollapseMap cm;
+  const size_t n = faults.size();
+  const size_t n_gates = nl.numGates();
+  cm.rep_.resize(n);
+  cm.prunable_.assign(n, 0);
+  cm.stats_.total = n;
+
+  // Every fold edge and dominance mark targets an output-stem fault, so
+  // a pair of per-gate index arrays (one per polarity) replaces a hash
+  // map; the stored type is re-checked on lookup so a list mixing fault
+  // families degrades to fewer folds instead of wrong ones.
+  std::vector<uint32_t> stem_idx[2];
+  stem_idx[0].assign(n_gates, kNone);
+  stem_idx[1].assign(n_gates, kNone);
+  for (uint32_t i = 0; i < n; ++i) {
+    const Fault& f = faults.record(i).fault;
+    if (f.pin != kOutputPin) continue;
+    stem_idx[isLowFault(f.type) ? 0 : 1][f.gate.v] = i;
+  }
+  auto find_stem = [&](uint32_t gate, FaultType t) -> uint32_t {
+    const uint32_t i = stem_idx[isLowFault(t) ? 0 : 1][gate];
+    if (i == kNone || faults.record(i).fault.type != t) return kNone;
+    return i;
+  };
+
+  const NetUses uses_summary = buildNetUses(nl);
+  const std::vector<uint32_t>& uses = uses_summary.count;
+  const std::vector<uint32_t>& use_gate = uses_summary.gate;
+
+  std::vector<uint8_t> is_observed(n_gates, 0);
+  for (GateId o : observed) is_observed[o.v] = 1;
+
+  // Fold edges: every fault folds onto at most one other fault, and the
+  // edges always point forward (pin -> same gate's stem, stem -> a
+  // topologically later gate's stem), so the chains are acyclic.
+  std::vector<uint32_t> parent(n);
+  for (uint32_t i = 0; i < n; ++i) parent[i] = i;
+
+  for (uint32_t i = 0; i < n; ++i) {
+    const Fault& f = faults.record(i).fault;
+    const bool transition = isTransitionFault(f.type);
+
+    if (f.pin != kOutputPin) {
+      // Input-pin fault -> same gate's stem (controlling polarity only).
+      const Gate& g = nl.gate(f.gate);
+      if (g.kind == CellKind::kDff) continue;  // special injection path
+      if (transition && !transitionFoldable(g.kind)) continue;
+      if (!pinFaultCollapsesOntoStem(g.kind, isLowFault(f.type))) continue;
+      const uint32_t stem = find_stem(f.gate.v, throughGate(f.type, g.kind));
+      if (stem != kNone) parent[i] = stem;
+      continue;
+    }
+
+    // Stem fault -> consuming gate's stem, if the net has exactly one
+    // use and the tester cannot see it directly.
+    if (uses[f.gate.v] != 1 || is_observed[f.gate.v] != 0) continue;
+    const uint32_t tgt = use_gate[f.gate.v];
+    const Gate& tg = nl.gate(GateId{tgt});
+    if (!isCombinational(tg.kind)) continue;
+    if (transition && !transitionFoldable(tg.kind)) continue;
+    if (!pinFaultCollapsesOntoStem(tg.kind, isLowFault(f.type))) continue;
+    const uint32_t stem = find_stem(tgt, throughGate(f.type, tg.kind));
+    if (stem != kNone) parent[i] = stem;
+  }
+
+  // Resolve fold chains to class representatives (path compression).
+  std::vector<uint32_t> path;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t r = i;
+    path.clear();
+    while (parent[r] != r) {
+      path.push_back(r);
+      r = parent[r];
+    }
+    for (uint32_t p : path) parent[p] = r;
+    cm.rep_[i] = r;
+  }
+
+  size_t classes = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (cm.rep_[i] == i) ++classes;
+  }
+  cm.stats_.classes = classes;
+  cm.stats_.folded = n - classes;
+
+  // Dominance marks: the stem fault reached through the non-controlling
+  // polarity of an AND/NAND/OR/NOR input fault is detected by any test
+  // for that input fault (stuck-at only).
+  for (uint32_t i = 0; i < n; ++i) {
+    const Fault& f = faults.record(i).fault;
+    if (f.pin == kOutputPin || isTransitionFault(f.type)) continue;
+    const Gate& g = nl.gate(f.gate);
+    switch (g.kind) {
+      case CellKind::kAnd:
+      case CellKind::kNand:
+      case CellKind::kOr:
+      case CellKind::kNor:
+        break;
+      default:
+        continue;
+    }
+    if (pinFaultCollapsesOntoStem(g.kind, isLowFault(f.type))) continue;
+    const uint32_t stem = find_stem(f.gate.v, throughGate(f.type, g.kind));
+    if (stem != kNone && stem != i) cm.prunable_[stem] = 1;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    if (cm.prunable_[i] != 0) ++cm.stats_.dominance_prunable;
+  }
+
+  return cm;
+}
+
+}  // namespace lbist::fault

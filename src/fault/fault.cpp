@@ -34,13 +34,19 @@ FaultType highFault(FaultType base_kind) {
                                      : FaultType::kStuckAt1;
 }
 
-/// True when the pin fault (gate kind `k`, polarity-low fault on an input
-/// pin) is structurally equivalent to a stem fault of the same gate, and
-/// can therefore be dropped during collapsing. Classic rules:
-///   AND : in sa0 == out sa0      NAND: in sa0 == out sa1
-///   OR  : in sa1 == out sa1      NOR : in sa1 == out sa0
-///   BUF/NOT: both pin faults collapse onto the stem.
-bool pinFaultCollapses(CellKind k, bool fault_is_low) {
+bool siteOnScanShiftPath(const Netlist& nl, GateId gate, uint8_t pin) {
+  const Gate& g = nl.gate(gate);
+  if ((g.flags & kFlagScanMux) != 0) {
+    // Scan mux: SI pin (slot 1) and SE pin (slot 2) are exercised only
+    // during shift; the chain flush test covers them.
+    return pin == 1 || pin == 2;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool pinFaultCollapsesOntoStem(CellKind k, bool fault_is_low) {
   switch (k) {
     case CellKind::kBuf:
     case CellKind::kNot:
@@ -55,18 +61,6 @@ bool pinFaultCollapses(CellKind k, bool fault_is_low) {
       return false;
   }
 }
-
-bool siteOnScanShiftPath(const Netlist& nl, GateId gate, uint8_t pin) {
-  const Gate& g = nl.gate(gate);
-  if ((g.flags & kFlagScanMux) != 0) {
-    // Scan mux: SI pin (slot 1) and SE pin (slot 2) are exercised only
-    // during shift; the chain flush test covers them.
-    return pin == 1 || pin == 2;
-  }
-  return false;
-}
-
-}  // namespace
 
 FaultList FaultList::enumerate(const Netlist& nl, FaultType base_kind,
                                const FaultListOptions& opts) {
@@ -110,11 +104,12 @@ FaultList FaultList::enumerate(const Netlist& nl, FaultType base_kind,
                          siteOnScanShiftPath(nl, id, pin);
       const FaultStatus st =
           chain ? FaultStatus::kChainTested : FaultStatus::kUndetected;
-      if (!opts.collapse || !pinFaultCollapses(g.kind, /*fault_is_low=*/true)) {
+      if (!opts.collapse ||
+          !pinFaultCollapsesOntoStem(g.kind, /*fault_is_low=*/true)) {
         push(id, pin, lowFault(base_kind), st);
       }
       if (!opts.collapse ||
-          !pinFaultCollapses(g.kind, /*fault_is_low=*/false)) {
+          !pinFaultCollapsesOntoStem(g.kind, /*fault_is_low=*/false)) {
         push(id, pin, highFault(base_kind), st);
       }
     }

@@ -41,6 +41,15 @@ struct Fault {
   }
 };
 
+/// True when an input-pin fault of polarity `fault_is_low` (sa0 /
+/// slow-to-rise) on a gate of kind `k` is structurally equivalent to a
+/// fault on the same gate's output stem, and can therefore be dropped
+/// during collapsing. Classic rules:
+///   AND : in sa0 == out sa0      NAND: in sa0 == out sa1
+///   OR  : in sa1 == out sa1      NOR : in sa1 == out sa0
+///   BUF/NOT: both pin faults collapse onto the stem.
+[[nodiscard]] bool pinFaultCollapsesOntoStem(CellKind k, bool fault_is_low);
+
 enum class FaultStatus : uint8_t {
   kUndetected,
   kDetected,        // seen at an observation point by simulation/ATPG
@@ -75,6 +84,8 @@ struct Coverage {
                     : 100.0 * static_cast<double>(detected + chain_tested) /
                           static_cast<double>(den);
   }
+
+  friend bool operator==(const Coverage&, const Coverage&) = default;
 };
 
 struct FaultListOptions {

@@ -34,11 +34,67 @@ FaultSimulator::FaultSimulator(const Netlist& nl, FaultList& faults,
       faults_(&faults),
       opts_(opts),
       good_(nl),
-      fanout_(nl.buildFanoutMap()),
+      compiled_(&good_.compiled()),
       observed_(std::move(observed)) {
   is_observed_.assign(nl.numGates(), 0);
   for (GateId o : observed_) is_observed_[o.v] = 1;
+  if (opts_.collapse) {
+    collapse_map_ = buildCollapseMap(nl, faults, observed_);
+  }
+
+  // Stem-CPT structure: a gate output is a fanout-free-region stem when
+  // the tester sees it directly, when it has any use count other than
+  // one, or when its single use is non-combinational (a capture pin).
+  // Everything else chains forward through its unique consuming gate.
+  // Built from the same NetUses scan the collapse analysis runs, so the
+  // two views of fanout-free structure cannot diverge.
+  const size_t n_gates = nl.numGates();
+  constexpr uint32_t kStemMark = 0xffffffffu;
+  const NetUses uses = buildNetUses(nl);
+  single_use_ = uses.gate;
+  single_slot_ = uses.slot;
+  obs_out_.assign(n_gates, 0);
+  for (uint32_t g = 0; g < n_gates; ++g) {
+    const bool stem =
+        is_observed_[g] != 0 || uses.count[g] != 1 ||
+        !isCombinational(nl.gate(GateId{single_use_[g]}).kind);
+    if (stem) {
+      single_use_[g] = kStemMark;
+      stems_.push_back(g);
+    } else if (!isCombinational(nl.gate(GateId{g}).kind)) {
+      nonstem_sources_.push_back(g);
+    }
+  }
+
   refreshActiveSet();
+}
+
+void FaultSimulator::prepareComputeSet() {
+  constexpr uint32_t kNoSlot = 0xffffffffu;
+  const size_t n_active = active_.size();
+  compute_faults_.clear();
+  merge_slot_.resize(n_active);
+  const bool fold = !collapse_map_.representatives().empty() &&
+                    reach_observer_ == nullptr;
+  if (!fold) {
+    compute_faults_.assign(active_.begin(), active_.end());
+    for (size_t ai = 0; ai < n_active; ++ai) {
+      merge_slot_[ai] = static_cast<uint32_t>(ai);
+    }
+    return;
+  }
+  if (rep_slot_.empty()) rep_slot_.assign(faults_->size(), kNoSlot);
+  for (size_t ai = 0; ai < n_active; ++ai) {
+    const size_t r = collapse_map_.representative(active_[ai]);
+    uint32_t s = rep_slot_[r];
+    if (s == kNoSlot) {
+      s = static_cast<uint32_t>(compute_faults_.size());
+      rep_slot_[r] = s;
+      compute_faults_.push_back(r);
+    }
+    merge_slot_[ai] = s;
+  }
+  for (size_t fi : compute_faults_) rep_slot_[fi] = kNoSlot;
 }
 
 void FaultSimulator::refreshActiveSet() {
@@ -66,10 +122,9 @@ unsigned FaultSimulator::resolveThreads(size_t n_active) const {
 void FaultSimulator::ensureWorkers(unsigned threads) {
   while (scratch_.size() < threads) {
     auto sc = std::make_unique<Scratch>();
-    sc->fval.assign(nl_->numGates(), 0);
-    sc->stamp.assign(nl_->numGates(), 0);
-    sc->queued_stamp.assign(nl_->numGates(), 0);
-    sc->level_queue.resize(good_.levelized().maxLevel() + 1);
+    sc->ov.assign(nl_->numGates(), OverlayCell{});
+    sc->level_queue.resize(compiled_->maxLevel() + 1);
+    sc->level_bits.assign(sc->level_queue.size() / 64 + 1, 0);
     scratch_.push_back(std::move(sc));
   }
   if (threads > 1 && (pool_ == nullptr || pool_->threads() < threads)) {
@@ -77,151 +132,138 @@ void FaultSimulator::ensureWorkers(unsigned threads) {
   }
 }
 
-namespace {
-
-/// One shared gate-function switch: every evaluation flavor differs only
-/// in how a fanin slot's value is read (plain good values, overlay, a
-/// forced pin). `val(slot)` supplies that; `fallback` is the result for
-/// non-combinational kinds.
-template <typename ValFn>
-uint64_t evalCombGate(const Gate& g, ValFn&& val, uint64_t fallback) {
-  switch (g.kind) {
-    case CellKind::kBuf:
-      return val(0);
-    case CellKind::kNot:
-      return ~val(0);
-    case CellKind::kMux2: {
-      const uint64_t s = val(2);
-      return (val(0) & ~s) | (val(1) & s);
-    }
-    case CellKind::kAnd:
-    case CellKind::kNand: {
-      uint64_t acc = ~uint64_t{0};
-      for (size_t i = 0; i < g.fanins.size(); ++i) acc &= val(i);
-      return g.kind == CellKind::kNand ? ~acc : acc;
-    }
-    case CellKind::kOr:
-    case CellKind::kNor: {
-      uint64_t acc = 0;
-      for (size_t i = 0; i < g.fanins.size(); ++i) acc |= val(i);
-      return g.kind == CellKind::kNor ? ~acc : acc;
-    }
-    case CellKind::kXor:
-    case CellKind::kXnor: {
-      uint64_t acc = 0;
-      for (size_t i = 0; i < g.fanins.size(); ++i) acc ^= val(i);
-      return g.kind == CellKind::kXnor ? ~acc : acc;
-    }
-    default:
-      return fallback;
-  }
-}
-
-}  // namespace
-
-uint64_t FaultSimulator::evalWithOverlay(
-    const Scratch& sc, GateId id, std::span<const uint64_t> good_vals) const {
-  const Gate& g = nl_->gate(id);
-  return evalCombGate(
-      g,
-      [&](size_t slot) -> uint64_t {
-        const GateId f = g.fanins[slot];
-        return sc.stamp[f.v] == sc.serial ? sc.fval[f.v] : good_vals[f.v];
-      },
-      good_vals[id.v]);
-}
-
 uint64_t FaultSimulator::evalPinForced(
     GateId id, uint8_t pin, uint64_t forced,
     std::span<const uint64_t> good_vals) const {
-  const Gate& g = nl_->gate(id);
-  assert(isCombinational(g.kind) &&
+  const uint32_t op = compiled_->opOf(id);
+  assert(op != sim::CompiledNetlist::kNoOp &&
          "pin-forced eval on non-combinational gate");
-  return evalCombGate(
-      g,
-      [&](size_t slot) -> uint64_t {
-        return slot == pin ? forced : good_vals[g.fanins[slot].v];
-      },
-      0);
+  return compiled_->evalOp(op, [&](size_t slot, uint32_t f) -> uint64_t {
+    return slot == pin ? forced : good_vals[f];
+  });
 }
 
 uint64_t FaultSimulator::evalPinForcedOverlay(
     const Scratch& sc, GateId id, uint8_t pin, uint64_t forced,
     std::span<const uint64_t> good_vals) const {
-  const Gate& g = nl_->gate(id);
-  assert(isCombinational(g.kind) &&
+  const uint32_t op = compiled_->opOf(id);
+  assert(op != sim::CompiledNetlist::kNoOp &&
          "pin-forced eval on non-combinational gate");
-  return evalCombGate(
-      g,
-      [&](size_t slot) -> uint64_t {
-        if (slot == pin) return forced;
-        const GateId f = g.fanins[slot];
-        return sc.stamp[f.v] == sc.serial ? sc.fval[f.v] : good_vals[f.v];
-      },
-      0);
+  return compiled_->evalOp(op, [&](size_t slot, uint32_t f) -> uint64_t {
+    if (slot == pin) return forced;
+    const OverlayCell& c = sc.ov[f];
+    return c.stamp == sc.serial ? c.fval : good_vals[f];
+  });
 }
 
 uint64_t FaultSimulator::propagateSeeds(Scratch& sc,
                                         std::span<const Seed> seeds,
                                         std::span<const uint64_t> good_vals,
                                         const std::vector<uint8_t>& observed,
-                                        const Fault* forced) const {
-  const Levelized& lev = good_.levelized();
-  ++sc.serial;
-  sc.touched.clear();
+                                        const Fault* forced,
+                                        bool record_touched,
+                                        uint64_t early_exit_mask) const {
+  const sim::CompiledNetlist& cn = *compiled_;
+  const uint32_t serial = ++sc.serial;
+  OverlayCell* const ov = sc.ov.data();
+  const uint64_t* const good = good_vals.data();
+  uint64_t* const lbits = sc.level_bits.data();
+  if (record_touched) sc.touched.clear();
   uint64_t detect = 0;
 
-  size_t queued = 0;
-  uint32_t min_level = sc.level_queue.size();
-  auto schedule_fanouts = [&](GateId g) {
-    for (GateId t : fanout_.fanout(g)) {
-      if (!isCombinational(nl_->gate(t).kind)) continue;
-      if (sc.queued_stamp[t.v] == sc.serial) continue;
-      sc.queued_stamp[t.v] = sc.serial;
-      const uint32_t l = lev.level(t);
-      sc.level_queue[l].push_back(t.v);
-      min_level = std::min(min_level, l);
-      ++queued;
+  auto schedule_fanouts = [&](uint32_t g) {
+    for (const sim::CompiledNetlist::FanoutEntry& e : cn.combFanout(g)) {
+      OverlayCell& c = ov[e.gate];
+      if (c.queued == serial) continue;
+      c.queued = serial;
+      sc.level_queue[e.level].push_back(e.gate);
+      lbits[e.level >> 6] |= uint64_t{1} << (e.level & 63);
     }
   };
 
   for (const Seed& s : seeds) {
     if (s.diff == 0) continue;
-    sc.fval[s.gate.v] = good_vals[s.gate.v] ^ s.diff;
-    sc.stamp[s.gate.v] = sc.serial;
-    sc.touched.push_back(s.gate);
+    OverlayCell& c = ov[s.gate.v];
+    c.fval = good[s.gate.v] ^ s.diff;
+    c.stamp = serial;
+    if (record_touched) sc.touched.push_back(s.gate);
     if (observed[s.gate.v] != 0) detect |= s.diff;
-    schedule_fanouts(s.gate);
+    schedule_fanouts(s.gate.v);
   }
 
   const uint64_t forced_word =
       forced != nullptr && forced->type == FaultType::kStuckAt1
           ? ~uint64_t{0}
           : uint64_t{0};
-  for (uint32_t l = min_level; queued > 0 && l < sc.level_queue.size(); ++l) {
-    auto& bucket = sc.level_queue[l];
-    for (size_t i = 0; i < bucket.size(); ++i) {
-      const GateId g{bucket[i]};
-      --queued;
-      uint64_t newval;
-      if (forced != nullptr && g == forced->gate) {
-        // A seed's cone feeds the fault site: keep the fault applied.
-        newval = forced->pin == kOutputPin
-                     ? forced_word
-                     : evalPinForcedOverlay(sc, g, forced->pin, forced_word,
-                                            good_vals);
-      } else {
-        newval = evalWithOverlay(sc, g, good_vals);
+  const uint32_t forced_gate =
+      forced != nullptr ? forced->gate.v : sim::CompiledNetlist::kNoOp;
+
+  // Clears every still-scheduled bucket from word `from` on — the
+  // early-exit paths must leave the wheel empty for the next fault.
+  auto clear_schedule = [&](size_t from) {
+    for (size_t w = from; w < sc.level_bits.size(); ++w) {
+      while (lbits[w] != 0) {
+        const uint32_t l = static_cast<uint32_t>((w << 6)) +
+                           static_cast<uint32_t>(std::countr_zero(lbits[w]));
+        lbits[w] &= lbits[w] - 1;
+        sc.level_queue[l].clear();
       }
-      sc.fval[g.v] = newval;
-      sc.stamp[g.v] = sc.serial;
-      const uint64_t d = newval ^ good_vals[g.v];
-      if (d == 0) continue;
-      sc.touched.push_back(g);
-      if (observed[g.v] != 0) detect |= d;
-      schedule_fanouts(g);
     }
-    bucket.clear();
+  };
+
+  if (early_exit_mask != 0 && (detect & early_exit_mask) == early_exit_mask) {
+    // Every lane already detects at the seeds.
+    clear_schedule(0);
+    return detect;
+  }
+
+  // Drain the wheel in level order. A processed gate only ever schedules
+  // strictly higher levels (the netlist is a DAG), so one forward scan
+  // of the occupancy bitmap visits every non-empty bucket.
+  const size_t n_words = sc.level_bits.size();
+  for (size_t w = 0; w < n_words; ++w) {
+    while (lbits[w] != 0) {
+      const uint32_t l = static_cast<uint32_t>((w << 6)) +
+                         static_cast<uint32_t>(std::countr_zero(lbits[w]));
+      lbits[w] &= lbits[w] - 1;
+      auto& bucket = sc.level_queue[l];
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        const uint32_t g = bucket[i];
+        uint64_t newval;
+        if (g != forced_gate) [[likely]] {
+          newval = cn.evalOp(cn.opOf(GateId{g}),
+                             [&](size_t, uint32_t f) -> uint64_t {
+                               const OverlayCell& c = ov[f];
+                               return c.stamp == serial ? c.fval : good[f];
+                             });
+        } else {
+          // A seed's cone feeds the fault site: keep the fault applied.
+          newval = forced->pin == kOutputPin
+                       ? forced_word
+                       : evalPinForcedOverlay(sc, GateId{g}, forced->pin,
+                                              forced_word, good_vals);
+        }
+        OverlayCell& c = ov[g];
+        c.fval = newval;
+        c.stamp = serial;
+        const uint64_t d = newval ^ good[g];
+        if (d == 0) continue;
+        if (record_touched) sc.touched.push_back(GateId{g});
+        if (observed[g] != 0) {
+          detect |= d;
+          if (early_exit_mask != 0 &&
+              (detect & early_exit_mask) == early_exit_mask) {
+            // The mask is saturated: nothing downstream can change the
+            // result. Clear the outstanding schedule and stop.
+            bucket.clear();
+            clear_schedule(w);
+            return detect;
+          }
+        }
+        schedule_fanouts(g);
+      }
+      bucket.clear();
+    }
   }
   return detect;
 }
@@ -283,57 +325,159 @@ FaultSimulator::InjectResult FaultSimulator::injectTransition(
   return res;
 }
 
+void FaultSimulator::computeObservability(uint64_t lane_mask,
+                                          unsigned n_threads) {
+  constexpr uint32_t kStemMark = 0xffffffffu;
+  const auto good_vals = good_.rawValues();
+  const uint64_t* const good = good_vals.data();
+  const sim::CompiledNetlist& cn = *compiled_;
+
+  // Phase A — one full-lane diff propagation per stem. Lane independence
+  // of word-parallel evaluation makes the result exact: lane l of the
+  // detect word is precisely "a flip of this stem in lane l reaches the
+  // observation set".
+  const size_t n_stems = stems_.size();
+  auto stem_range = [&](Scratch& sc, size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const uint32_t s = stems_[i];
+      const Seed seed{GateId{s}, lane_mask};
+      obs_out_[s] =
+          propagateSeeds(sc, {&seed, 1}, good_vals, is_observed_,
+                         /*forced=*/nullptr, /*record_touched=*/false,
+                         /*early_exit_mask=*/lane_mask);
+    }
+  };
+  if (n_threads <= 1) {
+    stem_range(*scratch_[0], 0, n_stems);
+  } else {
+    pool_->run(n_threads, [&](unsigned shard) {
+      const size_t lo = n_stems * shard / n_threads;
+      const size_t hi = n_stems * (shard + 1) / n_threads;
+      stem_range(*scratch_[shard], lo, hi);
+    });
+  }
+
+  // Phase B — reverse sensitization pass over the fanout-free chains:
+  // every non-stem output folds its single consuming gate's pass mask
+  // into the consumer's observability.
+  for (size_t opi = cn.numOps(); opi-- > 0;) {
+    const uint32_t g = cn.opGate(static_cast<uint32_t>(opi));
+    const uint32_t use = single_use_[g];
+    if (use == kStemMark) continue;
+    obs_out_[g] = cn.passMask(cn.opOf(GateId{use}), single_slot_[g], good) &
+                  obs_out_[use];
+  }
+  for (const uint32_t g : nonstem_sources_) {
+    const uint32_t use = single_use_[g];
+    obs_out_[g] = cn.passMask(cn.opOf(GateId{use}), single_slot_[g], good) &
+                  obs_out_[use];
+  }
+}
+
 size_t FaultSimulator::simulateActiveFaults(int64_t pattern_base,
                                             int n_patterns, bool transition) {
   const uint64_t lane_mask =
       n_patterns >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n_patterns) - 1);
-  const size_t n_active = active_.size();
-  if (n_active == 0) return 0;
+  if (active_.empty()) return 0;
 
-  const unsigned n_threads = resolveThreads(n_active);
+  // With folding, only one member per equivalence class is propagated;
+  // the merge phase shares its mask with every live member.
+  prepareComputeSet();
+  const size_t n_compute = compute_faults_.size();
+  const unsigned n_threads = resolveThreads(n_compute);
   ensureWorkers(n_threads);
 
   const bool capture_reach = reach_observer_ != nullptr;
   // With one worker the compute loop already visits faults in merge order,
   // so observer callbacks stream straight from the scratch instead of
-  // buffering every fault's reach cone for the merge phase.
+  // buffering every fault's reach cone for the merge phase. (Reach
+  // observers disable folding, so compute position == active position.)
   const bool inline_observer = capture_reach && n_threads <= 1;
   const bool buffer_reach = capture_reach && !inline_observer;
-  block_detect_.assign(n_active, 0);
-  block_had_diff_.assign(n_active, 0);
-  if (buffer_reach) block_touched_.resize(n_active);
+  block_detect_.assign(n_compute, 0);
+  block_had_diff_.assign(n_compute, 0);
+  if (buffer_reach) block_touched_.resize(n_compute);
+
+  // Engine choice: per-fault cones while the live list is thin, stem
+  // observability + assembly while it is dense. Both are exact, so the
+  // choice is invisible in the results.
+  bool use_cpt;
+  switch (opts_.engine) {
+    case BlockEngine::kPerFault:
+      use_cpt = false;
+      break;
+    case BlockEngine::kStemCpt:
+      use_cpt = true;
+      break;
+    case BlockEngine::kAuto:
+    default:
+      use_cpt = n_compute > 2 * stems_.size();
+      break;
+  }
+  if (capture_reach) use_cpt = false;
+
+  const auto good_vals = good_.rawValues();
+  if (use_cpt) {
+    computeObservability(lane_mask, n_threads);
+    // Phase C — per-fault mask assembly from the observability words:
+    // inject_diff & obs_of_out(site), plus the direct capture-pin term.
+    auto assemble_range = [&](size_t lo, size_t hi) {
+      for (size_t ci = lo; ci < hi; ++ci) {
+        const Fault& f = faults_->record(compute_faults_[ci]).fault;
+        const InjectResult inj =
+            transition ? injectTransition(f, lane_mask)
+                       : injectStuckAt(f, lane_mask, good_vals);
+        uint64_t detect = inj.direct_detect ? inj.direct_mask : 0;
+        detect |= inj.diff & obs_out_[f.gate.v];
+        block_detect_[ci] = detect;
+      }
+    };
+    if (n_threads <= 1) {
+      assemble_range(0, n_compute);
+    } else {
+      pool_->run(n_threads, [&](unsigned shard) {
+        assemble_range(n_compute * shard / n_threads,
+                       n_compute * (shard + 1) / n_threads);
+      });
+    }
+    return mergeBlock(pattern_base, /*buffer_reach=*/false);
+  }
 
   // Phase 1 — compute: workers read the shared good machine and fault
   // records, write only their own scratch and their slice of the
   // position-indexed result buffers. No shared mutable state, no atomics.
-  const auto good_vals = good_.rawValues();
   auto compute_range = [&](Scratch& sc, size_t lo, size_t hi) {
-    for (size_t ai = lo; ai < hi; ++ai) {
-      const Fault& f = faults_->record(active_[ai]).fault;
+    for (size_t ci = lo; ci < hi; ++ci) {
+      const Fault& f = faults_->record(compute_faults_[ci]).fault;
       const InjectResult inj =
           transition ? injectTransition(f, lane_mask)
                      : injectStuckAt(f, lane_mask, good_vals);
       uint64_t detect = inj.direct_detect ? inj.direct_mask : 0;
       if (inj.diff != 0) {
         const Seed seed{f.gate, inj.diff};
+        // Every downstream diff stays within the seed's activated lanes,
+        // so the wheel may stop once all of them detect. Reach observers
+        // need the complete cone; they disable the shortcut.
         detect |= propagateSeeds(sc, {&seed, 1}, good_vals, is_observed_,
-                                 /*forced=*/nullptr);
-        block_had_diff_[ai] = 1;
+                                 /*forced=*/nullptr,
+                                 /*record_touched=*/capture_reach,
+                                 capture_reach ? 0 : inj.diff);
+        block_had_diff_[ci] = 1;
         if (inline_observer) {
-          reach_observer_->onFaultEffects(active_[ai], sc.touched);
+          reach_observer_->onFaultEffects(compute_faults_[ci], sc.touched);
         } else if (buffer_reach) {
-          block_touched_[ai].assign(sc.touched.begin(), sc.touched.end());
+          block_touched_[ci].assign(sc.touched.begin(), sc.touched.end());
         }
       }
-      block_detect_[ai] = detect;
+      block_detect_[ci] = detect;
     }
   };
   if (n_threads <= 1) {
-    compute_range(*scratch_[0], 0, n_active);
+    compute_range(*scratch_[0], 0, n_compute);
   } else {
     pool_->run(n_threads, [&](unsigned shard) {
-      const size_t lo = n_active * shard / n_threads;
-      const size_t hi = n_active * (shard + 1) / n_threads;
+      const size_t lo = n_compute * shard / n_threads;
+      const size_t hi = n_compute * (shard + 1) / n_threads;
       compute_range(*scratch_[shard], lo, hi);
     });
   }
@@ -344,16 +488,18 @@ size_t FaultSimulator::simulateActiveFaults(int64_t pattern_base,
 size_t FaultSimulator::mergeBlock(int64_t pattern_base, bool buffer_reach) {
   // Phase 2 — merge, serially and in fault-list order: detection
   // bookkeeping, observer callbacks, and n-detect dropping are
-  // therefore identical for every thread count and shard layout.
+  // therefore identical for every thread count and shard layout — and,
+  // because class members corrupt the circuit identically, for folding
+  // on or off (merge_slot_ hands every member its class's mask).
   const size_t n_active = active_.size();
   size_t newly_detected = 0;
   size_t out = 0;
   for (size_t ai = 0; ai < n_active; ++ai) {
     const size_t fi = active_[ai];
-    if (buffer_reach && block_had_diff_[ai] != 0) {
-      reach_observer_->onFaultEffects(fi, block_touched_[ai]);
+    if (buffer_reach && block_had_diff_[merge_slot_[ai]] != 0) {
+      reach_observer_->onFaultEffects(fi, block_touched_[merge_slot_[ai]]);
     }
-    const uint64_t detect = block_detect_[ai];
+    const uint64_t detect = block_detect_[merge_slot_[ai]];
     if (detect != 0 && detection_observer_ != nullptr) {
       detection_observer_->onDetectionMask(fi, pattern_base, detect);
     }
@@ -413,15 +559,17 @@ size_t FaultSimulator::simulateBlockStuckAtStaged(
   }
   assert(reach_observer_ == nullptr &&
          "reach observer is not supported in staged mode");
-  const unsigned n_threads = resolveThreads(n_active);
+  prepareComputeSet();
+  const size_t n_compute = compute_faults_.size();
+  const unsigned n_threads = resolveThreads(n_compute);
   ensureWorkers(n_threads);
-  block_detect_.assign(n_active, 0);
+  block_detect_.assign(n_compute, 0);
 
   auto compute_range = [&](Scratch& sc, size_t lo, size_t hi) {
     std::vector<Seed> seeds;
     std::vector<Seed> held;  // corrupted captured values, held to window end
-    for (size_t ai = lo; ai < hi; ++ai) {
-      const Fault& f = faults_->record(active_[ai]).fault;
+    for (size_t ci = lo; ci < hi; ++ci) {
+      const Fault& f = faults_->record(compute_faults_[ci]).fault;
       const Gate& g = nl_->gate(f.gate);
       const bool dff_pin = f.pin != kOutputPin && g.kind == CellKind::kDff;
       const uint64_t forced_word =
@@ -440,8 +588,12 @@ size_t FaultSimulator::simulateBlockStuckAtStaged(
         }
         const bool propagated = !seeds.empty();
         if (propagated) {
+          // No early exit: the captured-diff collection below reads the
+          // overlay cells this propagation writes.
           detect |= propagateSeeds(sc, seeds, frame_vals_[j],
-                                   stage_observed_[j], dff_pin ? nullptr : &f) &
+                                   stage_observed_[j], dff_pin ? nullptr : &f,
+                                   /*record_touched=*/false,
+                                   /*early_exit_mask=*/0) &
                     lane_mask;
         }
 
@@ -455,8 +607,9 @@ size_t FaultSimulator::simulateBlockStuckAtStaged(
             if (!dff_pin && ff == f.gate) continue;
             const GateId driver = nl_->gate(ff).fanins[0];
             uint64_t dd = 0;
-            if (propagated && sc.stamp[driver.v] == sc.serial) {
-              dd = (sc.fval[driver.v] ^ frame_vals_[j][driver.v]) & lane_mask;
+            const OverlayCell& oc = sc.ov[driver.v];
+            if (propagated && oc.stamp == sc.serial) {
+              dd = (oc.fval ^ frame_vals_[j][driver.v]) & lane_mask;
             }
             if (dff_pin && ff == f.gate) {
               // The faulted pin captures the forced value regardless of
@@ -468,15 +621,15 @@ size_t FaultSimulator::simulateBlockStuckAtStaged(
           }
         }
       }
-      block_detect_[ai] = detect;
+      block_detect_[ci] = detect;
     }
   };
   if (n_threads <= 1) {
-    compute_range(*scratch_[0], 0, n_active);
+    compute_range(*scratch_[0], 0, n_compute);
   } else {
     pool_->run(n_threads, [&](unsigned shard) {
-      const size_t lo = n_active * shard / n_threads;
-      const size_t hi = n_active * (shard + 1) / n_threads;
+      const size_t lo = n_compute * shard / n_threads;
+      const size_t hi = n_compute * (shard + 1) / n_threads;
       compute_range(*scratch_[shard], lo, hi);
     });
   }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "fault/collapse.hpp"
 #include "fault/fault.hpp"
 #include "sim/sim2v.hpp"
 
@@ -52,6 +53,23 @@ class DetectionObserver {
                                uint64_t detect_mask) = 0;
 };
 
+/// Per-block detection engine. Both produce bit-identical masks; they
+/// differ only in how the work scales.
+///  * kPerFault event-propagates every live fault class through its
+///    output cone — cost scales with the live count, best once dropping
+///    has thinned the list.
+///  * kStemCpt propagates one full-lane diff per fanout-free-region stem
+///    (lane independence makes the resulting per-stem observability word
+///    exact), then assembles every fault's mask as
+///    inject_diff & obs_of_out[site] — cost scales with circuit size,
+///    best while the live list is dense.
+/// kAuto switches per block on live-class vs stem count.
+enum class BlockEngine : uint8_t {
+  kAuto,
+  kPerFault,
+  kStemCpt,
+};
+
 struct FsimOptions {
   uint32_t n_detect = 1;   // drop a fault after this many detections
   bool drop_detected = true;
@@ -65,6 +83,19 @@ struct FsimOptions {
   /// thread dispatch overhead beats the propagation work. Results are
   /// unaffected; tests lower it to force the parallel path on tiny nets.
   uint32_t min_faults_per_thread = 256;
+  /// Structural equivalence folding (fault/collapse.hpp): per block the
+  /// engine propagates one member of each equivalence class among the
+  /// live faults and every live member shares the computed detection
+  /// mask. Folding is exact — class members corrupt every observable
+  /// net identically — so per-fault masks, n-detect drop order, and
+  /// observer streams are bit-identical with this on or off; only the
+  /// work shrinks. Ignored while a reach observer is attached (a folded
+  /// fault would be credited its representative's reach cone).
+  bool collapse = true;
+  /// See BlockEngine. Reach observers force kPerFault (they need real
+  /// per-fault cones). Tests pin kPerFault / kStemCpt to differential-
+  /// check the two engines against each other.
+  BlockEngine engine = BlockEngine::kAuto;
 };
 
 class FaultSimulator {
@@ -73,6 +104,13 @@ class FaultSimulator {
   /// see (PO drivers, scan-capture D drivers, observation-point taps).
   FaultSimulator(const Netlist& nl, FaultList& faults,
                  std::vector<GateId> observed, FsimOptions opts = {});
+
+  // Not movable: compiled_ points into good_, and observers/netlist/
+  // fault-list pointers make relocation semantics a trap.
+  FaultSimulator(const FaultSimulator&) = delete;
+  FaultSimulator& operator=(const FaultSimulator&) = delete;
+  FaultSimulator(FaultSimulator&&) = delete;
+  FaultSimulator& operator=(FaultSimulator&&) = delete;
 
   /// Source setting for the current block (PIs and DFF outputs).
   void setSource(GateId id, uint64_t w) { good_.setSource(id, w); }
@@ -132,6 +170,16 @@ class FaultSimulator {
   /// concurrency). Detection results are unaffected by this setting.
   void setThreads(uint32_t threads);
 
+  /// Equivalence/dominance analysis (empty when FsimOptions::collapse is
+  /// off). Statistics feed core::renderCollapseStats; dominancePrunable
+  /// drives top-up ATPG target deferral.
+  [[nodiscard]] const CollapseMap& collapseMap() const {
+    return collapse_map_;
+  }
+  [[nodiscard]] const CollapseStats& collapseStats() const {
+    return collapse_map_.stats();
+  }
+
   [[nodiscard]] const sim::Simulator2v& good() const { return good_; }
   [[nodiscard]] const FaultList& faults() const { return *faults_; }
   [[nodiscard]] std::span<const GateId> observed() const { return observed_; }
@@ -156,22 +204,31 @@ class FaultSimulator {
     uint64_t diff = 0;
   };
 
-  /// Per-worker propagation state: the fault-effect overlay (epoch-stamped
-  /// per fault), the level-bucketed event queue, and the touched-gate log.
+  /// Per-gate fault-effect overlay cell, epoch-stamped per fault. Value
+  /// and stamps share one 16-byte cell so an overlay read costs a single
+  /// cache line.
+  struct OverlayCell {
+    uint64_t fval = 0;
+    uint32_t stamp = 0;   // fval valid when == Scratch::serial
+    uint32_t queued = 0;  // gate scheduled when == Scratch::serial
+  };
+
+  /// Per-worker propagation state: the fault-effect overlay and the
+  /// level-bucketed event queue, plus the touched-gate log. Cones are
+  /// usually tiny but can span hundreds of levels (carry chains), so a
+  /// bitmap of non-empty levels lets the wheel skip empty buckets 64 at
+  /// a time instead of walking them.
   struct Scratch {
-    std::vector<uint64_t> fval;
-    std::vector<uint32_t> stamp;
+    std::vector<OverlayCell> ov;
     uint32_t serial = 0;
     std::vector<std::vector<uint32_t>> level_queue;
-    std::vector<uint32_t> queued_stamp;
+    std::vector<uint64_t> level_bits;  // bit l: level_queue[l] non-empty
     std::vector<GateId> touched;
   };
 
   InjectResult injectStuckAt(const Fault& f, uint64_t lane_mask,
                              std::span<const uint64_t> good_vals) const;
   InjectResult injectTransition(const Fault& f, uint64_t lane_mask) const;
-  uint64_t evalWithOverlay(const Scratch& sc, GateId id,
-                           std::span<const uint64_t> good_vals) const;
   uint64_t evalPinForced(GateId id, uint8_t pin, uint64_t forced,
                          std::span<const uint64_t> good_vals) const;
   uint64_t evalPinForcedOverlay(const Scratch& sc, GateId id, uint8_t pin,
@@ -180,16 +237,32 @@ class FaultSimulator {
 
   /// Propagates the seeds' diffs through their cones against the
   /// `good_vals` frame; returns the detection mask accumulated over
-  /// gates flagged in `observed`. Fills sc.touched. When `forced` names
-  /// a stuck-at fault, re-evaluations of its gate keep the fault applied
-  /// (needed when another seed's cone feeds the fault site).
+  /// gates flagged in `observed`. Fills sc.touched only when
+  /// `record_touched` (reach observers) — the plain detection path skips
+  /// the log. When `forced` names a stuck-at fault, re-evaluations of
+  /// its gate keep the fault applied (needed when another seed's cone
+  /// feeds the fault site). A non-zero `early_exit_mask` lets the wheel
+  /// stop once every lane of it has detected — the return value cannot
+  /// change further; callers that read the overlay afterwards (staged
+  /// capture collection) or want the full reach cone must pass 0.
   uint64_t propagateSeeds(Scratch& sc, std::span<const Seed> seeds,
                           std::span<const uint64_t> good_vals,
                           const std::vector<uint8_t>& observed,
-                          const Fault* forced) const;
+                          const Fault* forced, bool record_touched,
+                          uint64_t early_exit_mask) const;
 
   size_t simulateActiveFaults(int64_t pattern_base, int n_patterns,
                               bool transition);
+
+  /// Builds the per-block compute set: with folding, the unique class
+  /// representatives of the live faults (merge_slot_ maps each live
+  /// fault to its class's compute slot); without, the live faults
+  /// themselves (identity mapping).
+  void prepareComputeSet();
+
+  /// Stem-CPT phases A+B: full-lane stem propagation (sharded) and the
+  /// serial reverse sensitization pass, filling obs_out_.
+  void computeObservability(uint64_t lane_mask, unsigned n_threads);
 
   /// Serial phase-2 merge over block_detect_: detection bookkeeping,
   /// observer callbacks, n-detect dropping — in fault-list order.
@@ -202,7 +275,9 @@ class FaultSimulator {
   FaultList* faults_;
   FsimOptions opts_;
   sim::Simulator2v good_;
-  Netlist::FanoutMap fanout_;
+  // Compiled tables (owned by good_): opcode stream, fanin CSR, and the
+  // comb-fanout CSR with levels that the event wheel walks.
+  const sim::CompiledNetlist* compiled_;
   std::vector<GateId> observed_;
   std::vector<uint8_t> is_observed_;
 
@@ -219,7 +294,23 @@ class FaultSimulator {
   std::vector<std::unique_ptr<Scratch>> scratch_;
   std::unique_ptr<core::ThreadPool> pool_;
 
-  // Per-block compute results, indexed by position in `active_`.
+  // Stem-CPT tables: fanout-free chain links (the single consuming gate
+  // and slot of every non-stem net), the stem list, and the per-block
+  // observability-of-output words (obs_out_[g]: lanes in which a flip of
+  // g's output is visible at the observation set).
+  std::vector<uint32_t> single_use_;   // consuming gate; kStemMark = stem
+  std::vector<uint32_t> single_slot_;
+  std::vector<uint32_t> stems_;
+  std::vector<uint32_t> nonstem_sources_;
+  std::vector<uint64_t> obs_out_;
+
+  // Equivalence folding (empty map when opts_.collapse is off).
+  CollapseMap collapse_map_;
+  std::vector<size_t> compute_faults_;  // fault indices simulated this block
+  std::vector<uint32_t> merge_slot_;    // active position -> compute slot
+  std::vector<uint32_t> rep_slot_;      // per-fault slot scratch (kNoSlot)
+
+  // Per-block compute results, indexed by position in `compute_faults_`.
   std::vector<uint64_t> block_detect_;
   std::vector<uint8_t> block_had_diff_;
   std::vector<std::vector<GateId>> block_touched_;

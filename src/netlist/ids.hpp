@@ -37,8 +37,12 @@ struct DomainId {
 
   [[nodiscard]] constexpr bool valid() const { return v != kInvalid; }
 
-  friend constexpr bool operator==(DomainId a, DomainId b) { return a.v == b.v; }
-  friend constexpr bool operator!=(DomainId a, DomainId b) { return a.v != b.v; }
+  friend constexpr bool operator==(DomainId a, DomainId b) {
+    return a.v == b.v;
+  }
+  friend constexpr bool operator!=(DomainId a, DomainId b) {
+    return a.v != b.v;
+  }
   friend constexpr bool operator<(DomainId a, DomainId b) { return a.v < b.v; }
 };
 

@@ -188,10 +188,11 @@ void Netlist::setDffDomain(GateId id, DomainId domain) {
   gates_[id.v].domain = domain;
 }
 
-Netlist::FanoutMap Netlist::buildFanoutMap() const {
+Netlist::FanoutMap Netlist::buildFanoutMap(bool comb_targets_only) const {
   FanoutMap map;
   map.offsets.assign(gates_.size() + 1, 0);
   for (const Gate& g : gates_) {
+    if (comb_targets_only && !isCombinational(g.kind)) continue;
     for (GateId f : g.fanins) ++map.offsets[f.v + 1];
   }
   for (size_t i = 1; i < map.offsets.size(); ++i) {
@@ -200,6 +201,7 @@ Netlist::FanoutMap Netlist::buildFanoutMap() const {
   map.targets.resize(map.offsets.back());
   std::vector<uint32_t> cursor(map.offsets.begin(), map.offsets.end() - 1);
   for (uint32_t gi = 0; gi < gates_.size(); ++gi) {
+    if (comb_targets_only && !isCombinational(gates_[gi].kind)) continue;
     for (GateId f : gates_[gi].fanins) {
       map.targets[cursor[f.v]++] = GateId{gi};
     }

@@ -139,7 +139,11 @@ class Netlist {
               targets.data() + offsets[id.v + 1]};
     }
   };
-  [[nodiscard]] FanoutMap buildFanoutMap() const;
+  /// `comb_targets_only` restricts the targets to combinational gates —
+  /// the working set of the event-driven simulators (DFF/PO sinks are
+  /// observation points, not propagation targets). Same CSR layout,
+  /// smaller streams.
+  [[nodiscard]] FanoutMap buildFanoutMap(bool comb_targets_only = false) const;
 
   /// Structural validation; returns an empty string when healthy, else a
   /// description of the first problem found (bad arity, dangling id,

@@ -1,0 +1,138 @@
+#include "sim/compiled.hpp"
+
+#include <stdexcept>
+
+namespace lbist::sim {
+
+namespace {
+
+OpCode lowerKind(CellKind kind, size_t arity) {
+  switch (kind) {
+    case CellKind::kBuf:
+      return OpCode::kBuf;
+    case CellKind::kNot:
+      return OpCode::kNot;
+    case CellKind::kMux2:
+      return OpCode::kMux2;
+    case CellKind::kAnd:
+      return arity == 2 ? OpCode::kAnd2 : OpCode::kAndN;
+    case CellKind::kNand:
+      return arity == 2 ? OpCode::kNand2 : OpCode::kNandN;
+    case CellKind::kOr:
+      return arity == 2 ? OpCode::kOr2 : OpCode::kOrN;
+    case CellKind::kNor:
+      return arity == 2 ? OpCode::kNor2 : OpCode::kNorN;
+    case CellKind::kXor:
+      return arity == 2 ? OpCode::kXor2 : OpCode::kXorN;
+    case CellKind::kXnor:
+      return arity == 2 ? OpCode::kXnor2 : OpCode::kXnorN;
+    default:
+      throw std::logic_error("lowerKind on non-combinational cell");
+  }
+}
+
+}  // namespace
+
+CompiledNetlist::CompiledNetlist(const Netlist& nl, const Levelized& lev) {
+  const size_t n_gates = nl.numGates();
+  const auto comb = lev.combOrder();
+
+  op_of_.assign(n_gates, kNoOp);
+  level_.resize(n_gates);
+  for (uint32_t g = 0; g < n_gates; ++g) level_[g] = lev.level(GateId{g});
+  max_level_ = lev.maxLevel();
+
+  op_code_.reserve(comb.size());
+  op_gate_.reserve(comb.size());
+  fanin_off_.reserve(comb.size() + 1);
+  fanin_off_.push_back(0);
+  for (GateId id : comb) {
+    const Gate& g = nl.gate(id);
+    op_of_[id.v] = static_cast<uint32_t>(op_code_.size());
+    op_code_.push_back(lowerKind(g.kind, g.fanins.size()));
+    op_gate_.push_back(id.v);
+    for (GateId f : g.fanins) fanin_.push_back(f.v);
+    fanin_off_.push_back(static_cast<uint32_t>(fanin_.size()));
+  }
+
+  // Combinational-fanout CSR with target levels, from the comb-filtered
+  // netlist fanout export.
+  const Netlist::FanoutMap fan = nl.buildFanoutMap(/*comb_targets_only=*/true);
+  fanout_off_.assign(fan.offsets.begin(), fan.offsets.end());
+  fanout_.resize(fan.targets.size());
+  for (size_t i = 0; i < fan.targets.size(); ++i) {
+    const uint32_t t = fan.targets[i].v;
+    fanout_[i] = FanoutEntry{t, level_[t]};
+  }
+}
+
+void CompiledNetlist::eval(uint64_t* v) const {
+  const size_t n = op_code_.size();
+  const uint32_t* fan = fanin_.data();
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t* f = fan + fanin_off_[i];
+    uint64_t r;
+    switch (op_code_[i]) {
+      case OpCode::kBuf:
+        r = v[f[0]];
+        break;
+      case OpCode::kNot:
+        r = ~v[f[0]];
+        break;
+      case OpCode::kMux2: {
+        const uint64_t s = v[f[2]];
+        r = (v[f[0]] & ~s) | (v[f[1]] & s);
+        break;
+      }
+      case OpCode::kAnd2:
+        r = v[f[0]] & v[f[1]];
+        break;
+      case OpCode::kNand2:
+        r = ~(v[f[0]] & v[f[1]]);
+        break;
+      case OpCode::kOr2:
+        r = v[f[0]] | v[f[1]];
+        break;
+      case OpCode::kNor2:
+        r = ~(v[f[0]] | v[f[1]]);
+        break;
+      case OpCode::kXor2:
+        r = v[f[0]] ^ v[f[1]];
+        break;
+      case OpCode::kXnor2:
+        r = ~(v[f[0]] ^ v[f[1]]);
+        break;
+      case OpCode::kAndN:
+      case OpCode::kNandN: {
+        uint64_t acc = v[f[0]];
+        const uint32_t cnt = fanin_off_[i + 1] - fanin_off_[i];
+        for (uint32_t k = 1; k < cnt; ++k) acc &= v[f[k]];
+        r = op_code_[i] == OpCode::kNandN ? ~acc : acc;
+        break;
+      }
+      case OpCode::kOrN:
+      case OpCode::kNorN: {
+        uint64_t acc = v[f[0]];
+        const uint32_t cnt = fanin_off_[i + 1] - fanin_off_[i];
+        for (uint32_t k = 1; k < cnt; ++k) acc |= v[f[k]];
+        r = op_code_[i] == OpCode::kNorN ? ~acc : acc;
+        break;
+      }
+      case OpCode::kXorN:
+      case OpCode::kXnorN: {
+        uint64_t acc = v[f[0]];
+        const uint32_t cnt = fanin_off_[i + 1] - fanin_off_[i];
+        for (uint32_t k = 1; k < cnt; ++k) acc ^= v[f[k]];
+        r = op_code_[i] == OpCode::kXnorN ? ~acc : acc;
+        break;
+      }
+      default:
+        r = 0;
+        assert(false && "unknown opcode");
+        break;
+    }
+    v[op_gate_[i]] = r;
+  }
+}
+
+}  // namespace lbist::sim

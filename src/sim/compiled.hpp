@@ -1,0 +1,213 @@
+// Compiled netlist kernel: the levelized combinational core lowered once
+// into flat structure-of-arrays form, so full-pass evaluation is a single
+// linear sweep over dense arrays and event-driven engines (the PPSFP
+// fault simulator) never touch a Gate record or a per-gate heap-allocated
+// fanin vector on the hot path.
+//
+// Layout:
+//  * one opcode stream in topological (level) order, one entry per
+//    combinational gate; the dominant two-input forms of the variadic
+//    gates get dedicated opcodes so their evaluation needs no fanin loop;
+//  * fanin indices in CSR form (offsets + one contiguous index pool);
+//  * per-gate combinational-fanout CSR whose entries carry the target's
+//    level, so event scheduling needs no level lookup and no target-kind
+//    check;
+//  * per-gate level and op-index tables for the overlay evaluators.
+//
+// The tables are immutable snapshots: like Levelized and FanoutMap they
+// are invalidated by any netlist edit and must be rebuilt.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+
+namespace lbist::sim {
+
+/// Opcodes of the compiled stream. kAnd2..kXnor2 are the fixed-arity
+/// specializations of the variadic gate kinds.
+enum class OpCode : uint8_t {
+  kBuf,
+  kNot,
+  kMux2,
+  kAnd2,
+  kNand2,
+  kOr2,
+  kNor2,
+  kXor2,
+  kXnor2,
+  kAndN,
+  kNandN,
+  kOrN,
+  kNorN,
+  kXorN,
+  kXnorN,
+};
+
+class CompiledNetlist {
+ public:
+  /// opOf() value for gates with no op (sources, DFFs, X-sources).
+  static constexpr uint32_t kNoOp = 0xffffffffu;
+
+  /// One combinational fanout edge: target gate and its level, packed so
+  /// one stream read schedules an event.
+  struct FanoutEntry {
+    uint32_t gate;
+    uint32_t level;
+  };
+
+  CompiledNetlist(const Netlist& nl, const Levelized& lev);
+
+  /// Linear full-pass evaluation of every combinational gate in level
+  /// order. `values` is the per-gate word array (size >= numGates()),
+  /// with source words already set by the caller.
+  void eval(uint64_t* values) const;
+
+  [[nodiscard]] size_t numOps() const { return op_code_.size(); }
+  [[nodiscard]] size_t numGates() const { return op_of_.size(); }
+
+  /// Op index of a gate; kNoOp for non-combinational gates.
+  [[nodiscard]] uint32_t opOf(GateId id) const { return op_of_[id.v]; }
+  [[nodiscard]] OpCode opcode(uint32_t op) const { return op_code_[op]; }
+  /// Gate the op drives.
+  [[nodiscard]] uint32_t opGate(uint32_t op) const { return op_gate_[op]; }
+  [[nodiscard]] std::span<const uint32_t> opFanins(uint32_t op) const {
+    return {fanin_.data() + fanin_off_[op],
+            fanin_.data() + fanin_off_[op + 1]};
+  }
+
+  /// Level of a gate (0 for sources), identical to Levelized::level.
+  [[nodiscard]] uint32_t level(GateId id) const { return level_[id.v]; }
+  [[nodiscard]] uint32_t maxLevel() const { return max_level_; }
+
+  /// Combinational fanout edges of a gate, with target levels.
+  [[nodiscard]] std::span<const FanoutEntry> combFanout(uint32_t gate) const {
+    return {fanout_.data() + fanout_off_[gate],
+            fanout_.data() + fanout_off_[gate + 1]};
+  }
+
+  /// Per-lane sensitization of op `op` with respect to fanin `slot`:
+  /// the lanes in which flipping that fanin flips the output, given the
+  /// fanin words in `values`. Single-bit diff propagation is linear, so
+  /// diff_out = diff_in & passMask — the identity the critical-path
+  /// assembly in the fault simulator is built on.
+  [[nodiscard]] uint64_t passMask(uint32_t op, size_t slot,
+                                  const uint64_t* values) const {
+    const uint32_t* f = fanin_.data() + fanin_off_[op];
+    switch (op_code_[op]) {
+      case OpCode::kBuf:
+      case OpCode::kNot:
+      case OpCode::kXor2:
+      case OpCode::kXnor2:
+      case OpCode::kXorN:
+      case OpCode::kXnorN:
+        return ~uint64_t{0};
+      case OpCode::kMux2: {
+        if (slot == 2) return values[f[0]] ^ values[f[1]];
+        const uint64_t s = values[f[2]];
+        return slot == 0 ? ~s : s;
+      }
+      case OpCode::kAnd2:
+      case OpCode::kNand2:
+        return values[f[1 - slot]];
+      case OpCode::kOr2:
+      case OpCode::kNor2:
+        return ~values[f[1 - slot]];
+      case OpCode::kAndN:
+      case OpCode::kNandN: {
+        uint64_t acc = ~uint64_t{0};
+        const uint32_t n = fanin_off_[op + 1] - fanin_off_[op];
+        for (uint32_t i = 0; i < n; ++i) {
+          if (i != slot) acc &= values[f[i]];
+        }
+        return acc;
+      }
+      case OpCode::kOrN:
+      case OpCode::kNorN: {
+        uint64_t acc = ~uint64_t{0};
+        const uint32_t n = fanin_off_[op + 1] - fanin_off_[op];
+        for (uint32_t i = 0; i < n; ++i) {
+          if (i != slot) acc &= ~values[f[i]];
+        }
+        return acc;
+      }
+    }
+    assert(false && "unknown opcode");
+    return 0;
+  }
+
+  /// Evaluates op `op` with fanin words supplied by `val(slot, gate)`.
+  /// This is the one gate-function switch every evaluation flavor shares:
+  /// the good machine reads the value array directly, the fault engines
+  /// substitute overlay or pin-forced reads.
+  template <typename ValFn>
+  [[nodiscard]] uint64_t evalOp(uint32_t op, ValFn&& val) const {
+    const uint32_t* f = fanin_.data() + fanin_off_[op];
+    switch (op_code_[op]) {
+      case OpCode::kBuf:
+        return val(0, f[0]);
+      case OpCode::kNot:
+        return ~val(0, f[0]);
+      case OpCode::kMux2: {
+        const uint64_t s = val(2, f[2]);
+        return (val(0, f[0]) & ~s) | (val(1, f[1]) & s);
+      }
+      case OpCode::kAnd2:
+        return val(0, f[0]) & val(1, f[1]);
+      case OpCode::kNand2:
+        return ~(val(0, f[0]) & val(1, f[1]));
+      case OpCode::kOr2:
+        return val(0, f[0]) | val(1, f[1]);
+      case OpCode::kNor2:
+        return ~(val(0, f[0]) | val(1, f[1]));
+      case OpCode::kXor2:
+        return val(0, f[0]) ^ val(1, f[1]);
+      case OpCode::kXnor2:
+        return ~(val(0, f[0]) ^ val(1, f[1]));
+      case OpCode::kAndN:
+      case OpCode::kNandN: {
+        uint64_t acc = ~uint64_t{0};
+        const uint32_t n = fanin_off_[op + 1] - fanin_off_[op];
+        for (uint32_t i = 0; i < n; ++i) acc &= val(i, f[i]);
+        return op_code_[op] == OpCode::kNandN ? ~acc : acc;
+      }
+      case OpCode::kOrN:
+      case OpCode::kNorN: {
+        uint64_t acc = 0;
+        const uint32_t n = fanin_off_[op + 1] - fanin_off_[op];
+        for (uint32_t i = 0; i < n; ++i) acc |= val(i, f[i]);
+        return op_code_[op] == OpCode::kNorN ? ~acc : acc;
+      }
+      case OpCode::kXorN:
+      case OpCode::kXnorN: {
+        uint64_t acc = 0;
+        const uint32_t n = fanin_off_[op + 1] - fanin_off_[op];
+        for (uint32_t i = 0; i < n; ++i) acc ^= val(i, f[i]);
+        return op_code_[op] == OpCode::kXnorN ? ~acc : acc;
+      }
+    }
+    assert(false && "unknown opcode");
+    return 0;
+  }
+
+ private:
+  // Op stream (one entry per combinational gate, topological order).
+  std::vector<OpCode> op_code_;
+  std::vector<uint32_t> op_gate_;
+  std::vector<uint32_t> fanin_off_;  // size numOps + 1
+  std::vector<uint32_t> fanin_;
+
+  // Per-gate tables.
+  std::vector<uint32_t> op_of_;
+  std::vector<uint32_t> level_;
+  std::vector<uint32_t> fanout_off_;  // size numGates + 1
+  std::vector<FanoutEntry> fanout_;
+
+  uint32_t max_level_ = 0;
+};
+
+}  // namespace lbist::sim

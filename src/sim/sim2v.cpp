@@ -1,10 +1,12 @@
 #include "sim/sim2v.hpp"
 
+#include <cassert>
+
 namespace lbist::sim {
 
-Simulator2v::Simulator2v(const Netlist& nl) : nl_(&nl), lev_(nl) {
+Simulator2v::Simulator2v(const Netlist& nl)
+    : nl_(&nl), lev_(nl), compiled_(nl, lev_) {
   values_.assign(nl.numGates(), 0);
-  scratch_.reserve(16);
   nl.forEachGate([&](GateId id, const Gate& g) {
     if (g.kind == CellKind::kConst1) values_[id.v] = ~uint64_t{0};
   });
@@ -48,12 +50,20 @@ uint64_t Simulator2v::evalGate(GateId id) const {
       }
       return g.kind == CellKind::kXnor ? ~acc : acc;
     }
-    default:
+    case CellKind::kInput:
+    case CellKind::kConst0:
+    case CellKind::kConst1:
+    case CellKind::kXSource:
+    case CellKind::kDff:
+      // Sources hold the word set by setSource() (constants were fixed at
+      // construction); a full pass must not disturb them.
       return values_[id.v];
   }
+  assert(false && "unknown cell kind in evalGate");
+  return values_[id.v];
 }
 
-void Simulator2v::eval() {
+void Simulator2v::evalInterpreted() {
   for (GateId id : lev_.combOrder()) {
     values_[id.v] = evalGate(id);
   }

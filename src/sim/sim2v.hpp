@@ -5,6 +5,11 @@
 // behaviour is layered on top by SeqSimulator / the fault simulator, which
 // treat DFF outputs as pseudo primary inputs and DFF D pins as pseudo
 // primary outputs.
+//
+// eval() runs on the compiled kernel (sim/compiled.hpp): a linear sweep
+// over the flat opcode stream with no Gate record access. The
+// gate-record-walking path survives as evalInterpreted()/evalGate() — the
+// reference the differential tests pin the kernel against.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +18,7 @@
 
 #include "netlist/levelize.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/compiled.hpp"
 
 namespace lbist::sim {
 
@@ -24,8 +30,13 @@ class Simulator2v {
   /// DFF output acting as pseudo-PI).
   void setSource(GateId id, uint64_t word) { values_[id.v] = word; }
 
-  /// Full-pass evaluation of every combinational gate in level order.
-  void eval();
+  /// Full-pass evaluation of every combinational gate in level order,
+  /// on the compiled kernel.
+  void eval() { compiled_.eval(values_.data()); }
+
+  /// Reference full pass over the Gate records (bit-identical to eval();
+  /// kept for differential testing of the compiled kernel).
+  void evalInterpreted();
 
   [[nodiscard]] uint64_t value(GateId id) const { return values_[id.v]; }
 
@@ -37,18 +48,24 @@ class Simulator2v {
   [[nodiscard]] const Netlist& netlist() const { return *nl_; }
   [[nodiscard]] const Levelized& levelized() const { return lev_; }
 
+  /// Compiled tables, shared with engines layered on top (the fault
+  /// simulator's overlay evaluation reads the same arrays).
+  [[nodiscard]] const CompiledNetlist& compiled() const { return compiled_; }
+
   /// Mutable access for engines layered on top (fault injection).
   [[nodiscard]] std::span<uint64_t> rawValues() { return values_; }
   [[nodiscard]] std::span<const uint64_t> rawValues() const { return values_; }
 
-  /// Recomputes one combinational gate from current fanin values.
+  /// Recomputes one gate from current fanin values (interpreted path).
+  /// Source kinds (inputs, constants, X-sources, DFF outputs) hold their
+  /// externally set word.
   [[nodiscard]] uint64_t evalGate(GateId id) const;
 
  private:
   const Netlist* nl_;
   Levelized lev_;
+  CompiledNetlist compiled_;
   std::vector<uint64_t> values_;
-  std::vector<uint64_t> scratch_;
 };
 
 }  // namespace lbist::sim

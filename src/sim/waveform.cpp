@@ -117,7 +117,9 @@ void Waveform::writeVcd(std::ostream& os, std::string_view module_name) const {
     }
   }
   std::stable_sort(items.begin(), items.end(),
-                   [](const Item& a, const Item& b) { return a.time < b.time; });
+                   [](const Item& a, const Item& b) {
+                     return a.time < b.time;
+                   });
   uint64_t current = ~uint64_t{0};
   for (const Item& it : items) {
     if (it.time != current) {

@@ -19,7 +19,8 @@ class Waveform {
   using SignalId = uint32_t;
 
   /// Registers a signal; initial value applies at time 0.
-  SignalId addSignal(std::string_view name, WireValue initial = WireValue::kLow);
+  SignalId addSignal(std::string_view name,
+                     WireValue initial = WireValue::kLow);
 
   /// Records a value change at an absolute time in picoseconds. Times may
   /// arrive out of order across signals; they are sorted on export.

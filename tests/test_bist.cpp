@@ -140,7 +140,7 @@ TEST(Gf2, RankOfSingularAndRegular) {
   EXPECT_EQ(Lfsr(19).transitionMatrix().rank(), 19);
 }
 
-// --- phase shifter ------------------------------------------------------------
+// --- phase shifter -----------------------------------------------------------
 
 TEST(PhaseShifter, ChannelsAreExactSequenceShifts) {
   Lfsr ref(13, 0x0BAD);
@@ -190,7 +190,7 @@ TEST(PhaseShifter, PackedMatchesPerChannel) {
   }
 }
 
-// --- MISR ---------------------------------------------------------------------
+// --- MISR --------------------------------------------------------------------
 
 TEST(Misr, DeterministicAndErrorSensitive) {
   Misr a(19);
@@ -247,7 +247,7 @@ TEST(WideMisr, DistinguishesSingleBitErrors) {
   }
 }
 
-// --- expander / compactor -------------------------------------------------------
+// --- expander / compactor ----------------------------------------------------
 
 TEST(SpaceExpander, TapSetsAreDistinct) {
   SpaceExpander exp(8, 30);
@@ -286,7 +286,7 @@ TEST(SpaceCompactor, XorFoldsByModulo) {
                                   out[3] << 3));
 }
 
-// --- PRPG / ODC stacks ------------------------------------------------------------
+// --- PRPG / ODC stacks -------------------------------------------------------
 
 TEST(Prpg, SlicesAreDeterministicPerSeed) {
   PrpgConfig cfg;
@@ -352,7 +352,7 @@ TEST(InputSelector, ExternalModeOverridesPrpg) {
   EXPECT_EQ(prpg.cyclesElapsed(), cycles_before + 1) << "PRPG free-runs";
 }
 
-// --- schedule ------------------------------------------------------------------
+// --- schedule ----------------------------------------------------------------
 
 std::vector<ClockDomain> twoDomains() {
   return {{"clk0", 4000}, {"clk1", 5000}};
@@ -478,7 +478,7 @@ TEST(BistSchedule, WaveformShowsFig2Shape) {
   EXPECT_EQ(wf.risingEdges(2).size(), 6u);
 }
 
-// --- controller -------------------------------------------------------------------
+// --- controller --------------------------------------------------------------
 
 TEST(Controller, WalksFullSessionAndReportsResult) {
   const auto domains = twoDomains();

@@ -94,7 +94,7 @@ TEST(FaultList, CoverageArithmetic) {
   EXPECT_EQ(fl.record(0).first_detect_pattern, 5);
 }
 
-// --- brute-force cross-check ---------------------------------------------------
+// --- brute-force cross-check -------------------------------------------------
 
 /// Serial reference: full re-simulation with the fault forced, one fault
 /// at a time, over the whole netlist.
@@ -276,7 +276,7 @@ TEST(Fsim, ScanCellDPinFaultDirectlyDetected) {
   EXPECT_EQ(fl.record(idx).status, FaultStatus::kDetected);
 }
 
-// --- transition faults -----------------------------------------------------------
+// --- transition faults -------------------------------------------------------
 
 TEST(FsimTransition, DetectsSlowToRiseOnLaunchedTransition) {
   // y = DFF(a AND s): launch a rising transition through the AND.

@@ -23,7 +23,7 @@
 namespace lbist {
 namespace {
 
-// --- Verilog round-trip fuzz --------------------------------------------------
+// --- Verilog round-trip fuzz -------------------------------------------------
 
 class VerilogRoundTrip : public ::testing::TestWithParam<uint64_t> {};
 
@@ -48,7 +48,7 @@ TEST_P(VerilogRoundTrip, GeneratedCoresSurviveTwoRoundTrips) {
 INSTANTIATE_TEST_SUITE_P(Seeds, VerilogRoundTrip,
                          ::testing::Range<uint64_t>(1, 9));
 
-// --- round-trip preserves function ----------------------------------------------
+// --- round-trip preserves function -------------------------------------------
 
 TEST(VerilogRoundTrip, PreservesSimulationSemantics) {
   gen::IpCoreSpec spec;
@@ -82,7 +82,7 @@ TEST(VerilogRoundTrip, PreservesSimulationSemantics) {
   }
 }
 
-// --- phase shifter separation across configurations ----------------------------
+// --- phase shifter separation across configurations --------------------------
 
 struct PsCase {
   int degree;
@@ -135,7 +135,7 @@ INSTANTIATE_TEST_SUITE_P(
                       PsCase{19, 8, 300, 16}, PsCase{23, 12, 700, 8},
                       PsCase{31, 16, 1024, 32}));
 
-// --- PRPG determinism & stream equivalence under expander ----------------------
+// --- PRPG determinism & stream equivalence under expander --------------------
 
 TEST(PrpgProperty, PeekMatchesNextSliceAcrossConfigs) {
   for (int chains : {3, 8, 17}) {
@@ -149,7 +149,9 @@ TEST(PrpgProperty, PeekMatchesNextSliceAcrossConfigs) {
       std::vector<uint8_t> slice(static_cast<size_t>(chains));
       for (int t = 0; t < 50; ++t) {
         std::vector<uint8_t> expected(static_cast<size_t>(chains));
-        for (int c = 0; c < chains; ++c) expected[static_cast<size_t>(c)] = p.peekChainBit(c);
+        for (int c = 0; c < chains; ++c) {
+          expected[static_cast<size_t>(c)] = p.peekChainBit(c);
+        }
         p.nextSlice(slice);
         EXPECT_EQ(slice, expected) << "t=" << t;
       }
@@ -157,7 +159,7 @@ TEST(PrpgProperty, PeekMatchesNextSliceAcrossConfigs) {
   }
 }
 
-// --- coverage monotonicity -------------------------------------------------------
+// --- coverage monotonicity ---------------------------------------------------
 
 TEST(CoverageProperty, MorePatternsNeverLowerCoverage) {
   gen::IpCoreSpec spec;
@@ -200,7 +202,7 @@ TEST(CoverageProperty, NDetectCountsAreMonotoneInN) {
   }
 }
 
-// --- schedule invariants across domain counts ----------------------------------
+// --- schedule invariants across domain counts --------------------------------
 
 class ScheduleSweep : public ::testing::TestWithParam<int> {};
 
@@ -248,7 +250,7 @@ TEST_P(ScheduleSweep, InvariantsHoldForAnyDomainCount) {
 INSTANTIATE_TEST_SUITE_P(DomainCounts, ScheduleSweep,
                          ::testing::Values(1, 2, 3, 5, 8));
 
-// --- X-bounding is sufficient across generated cores ----------------------------
+// --- X-bounding is sufficient across generated cores -------------------------
 
 class XBoundSweep : public ::testing::TestWithParam<uint64_t> {};
 
@@ -272,7 +274,7 @@ TEST_P(XBoundSweep, BoundedCoreNeverLeaksXToObservation) {
 INSTANTIATE_TEST_SUITE_P(Seeds, XBoundSweep,
                          ::testing::Range<uint64_t>(1, 9));
 
-// --- session/flow cross-validation ----------------------------------------------
+// --- session/flow cross-validation -------------------------------------------
 
 TEST(CrossValidation, FsimDetectedFaultBreaksSessionSignature) {
   // A fault the PPSFP engine reports detected within the session's
@@ -326,7 +328,7 @@ TEST(CrossValidation, FsimDetectedFaultBreaksSessionSignature) {
   EXPECT_GE(checked, 3u);
 }
 
-// --- MISR linearity -----------------------------------------------------------
+// --- MISR linearity ----------------------------------------------------------
 //
 // The interval-signature diagnosis (src/diag) relies on the MISR being a
 // linear map: the signature of an error stream equals the XOR of the
