@@ -1,0 +1,219 @@
+// Top-up ATPG throughput harness.
+//
+// For each workload the harness runs a short random phase to leave a
+// realistic undetected tail, snapshots the fault statuses, and then
+// measures runTopUp from that identical starting state for every
+// (engine, threads) configuration: the compiled PODEM engine at 1/2/4
+// worker threads and the interpreted Gate-record reference at 1 thread
+// as the speedup baseline. Results go to BENCH_atpg.json (cubes/sec,
+// backtracks/target, coverage, speedups), with the shared meta block so
+// the CI delta step can attribute numbers to an environment.
+//
+// Flags: --quick   halve the repetition counts (local smoke runs).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "atpg/topup.hpp"
+#include "bench_meta.hpp"
+#include "fault/fsim.hpp"
+#include "gen/ipcore.hpp"
+#include "gen/refcircuits.hpp"
+
+namespace {
+
+using namespace lbist;
+
+Netlist makeCore(size_t gates) {
+  gen::IpCoreSpec spec;
+  spec.seed = 42;
+  spec.target_comb_gates = gates;
+  spec.target_ffs = gates / 16;
+  spec.num_inputs = 32;
+  spec.num_outputs = 32;
+  spec.num_domains = 1;
+  spec.num_xsources = 0;
+  spec.num_noscan_ffs = 0;
+  return gen::generateIpCore(spec);
+}
+
+struct ScanSetup {
+  std::vector<GateId> observed;
+  std::vector<GateId> assignable;
+};
+
+ScanSetup scanSetup(Netlist& nl) {
+  for (GateId dff : nl.dffs()) nl.setFlag(dff, kFlagScanCell);
+  ScanSetup s;
+  s.observed = fault::fullObservationSet(nl);
+  s.assignable.assign(nl.inputs().begin(), nl.inputs().end());
+  for (GateId dff : nl.dffs()) s.assignable.push_back(dff);
+  return s;
+}
+
+struct AtpgRow {
+  std::string circuit;
+  size_t gates = 0;
+  size_t faults = 0;
+  size_t tail = 0;  // undetected faults handed to top-up
+  std::string engine;
+  unsigned threads = 0;
+  size_t targeted = 0;
+  size_t cubes = 0;
+  size_t backtracks = 0;
+  size_t patterns = 0;
+  size_t patterns_before_compact = 0;
+  double coverage_percent = 0.0;
+  double seconds = 0.0;       // whole runTopUp (incl. fault sim, merge)
+  double atpg_seconds = 0.0;  // inside generate() only — cubes/sec basis
+};
+
+/// Measures `reps` identical top-up campaigns from the post-random-phase
+/// snapshot. Only runTopUp is timed; fault-list restoration and
+/// simulator construction are per-rep setup.
+AtpgRow runCampaign(const std::string& name, const Netlist& nl,
+                    const ScanSetup& s, const fault::FaultList& snapshot,
+                    atpg::AtpgEngine engine, unsigned threads, int reps) {
+  AtpgRow row;
+  row.circuit = name;
+  row.gates = nl.numGates();
+  row.faults = snapshot.size();
+  row.tail = snapshot.undetectedIndices().size();
+  row.engine =
+      engine == atpg::AtpgEngine::kCompiled ? "compiled" : "interpreted";
+  row.threads = threads;
+
+  for (int rep = 0; rep < reps; ++rep) {
+    fault::FaultList fl = snapshot;
+    fault::FaultSimulator fsim(nl, fl, s.observed);
+    atpg::TopUpConfig cfg;
+    cfg.engine = engine;
+    cfg.threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const atpg::TopUpResult res =
+        atpg::runTopUp(nl, fl, fsim, s.observed, s.assignable, {}, cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    row.seconds += std::chrono::duration<double>(t1 - t0).count();
+    row.atpg_seconds += res.atpg_seconds;
+    row.targeted += res.targeted;
+    row.cubes += res.atpg_detected;
+    row.backtracks += res.backtracks;
+    row.patterns = res.patterns.size();
+    row.patterns_before_compact = res.patterns_before_compact;
+    row.coverage_percent = res.final_coverage.faultCoveragePercent();
+  }
+  return row;
+}
+
+void writeJson(const char* path, const std::vector<AtpgRow>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"atpg_topup\",\n");
+  lbist::bench::writeMetaJson(f);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const AtpgRow& r = rows[i];
+    // Baseline for the speedup column: the interpreted engine on the
+    // same circuit (1 thread). Rates are engine-only (time inside
+    // generate()), so the shared fault-simulation cost cannot dilute
+    // the comparison.
+    double interp_rate = 0.0;
+    for (const AtpgRow& b : rows) {
+      if (b.circuit == r.circuit && b.engine == "interpreted") {
+        interp_rate = static_cast<double>(b.cubes) / b.atpg_seconds;
+      }
+    }
+    const double rate = static_cast<double>(r.cubes) / r.atpg_seconds;
+    std::fprintf(
+        f,
+        "    {\"circuit\": \"%s\", \"gates\": %zu, \"faults\": %zu, "
+        "\"topup_tail\": %zu, \"engine\": \"%s\", \"threads\": %u, "
+        "\"targeted\": %zu, \"cubes\": %zu, \"seconds_total\": %.6f, "
+        "\"atpg_seconds\": %.6f, "
+        "\"cubes_per_sec\": %.1f, \"backtracks_per_target\": %.3f, "
+        "\"patterns\": %zu, \"patterns_before_compact\": %zu, "
+        "\"coverage_percent\": %.4f, "
+        "\"speedup_vs_interpreted_1t\": %.3f}%s\n",
+        r.circuit.c_str(), r.gates, r.faults, r.tail, r.engine.c_str(),
+        r.threads, r.targeted, r.cubes, r.seconds, r.atpg_seconds, rate,
+        r.targeted == 0
+            ? 0.0
+            : static_cast<double>(r.backtracks) /
+                  static_cast<double>(r.targeted),
+        r.patterns, r.patterns_before_compact, r.coverage_percent,
+        interp_rate == 0.0 ? 0.0 : rate / interp_rate,
+        i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  struct Workload {
+    std::string name;
+    Netlist nl;
+    int random_blocks;  // 64-pattern random-phase blocks before top-up
+    int reps;
+  };
+  std::vector<Workload> workloads;
+  // The adder is almost fully random-testable, so its campaign is
+  // deterministic-only (0 random blocks): every fault is an ATPG
+  // target, which is what makes it a PODEM throughput workload.
+  workloads.push_back({"refcircuit_adder512", gen::buildRippleAdder(512),
+                       0, 3});
+  workloads.push_back({"refcircuit_alu64", gen::buildMiniAlu(64), 1, 10});
+  workloads.push_back({"ipcore_20k", makeCore(20'000), 16, 1});
+
+  std::vector<AtpgRow> rows;
+  for (Workload& w : workloads) {
+    const ScanSetup s = scanSetup(w.nl);
+    fault::FaultList snapshot = fault::FaultList::enumerateStuckAt(w.nl);
+    {
+      fault::FaultSimulator fsim(w.nl, snapshot, s.observed);
+      fsim.markUnobservable();
+      std::mt19937_64 rng(11);
+      int64_t base = 0;
+      for (int b = 0; b < w.random_blocks; ++b) {
+        for (GateId src : s.assignable) fsim.setSource(src, rng());
+        fsim.simulateBlockStuckAt(base, 64);
+        base += 64;
+      }
+    }
+    const int reps = quick ? std::max(1, w.reps / 2) : w.reps;
+
+    struct Config {
+      atpg::AtpgEngine engine;
+      unsigned threads;
+    };
+    const Config configs[] = {
+        {atpg::AtpgEngine::kInterpreted, 1},
+        {atpg::AtpgEngine::kCompiled, 1},
+        {atpg::AtpgEngine::kCompiled, 2},
+        {atpg::AtpgEngine::kCompiled, 4},
+    };
+    for (const Config& c : configs) {
+      rows.push_back(
+          runCampaign(w.name, w.nl, s, snapshot, c.engine, c.threads, reps));
+      std::fprintf(stderr, "atpg %s engine=%s threads=%u: %.3fs (%zu cubes)\n",
+                   rows.back().circuit.c_str(), rows.back().engine.c_str(),
+                   c.threads, rows.back().seconds, rows.back().cubes);
+    }
+  }
+  writeJson("BENCH_atpg.json", rows);
+  return 0;
+}

@@ -68,6 +68,7 @@ core::Table1Column runCore(const gen::IpCoreSpec& spec, int num_chains,
 
   std::printf("  top-up ATPG...\n");
   const atpg::TopUpResult topup = flow.runTopUp();
+  std::printf("    %s", core::renderAtpgStats(topup).c_str());
   std::printf("    %zu top-up patterns -> fault coverage 2 = %.2f%%\n",
               topup.patterns.size(),
               topup.final_coverage.faultCoveragePercent());

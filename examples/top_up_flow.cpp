@@ -50,13 +50,11 @@ int main() {
               topup.final_coverage.faultCoveragePercent());
 
   std::printf("\ntop-up detail:\n");
-  std::printf("  targeted faults:       %zu\n", topup.targeted);
-  std::printf("  ATPG found cubes for:  %zu\n", topup.atpg_detected);
+  std::printf("  %s", core::renderAtpgStats(topup).c_str());
   std::printf("  fortuitous detections: %zu\n", topup.fortuitous_detected);
-  std::printf("  proven untestable:     %zu\n", topup.proven_untestable);
-  std::printf("  aborted (limit):       %zu\n", topup.aborted);
   std::printf("  merged patterns:       %zu  (vs %zu targets: static "
-              "compaction + fortuitous dropping)\n",
+              "compaction + fortuitous dropping + reverse-order "
+              "compaction)\n",
               topup.patterns.size(), topup.targeted);
   std::printf("\ncoverage lift from top-up: %.2f%% -> %.2f%% with %zu "
               "deterministic patterns\nagainst %lld random ones — the "

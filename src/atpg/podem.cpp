@@ -7,23 +7,13 @@ namespace lbist::atpg {
 
 namespace {
 
-Word3v from3(uint8_t v) {
-  switch (v) {
-    case 0:
-      return {0, 0};
-    case 1:
-      return {1, 0};
-    default:
-      return {0, 1};
-  }
-}
-
-uint8_t to3(Word3v w) {
-  if ((w.x & 1u) != 0) return 2;
-  return static_cast<uint8_t>(w.v & 1u);
-}
+using sim::CompiledNetlist;
+using sim::OpCode;
 
 uint8_t inv3(uint8_t v) { return v == 2 ? 2 : static_cast<uint8_t>(1 - v); }
+
+/// True when the value pair carries a fault effect (both known, unequal).
+bool hasD(uint8_t g, uint8_t f) { return g != 2 && f != 2 && g != f; }
 
 }  // namespace
 
@@ -55,8 +45,9 @@ void TestCube::mergeFrom(const TestCube& other) {
 Podem::Podem(const Netlist& nl, std::vector<GateId> observed,
              std::vector<GateId> assignable, AtpgOptions opts)
     : nl_(&nl),
-      lev_(nl),
-      fanout_(nl.buildFanoutMap()),
+      // CompiledNetlist copies everything it needs, so the Levelized
+      // may be a temporary.
+      cn_(nl, Levelized(nl)),
       cop_(dft::computeCop(nl, observed)),
       opts_(opts),
       observed_(std::move(observed)) {
@@ -64,121 +55,98 @@ Podem::Podem(const Netlist& nl, std::vector<GateId> observed,
   for (GateId o : observed_) is_observed_[o.v] = 1;
   is_assignable_.assign(nl.numGates(), 0);
   for (GateId a : assignable) is_assignable_[a.v] = 1;
-  gval_.assign(nl.numGates(), 2);
-  fval_.assign(nl.numGates(), 2);
+  gval_.assign(nl.numGates(), kVX);
+  fval_.assign(nl.numGates(), kVX);
   queued_stamp_.assign(nl.numGates(), 0);
-  level_queue_.resize(lev_.maxLevel() + 1);
+  level_queue_.resize(cn_.maxLevel() + 1);
+  in_cone_.assign(nl.numGates(), 0);
+  xpath_stamp_.assign(nl.numGates(), 0);
+  d_pos_.assign(nl.numGates(), kNoDPos);
+}
+
+void Podem::updateD(uint32_t g) {
+  const bool d = hasD(gval_[g], fval_[g]);
+  uint32_t& pos = d_pos_[g];
+  if (d == (pos != kNoDPos)) return;
+  if (d) {
+    pos = static_cast<uint32_t>(d_list_.size());
+    d_list_.push_back(g);
+  } else {
+    const uint32_t last = d_list_.back();
+    d_list_[pos] = last;
+    d_pos_[last] = pos;
+    d_list_.pop_back();
+    pos = kNoDPos;
+  }
 }
 
 void Podem::fixSource(GateId id, bool value) {
   fixed_.emplace_back(id, value ? 1 : 0);
   is_assignable_[id.v] = 0;
+  baseline_dirty_ = true;
 }
 
-uint8_t Podem::evalGood(GateId id) const {
-  const Gate& g = nl_->gate(id);
-  switch (g.kind) {
-    case CellKind::kConst0:
-      return 0;
-    case CellKind::kConst1:
-      return 1;
-    case CellKind::kInput:
-    case CellKind::kDff:
-    case CellKind::kXSource:
-      return gval_[id.v];
-    default:
-      break;
-  }
-  Word3v ins[24];
-  const size_t n = g.fanins.size();
-  assert(n <= 24);
-  for (size_t i = 0; i < n; ++i) ins[i] = from3(gval_[g.fanins[i].v]);
-  return to3(evalWord3v(g.kind, {ins, n}));
+void Podem::rebuildBaseline() {
+  baseline_.assign(nl_->numGates(), kVX);
+  nl_->forEachGate([&](GateId id, const Gate& g) {
+    if (g.kind == CellKind::kConst0) baseline_[id.v] = kV0;
+    if (g.kind == CellKind::kConst1) baseline_[id.v] = kV1;
+  });
+  for (const auto& [id, v] : fixed_) baseline_[id.v] = v;
+  cn_.eval3(baseline_.data());
+  baseline_dirty_ = false;
 }
 
-uint8_t Podem::evalFaulty(GateId id) const {
-  const Gate& g = nl_->gate(id);
-  const bool is_site = id == fault_.gate;
-  if (is_site && fault_.pin == fault::kOutputPin) {
-    return fault_.type == fault::FaultType::kStuckAt1 ? 1 : 0;
+uint8_t Podem::evalFaulty3(uint32_t op) const {
+  if (cn_.opGate(op) == fault_.gate.v) {
+    if (fault_.pin == fault::kOutputPin) return faulty_const_;
+    return cn_.evalOp3(op, [&](size_t slot, uint32_t src) -> uint8_t {
+      return slot == fault_.pin ? faulty_const_ : fval_[src];
+    });
   }
-  switch (g.kind) {
-    case CellKind::kConst0:
-      return 0;
-    case CellKind::kConst1:
-      return 1;
-    case CellKind::kInput:
-    case CellKind::kDff:
-    case CellKind::kXSource:
-      return fval_[id.v];
-    default:
-      break;
-  }
-  Word3v ins[24];
-  const size_t n = g.fanins.size();
-  assert(n <= 24);
-  for (size_t i = 0; i < n; ++i) {
-    if (is_site && i == fault_.pin) {
-      ins[i] =
-          from3(fault_.type == fault::FaultType::kStuckAt1 ? uint8_t{1}
-                                                           : uint8_t{0});
-    } else {
-      ins[i] = from3(fval_[g.fanins[i].v]);
+  return cn_.evalOp3(op,
+                     [&](size_t, uint32_t src) { return fval_[src]; });
+}
+
+void Podem::setupFault() {
+  // Two memcpys restore the fault-free all-X state; the faulty machine
+  // then diverges only where the site forcing propagates.
+  std::copy(baseline_.begin(), baseline_.end(), gval_.begin());
+  std::copy(baseline_.begin(), baseline_.end(), fval_.begin());
+  for (uint32_t g : d_list_) d_pos_[g] = kNoDPos;
+  d_list_.clear();
+  trail_.clear();
+  const uint32_t s = fault_.gate.v;
+  const uint32_t op = cn_.opOf(fault_.gate);
+  if (fault_.pin == fault::kOutputPin) {
+    if (fval_[s] != faulty_const_) {
+      fval_[s] = faulty_const_;
+      updateD(s);
+      propagateFrom(s);
+    }
+  } else if (op != CompiledNetlist::kNoOp) {
+    const uint8_t nf = evalFaulty3(op);
+    if (nf != fval_[s]) {
+      fval_[s] = nf;
+      updateD(s);
+      propagateFrom(s);
     }
   }
-  return to3(evalWord3v(g.kind, {ins, n}));
+  // The site forcing is part of the search's floor state, not an
+  // undoable implication.
+  trail_.clear();
 }
 
-void Podem::resetValues() {
-  std::fill(gval_.begin(), gval_.end(), uint8_t{2});
-  std::fill(fval_.begin(), fval_.end(), uint8_t{2});
-  nl_->forEachGate([&](GateId id, const Gate& g) {
-    if (g.kind == CellKind::kConst0) gval_[id.v] = fval_[id.v] = 0;
-    if (g.kind == CellKind::kConst1) gval_[id.v] = fval_[id.v] = 1;
-  });
-  for (const auto& [id, v] : fixed_) {
-    gval_[id.v] = v;
-    fval_[id.v] = v;
-  }
-  for (GateId id : lev_.combOrder()) {
-    gval_[id.v] = evalGood(id);
-    fval_[id.v] = evalFaulty(id);
-  }
-  // Stuck output on a source-kind site (PI / DFF stem fault).
-  if (fault_.pin == fault::kOutputPin &&
-      !isCombinational(nl_->gate(fault_.gate).kind)) {
-    fval_[fault_.gate.v] =
-        fault_.type == fault::FaultType::kStuckAt1 ? 1 : 0;
-    propagateFrom(fault_.gate);
-  }
-}
-
-void Podem::assign(GateId source, uint8_t v) {
-  gval_[source.v] = v;
-  // The faulty machine shares source values; the site forcing is applied
-  // inside evalFaulty. Source-site stuck faults keep their forced value.
-  if (source == fault_.gate && fault_.pin == fault::kOutputPin &&
-      !isCombinational(nl_->gate(source).kind)) {
-    fval_[source.v] =
-        fault_.type == fault::FaultType::kStuckAt1 ? 1 : 0;
-  } else {
-    fval_[source.v] = v;
-  }
-  propagateFrom(source);
-}
-
-void Podem::propagateFrom(GateId start) {
+void Podem::propagateFrom(uint32_t start) {
   ++serial_;
   size_t queued = 0;
   uint32_t min_level = static_cast<uint32_t>(level_queue_.size());
-  auto schedule = [&](GateId g) {
-    for (GateId t : fanout_.fanout(g)) {
-      if (!isCombinational(nl_->gate(t).kind)) continue;
-      if (queued_stamp_[t.v] == serial_) continue;
-      queued_stamp_[t.v] = serial_;
-      const uint32_t l = lev_.level(t);
-      level_queue_[l].push_back(t.v);
-      min_level = std::min(min_level, l);
+  auto schedule = [&](uint32_t g) {
+    for (const CompiledNetlist::FanoutEntry& e : cn_.combFanout(g)) {
+      if (queued_stamp_[e.gate] == serial_) continue;
+      queued_stamp_[e.gate] = serial_;
+      level_queue_[e.level].push_back(e.gate);
+      min_level = std::min(min_level, e.level);
       ++queued;
     }
   };
@@ -186,35 +154,63 @@ void Podem::propagateFrom(GateId start) {
   for (uint32_t l = min_level; queued > 0 && l < level_queue_.size(); ++l) {
     auto& bucket = level_queue_[l];
     for (size_t i = 0; i < bucket.size(); ++i) {
-      const GateId g{bucket[i]};
+      const uint32_t g = bucket[i];
       --queued;
-      const uint8_t ng = evalGood(g);
-      const uint8_t nf = evalFaulty(g);
-      if (ng == gval_[g.v] && nf == fval_[g.v]) continue;
-      gval_[g.v] = ng;
-      fval_[g.v] = nf;
+      const uint32_t op = cn_.opOf(GateId{g});
+      const uint8_t ng =
+          cn_.evalOp3(op, [&](size_t, uint32_t src) { return gval_[src]; });
+      const uint8_t nf = evalFaulty3(op);
+      if (ng == gval_[g] && nf == fval_[g]) continue;
+      trail_.push_back({g, gval_[g], fval_[g]});
+      gval_[g] = ng;
+      fval_[g] = nf;
+      updateD(g);
       schedule(g);
     }
     bucket.clear();
   }
 }
 
+void Podem::assign(GateId source, uint8_t v) {
+  const uint32_t s = source.v;
+  trail_.push_back({s, gval_[s], fval_[s]});
+  gval_[s] = v;
+  // Source-site stuck faults keep their forced value; comb sites are
+  // forced inside evalFaulty3.
+  if (source == fault_.gate && fault_.pin == fault::kOutputPin &&
+      cn_.opOf(source) == CompiledNetlist::kNoOp) {
+    fval_[s] = faulty_const_;
+  } else {
+    fval_[s] = v;
+  }
+  updateD(s);
+  propagateFrom(s);
+}
+
+void Podem::undoTo(size_t mark) {
+  while (trail_.size() > mark) {
+    const TrailEntry& e = trail_.back();
+    gval_[e.gate] = e.g;
+    fval_[e.gate] = e.f;
+    updateD(e.gate);
+    trail_.pop_back();
+  }
+}
+
 bool Podem::faultActivated() const {
+  const uint8_t need = fault_.type == fault::FaultType::kStuckAt1 ? 0 : 1;
   if (fault_.pin == fault::kOutputPin) {
-    const uint8_t need =
-        fault_.type == fault::FaultType::kStuckAt1 ? 0 : 1;
     return gval_[fault_.gate.v] == need;
   }
   const GateId src = nl_->gate(fault_.gate).fanins[fault_.pin];
-  const uint8_t need = fault_.type == fault::FaultType::kStuckAt1 ? 0 : 1;
   return gval_[src.v] == need;
 }
 
 bool Podem::faultAtObserved() const {
-  for (GateId o : cone_observed_) {
-    if (gval_[o.v] != 2 && fval_[o.v] != 2 && gval_[o.v] != fval_[o.v]) {
-      return true;
-    }
+  // O(|D|): a D on an observed net means that net is both observed and
+  // in d_list_ (D values only arise inside the fault cone).
+  for (uint32_t g : d_list_) {
+    if (is_observed_[g] != 0) return true;
   }
   return false;
 }
@@ -224,44 +220,42 @@ bool Podem::xPathExists() {
   // from gates carrying a D, looking for an observed net reachable through
   // X-valued gates. Epoch-stamped visited set: no per-call allocation.
   ++xpath_serial_;
-  std::vector<GateId> queue;
-  auto seen_get = [&](GateId g) { return xpath_stamp_[g.v] == xpath_serial_; };
-  auto seen_set = [&](GateId g) { xpath_stamp_[g.v] = xpath_serial_; };
-  for (GateId id : cone_list_) {
-    const bool has_d =
-        gval_[id.v] != 2 && fval_[id.v] != 2 && gval_[id.v] != fval_[id.v];
-    if (has_d && !seen_get(id)) {
-      seen_set(id);
-      queue.push_back(id);
+  xpath_queue_.clear();
+  auto seen_get = [&](uint32_t g) { return xpath_stamp_[g] == xpath_serial_; };
+  auto seen_set = [&](uint32_t g) { xpath_stamp_[g] = xpath_serial_; };
+  for (uint32_t g : d_list_) {
+    if (!seen_get(g)) {
+      seen_set(g);
+      xpath_queue_.push_back(GateId{g});
     }
   }
   // A pin fault's D lives inside the site gate until it propagates; once
   // the activation value is justified, the site itself is a D source even
   // though no net carries a D yet.
   if (fault_.pin != fault::kOutputPin && faultActivated() &&
-      !seen_get(fault_.gate)) {
-    seen_set(fault_.gate);
-    queue.push_back(fault_.gate);
+      !seen_get(fault_.gate.v)) {
+    seen_set(fault_.gate.v);
+    xpath_queue_.push_back(fault_.gate);
   }
   // An X-ish seed that is itself observed already has a zero-length
   // X-path (e.g. a pin fault on a PO-driving gate whose output is still
   // unresolved).
-  for (const GateId g : queue) {
-    if (is_observed_[g.v] != 0 &&
-        (gval_[g.v] == 2 || fval_[g.v] == 2)) {
+  for (const GateId g : xpath_queue_) {
+    if (is_observed_[g.v] != 0 && (gval_[g.v] == kVX || fval_[g.v] == kVX)) {
       return true;
     }
   }
-  while (!queue.empty()) {
-    const GateId g = queue.back();
-    queue.pop_back();
-    for (GateId t : fanout_.fanout(g)) {
-      if (in_cone_[t.v] == 0 || seen_get(t)) continue;
-      const bool xish = gval_[t.v] == 2 || fval_[t.v] == 2;
+  while (!xpath_queue_.empty()) {
+    const GateId g = xpath_queue_.back();
+    xpath_queue_.pop_back();
+    for (const CompiledNetlist::FanoutEntry& e : cn_.combFanout(g.v)) {
+      const uint32_t t = e.gate;
+      if (in_cone_[t] == 0 || seen_get(t)) continue;
+      const bool xish = gval_[t] == kVX || fval_[t] == kVX;
       if (!xish) continue;
-      if (is_observed_[t.v] != 0) return true;
+      if (is_observed_[t] != 0) return true;
       seen_set(t);
-      queue.push_back(t);
+      xpath_queue_.push_back(GateId{t});
     }
   }
   // A D sitting directly on an observed X-ish net was handled above; also
@@ -277,18 +271,18 @@ std::optional<std::pair<GateId, uint8_t>> Podem::resolveFaultyX(GateId net) {
   GateId cur = net;
   size_t guard = nl_->numGates();
   while (guard-- > 0) {
-    const Gate& g = nl_->gate(cur);
-    if (!isCombinational(g.kind)) {
-      if (is_assignable_[cur.v] != 0 && gval_[cur.v] == 2) {
+    const uint32_t op = cn_.opOf(cur);
+    if (op == CompiledNetlist::kNoOp) {
+      if (is_assignable_[cur.v] != 0 && gval_[cur.v] == kVX) {
         const bool high = (cop_.c1[cur.v] >= 0.5) != saltBit(cur);
         return std::make_pair(cur, static_cast<uint8_t>(high ? 1 : 0));
       }
       return std::nullopt;
     }
     GateId next;
-    for (GateId f : g.fanins) {
-      if (fval_[f.v] == 2) {
-        next = f;
+    for (uint32_t f : cn_.opFanins(op)) {
+      if (fval_[f] == kVX) {
+        next = GateId{f};
         break;
       }
     }
@@ -300,51 +294,65 @@ std::optional<std::pair<GateId, uint8_t>> Podem::resolveFaultyX(GateId net) {
 
 std::optional<std::pair<GateId, uint8_t>> Podem::propagationObjective(
     GateId gate) {
-  const Gate& g = nl_->gate(gate);
-  switch (g.kind) {
-    case CellKind::kAnd:
-    case CellKind::kNand:
-    case CellKind::kOr:
-    case CellKind::kNor: {
+  const uint32_t op = cn_.opOf(gate);
+  const auto fanins = cn_.opFanins(op);
+  switch (cn_.opcode(op)) {
+    case OpCode::kAnd2:
+    case OpCode::kNand2:
+    case OpCode::kAndN:
+    case OpCode::kNandN:
+    case OpCode::kOr2:
+    case OpCode::kNor2:
+    case OpCode::kOrN:
+    case OpCode::kNorN: {
+      const OpCode oc = cn_.opcode(op);
       const uint8_t noncontrolling =
-          (g.kind == CellKind::kAnd || g.kind == CellKind::kNand) ? 1 : 0;
-      for (GateId f : g.fanins) {
-        if (gval_[f.v] == 2) return std::make_pair(f, noncontrolling);
-      }
-      break;
-    }
-    case CellKind::kXor:
-    case CellKind::kXnor:
-      for (GateId f : g.fanins) {
-        if (gval_[f.v] == 2) {
-          return std::make_pair(f, static_cast<uint8_t>(saltBit(f) ? 1 : 0));
+          (oc == OpCode::kAnd2 || oc == OpCode::kNand2 ||
+           oc == OpCode::kAndN || oc == OpCode::kNandN)
+              ? 1
+              : 0;
+      for (uint32_t f : fanins) {
+        if (gval_[f] == kVX) {
+          return std::make_pair(GateId{f}, noncontrolling);
         }
       }
       break;
-    case CellKind::kMux2: {
-      const GateId sel = g.fanins[2];
-      if (gval_[sel.v] == 2) {
-        // Steer toward a data pin carrying D if one is known.
-        const GateId d1 = g.fanins[1];
-        const bool d1_has_d = gval_[d1.v] != 2 && fval_[d1.v] != 2 &&
-                              gval_[d1.v] != fval_[d1.v];
-        return std::make_pair(sel, static_cast<uint8_t>(d1_has_d ? 1 : 0));
+    }
+    case OpCode::kXor2:
+    case OpCode::kXnor2:
+    case OpCode::kXorN:
+    case OpCode::kXnorN:
+      for (uint32_t f : fanins) {
+        if (gval_[f] == kVX) {
+          return std::make_pair(
+              GateId{f}, static_cast<uint8_t>(saltBit(GateId{f}) ? 1 : 0));
+        }
       }
-      const GateId data = gval_[sel.v] == 1 ? g.fanins[1] : g.fanins[0];
-      if (gval_[data.v] == 2) {
-        return std::make_pair(data,
-                              static_cast<uint8_t>(saltBit(data) ? 1 : 0));
+      break;
+    case OpCode::kMux2: {
+      const uint32_t sel = fanins[2];
+      if (gval_[sel] == kVX) {
+        // Steer toward a data pin carrying D if one is known.
+        const uint32_t d1 = fanins[1];
+        const bool d1_has_d = hasD(gval_[d1], fval_[d1]);
+        return std::make_pair(GateId{sel},
+                              static_cast<uint8_t>(d1_has_d ? 1 : 0));
+      }
+      const uint32_t data = gval_[sel] == 1 ? fanins[1] : fanins[0];
+      if (gval_[data] == kVX) {
+        return std::make_pair(
+            GateId{data}, static_cast<uint8_t>(saltBit(GateId{data}) ? 1 : 0));
       }
       break;
     }
-    default:
+    default:  // kBuf / kNot: output follows input; no good-machine choice
       break;
   }
   // No good-machine-X input to drive: try resolving a faulty-machine-X
   // input instead.
-  for (GateId f : g.fanins) {
-    if (fval_[f.v] == 2) {
-      if (auto r = resolveFaultyX(f)) return r;
+  for (uint32_t f : fanins) {
+    if (fval_[f] == kVX) {
+      if (auto r = resolveFaultyX(GateId{f})) return r;
     }
   }
   return std::nullopt;
@@ -359,7 +367,7 @@ std::optional<std::pair<GateId, uint8_t>> Podem::objective() {
   if (fault_.pin != fault::kOutputPin) {
     act_net = nl_->gate(fault_.gate).fanins[fault_.pin];
   }
-  if (gval_[act_net.v] == 2) return std::make_pair(act_net, activate_v);
+  if (gval_[act_net.v] == kVX) return std::make_pair(act_net, activate_v);
   if (gval_[act_net.v] != activate_v) {
     block_reason_ = BlockReason::kActivationConflict;  // sound prune
     return std::nullopt;
@@ -372,30 +380,29 @@ std::optional<std::pair<GateId, uint8_t>> Podem::objective() {
     block_reason_ = BlockReason::kNoXPath;  // sound prune (3v monotone)
     return std::nullopt;
   }
-  std::vector<GateId> frontier;
-  for (GateId id : cone_list_) {
-    const Gate& g = nl_->gate(id);
-    if (!isCombinational(g.kind)) continue;
-    const bool out_xish = gval_[id.v] == 2 || fval_[id.v] == 2;
-    if (!out_xish) continue;
-    bool input_d = false;
-    for (GateId f : g.fanins) {
-      if (gval_[f.v] != 2 && fval_[f.v] != 2 && gval_[f.v] != fval_[f.v]) {
-        input_d = true;
-      }
+  // The D-frontier is the X-ish-output combinational fanout of the
+  // D-carrier set (a fanout of a D gate has a D input by definition),
+  // plus the activated site of a pin fault (its internal forced pin is
+  // the D source). Collected from d_list_, never by scanning the cone.
+  frontier_.clear();
+  ++xpath_serial_;  // reuse the epoch stamp as the dedup set
+  auto consider = [&](GateId id) {
+    if (xpath_stamp_[id.v] == xpath_serial_) return;
+    xpath_stamp_[id.v] = xpath_serial_;
+    if (cn_.opOf(id) == CompiledNetlist::kNoOp) return;
+    if (gval_[id.v] == kVX || fval_[id.v] == kVX) frontier_.push_back(id);
+  };
+  for (uint32_t g : d_list_) {
+    for (const sim::CompiledNetlist::FanoutEntry& e : cn_.combFanout(g)) {
+      if (in_cone_[e.gate] != 0) consider(GateId{e.gate});
     }
-    // The fault site itself is a frontier member once activated (its
-    // internal forced pin is the D source).
-    if (id == fault_.gate && fault_.pin != fault::kOutputPin) {
-      input_d = true;
-    }
-    if (input_d) frontier.push_back(id);
   }
-  std::sort(frontier.begin(), frontier.end(), [&](GateId a, GateId b) {
+  if (fault_.pin != fault::kOutputPin) consider(fault_.gate);
+  std::sort(frontier_.begin(), frontier_.end(), [&](GateId a, GateId b) {
     if (cop_.obs[a.v] != cop_.obs[b.v]) return cop_.obs[a.v] > cop_.obs[b.v];
     return a.v < b.v;
   });
-  for (GateId fg : frontier) {
+  for (GateId fg : frontier_) {
     if (auto obj = propagationObjective(fg)) return obj;
   }
   // A D is alive and an X-path exists, but no actionable assignment was
@@ -408,25 +415,31 @@ std::optional<std::pair<GateId, uint8_t>> Podem::objective() {
 std::pair<GateId, uint8_t> Podem::backtrace(GateId net, uint8_t v) {
   while (true) {
     if (is_assignable_[net.v] != 0) return {net, v};
-    const Gate& g = nl_->gate(net);
-    if (!isCombinational(g.kind)) return {GateId{}, v};  // dead end
-    switch (g.kind) {
-      case CellKind::kBuf:
-        net = g.fanins[0];
+    const uint32_t op = cn_.opOf(net);
+    if (op == CompiledNetlist::kNoOp) return {GateId{}, v};  // dead end
+    const auto fanins = cn_.opFanins(op);
+    switch (cn_.opcode(op)) {
+      case OpCode::kBuf:
+        net = GateId{fanins[0]};
         break;
-      case CellKind::kNot:
-        net = g.fanins[0];
+      case OpCode::kNot:
+        net = GateId{fanins[0]};
         v = inv3(v);
         break;
-      case CellKind::kAnd:
-      case CellKind::kNand:
-      case CellKind::kOr:
-      case CellKind::kNor: {
-        const bool inverting =
-            g.kind == CellKind::kNand || g.kind == CellKind::kNor;
+      case OpCode::kAnd2:
+      case OpCode::kNand2:
+      case OpCode::kAndN:
+      case OpCode::kNandN:
+      case OpCode::kOr2:
+      case OpCode::kNor2:
+      case OpCode::kOrN:
+      case OpCode::kNorN: {
+        const OpCode oc = cn_.opcode(op);
+        const bool inverting = oc == OpCode::kNand2 || oc == OpCode::kNandN ||
+                               oc == OpCode::kNor2 || oc == OpCode::kNorN;
         const uint8_t side_v = inverting ? inv3(v) : v;
-        const bool and_like =
-            g.kind == CellKind::kAnd || g.kind == CellKind::kNand;
+        const bool and_like = oc == OpCode::kAnd2 || oc == OpCode::kNand2 ||
+                              oc == OpCode::kAndN || oc == OpCode::kNandN;
         // For AND: output 0 needs one 0-input (pick easiest-to-0 = lowest
         // c1); output 1 needs all 1s (pick hardest-to-1 = lowest c1).
         // For OR the dual: both cases pick highest c1.
@@ -434,12 +447,12 @@ std::pair<GateId, uint8_t> Podem::backtrace(GateId net, uint8_t v) {
         const bool flip = saltBit(net);
         const bool pick_low = and_like != flip;
         double best = pick_low ? 2.0 : -1.0;
-        for (GateId f : g.fanins) {
-          if (gval_[f.v] != 2) continue;
-          const double c1 = cop_.c1[f.v];
+        for (uint32_t f : fanins) {
+          if (gval_[f] != kVX) continue;
+          const double c1 = cop_.c1[f];
           if (pick_low ? c1 < best : c1 > best) {
             best = c1;
-            pick = f;
+            pick = GateId{f};
           }
         }
         if (!pick.valid()) return {GateId{}, v};
@@ -447,15 +460,19 @@ std::pair<GateId, uint8_t> Podem::backtrace(GateId net, uint8_t v) {
         v = side_v;
         break;
       }
-      case CellKind::kXor:
-      case CellKind::kXnor: {
-        uint8_t parity = g.kind == CellKind::kXnor ? 1 : 0;
+      case OpCode::kXor2:
+      case OpCode::kXnor2:
+      case OpCode::kXorN:
+      case OpCode::kXnorN: {
+        const OpCode oc = cn_.opcode(op);
+        uint8_t parity =
+            (oc == OpCode::kXnor2 || oc == OpCode::kXnorN) ? 1 : 0;
         GateId pick;
-        for (GateId f : g.fanins) {
-          if (gval_[f.v] == 2) {
-            if (!pick.valid()) pick = f;
+        for (uint32_t f : fanins) {
+          if (gval_[f] == kVX) {
+            if (!pick.valid()) pick = GateId{f};
           } else {
-            parity ^= gval_[f.v];
+            parity ^= gval_[f];
           }
         }
         if (!pick.valid()) return {GateId{}, v};
@@ -463,34 +480,32 @@ std::pair<GateId, uint8_t> Podem::backtrace(GateId net, uint8_t v) {
         v = static_cast<uint8_t>(v ^ parity);
         break;
       }
-      case CellKind::kMux2: {
-        const GateId sel = g.fanins[2];
-        if (gval_[sel.v] != 2) {
-          net = gval_[sel.v] == 1 ? g.fanins[1] : g.fanins[0];
+      case OpCode::kMux2: {
+        const uint32_t sel = fanins[2];
+        if (gval_[sel] != kVX) {
+          net = GateId{gval_[sel] == 1 ? fanins[1] : fanins[0]};
           // v unchanged
         } else {
           // Prefer a data input already at the wanted value.
-          const GateId d0 = g.fanins[0];
-          const GateId d1 = g.fanins[1];
-          if (gval_[d0.v] == v) {
-            net = sel;
+          const uint32_t d0 = fanins[0];
+          const uint32_t d1 = fanins[1];
+          if (gval_[d0] == v) {
+            net = GateId{sel};
             v = 0;
-          } else if (gval_[d1.v] == v) {
-            net = sel;
+          } else if (gval_[d1] == v) {
+            net = GateId{sel};
             v = 1;
-          } else if (gval_[d0.v] == 2) {
-            net = d0;
-          } else if (gval_[d1.v] == 2) {
-            net = d1;
+          } else if (gval_[d0] == kVX) {
+            net = GateId{d0};
+          } else if (gval_[d1] == kVX) {
+            net = GateId{d1};
           } else {
-            net = sel;
+            net = GateId{sel};
             v = 0;
           }
         }
         break;
       }
-      default:
-        return {GateId{}, v};
     }
   }
 }
@@ -498,6 +513,8 @@ std::pair<GateId, uint8_t> Podem::backtrace(GateId net, uint8_t v) {
 AtpgStatus Podem::generate(const fault::Fault& f, TestCube& out) {
   fault_ = f;
   backtracks_used_ = 0;
+  faulty_const_ =
+      f.type == fault::FaultType::kStuckAt1 ? kV1 : kV0;
 
   // DFF data-pin faults: justification-only (the capture itself observes).
   const Gate& site_gate = nl_->gate(f.gate);
@@ -507,11 +524,9 @@ AtpgStatus Podem::generate(const fault::Fault& f, TestCube& out) {
     return AtpgStatus::kUntestable;
   }
 
+  if (baseline_dirty_) rebuildBaseline();
+
   // Fault output cone and the observed nets inside it.
-  if (in_cone_.size() != nl_->numGates()) {
-    in_cone_.assign(nl_->numGates(), 0);
-    xpath_stamp_.assign(nl_->numGates(), 0);
-  }
   for (GateId g : cone_list_) in_cone_[g.v] = 0;  // clear previous cone
   cone_list_.clear();
   cone_observed_.clear();
@@ -523,11 +538,10 @@ AtpgStatus Podem::generate(const fault::Fault& f, TestCube& out) {
     while (cursor < cone_list_.size()) {
       const GateId g = cone_list_[cursor++];
       if (is_observed_[g.v] != 0) cone_observed_.push_back(g);
-      for (GateId t : fanout_.fanout(g)) {
-        if (in_cone_[t.v] != 0) continue;
-        if (!isCombinational(nl_->gate(t).kind)) continue;
-        in_cone_[t.v] = 1;
-        cone_list_.push_back(t);
+      for (const CompiledNetlist::FanoutEntry& e : cn_.combFanout(g.v)) {
+        if (in_cone_[e.gate] != 0) continue;
+        in_cone_[e.gate] = 1;
+        cone_list_.push_back(GateId{e.gate});
       }
     }
   }
@@ -559,9 +573,9 @@ bool Podem::saltBit(GateId g) const {
 
 AtpgStatus Podem::searchOnce(bool direct, TestCube& out) {
   const Gate& site_gate = nl_->gate(fault_.gate);
-  resetValues();
+  setupFault();
 
-  std::vector<Assignment> stack;
+  stack_.clear();
   bool proof_complete = true;  // false once any heuristic block occurred
   const uint8_t activate_v =
       fault_.type == fault::FaultType::kStuckAt1 ? 0 : 1;
@@ -578,16 +592,16 @@ AtpgStatus Podem::searchOnce(bool direct, TestCube& out) {
     if (succeeded()) {
       out.care_sources.clear();
       out.care_values.clear();
-      for (const Assignment& a : stack) {
-        out.care_sources.push_back(a.source);
-        out.care_values.push_back(a.value);
+      for (const Decision& d : stack_) {
+        out.care_sources.push_back(d.source);
+        out.care_values.push_back(d.value);
       }
       return AtpgStatus::kDetected;
     }
 
     std::optional<std::pair<GateId, uint8_t>> obj;
     if (direct) {
-      if (gval_[direct_net.v] == 2) {
+      if (gval_[direct_net.v] == kVX) {
         obj = std::make_pair(direct_net, activate_v);
       } else {
         obj = std::nullopt;  // wrong value justified: conflict
@@ -609,33 +623,34 @@ AtpgStatus Podem::searchOnce(bool direct, TestCube& out) {
         need_backtrack = true;
         proof_complete = false;
       } else {
-        stack.push_back({src, val, false});
+        stack_.push_back(
+            {src, val, false, static_cast<uint32_t>(trail_.size())});
         assign(src, val);
         continue;
       }
     }
 
-    // Backtrack.
+    // Backtrack: undo the top decision's implications in O(changed) via
+    // the trail, flip its value if untried, else pop and keep undoing.
     bool resumed = false;
-    while (!stack.empty()) {
-      Assignment& top = stack.back();
+    while (!stack_.empty()) {
+      Decision& top = stack_.back();
+      undoTo(top.trail_mark);
       if (!top.tried_both) {
         top.tried_both = true;
         top.value = inv3(top.value);
         assign(top.source, top.value);
         ++backtracks_used_;
         if (++backtracks > static_cast<size_t>(opts_.backtrack_limit)) {
-          // Restore X before giving up.
-          for (const Assignment& a : stack) assign(a.source, 2);
+          undoTo(0);  // restore the post-setup floor before giving up
           return AtpgStatus::kAborted;
         }
         resumed = true;
         break;
       }
-      assign(top.source, 2);
-      stack.pop_back();
+      stack_.pop_back();
     }
-    if (!resumed && stack.empty()) {
+    if (!resumed && stack_.empty()) {
       return proof_complete ? AtpgStatus::kUntestable
                             : AtpgStatus::kAborted;
     }

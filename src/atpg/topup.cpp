@@ -1,14 +1,22 @@
 #include "atpg/topup.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
+#include <functional>
+#include <memory>
 #include <random>
+#include <thread>
 #include <unordered_map>
+
+#include "atpg/podem_interp.hpp"
+#include "core/thread_pool.hpp"
 
 namespace lbist::atpg {
 
 namespace {
 
-constexpr size_t kBatchLanes = 16;  // cubes per generate/simulate round
+constexpr size_t kBatchTargets = 16;  // targets per generate/simulate round
 
 TopUpPattern fillCube(const TestCube& cube,
                       const std::vector<GateId>& assignable,
@@ -28,6 +36,147 @@ TopUpPattern fillCube(const TestCube& cube,
   return pat;
 }
 
+std::unique_ptr<PodemEngine> makeEngine(
+    const TopUpConfig& cfg, const Netlist& nl,
+    const std::vector<GateId>& observed,
+    const std::vector<GateId>& assignable,
+    const std::vector<std::pair<GateId, bool>>& fixed_sources) {
+  std::unique_ptr<PodemEngine> engine;
+  if (cfg.engine == AtpgEngine::kInterpreted) {
+    engine = std::make_unique<PodemInterpreted>(nl, observed, assignable,
+                                                cfg.atpg);
+  } else {
+    engine = std::make_unique<Podem>(nl, observed, assignable, cfg.atpg);
+  }
+  for (const auto& [id, v] : fixed_sources) engine->fixSource(id, v);
+  return engine;
+}
+
+/// DetectionObserver accumulating one detection-bit row per tracked
+/// fault (bit p of row = pattern p detects it), fed full masks by a
+/// dropping-disabled simulation.
+class RowRecorder final : public fault::DetectionObserver {
+ public:
+  RowRecorder(std::vector<std::vector<uint64_t>>& rows,
+              const std::vector<uint32_t>& fault_to_row)
+      : rows_(&rows), fault_to_row_(&fault_to_row) {}
+
+  void onDetectionMask(size_t fault_index, int64_t pattern_base,
+                       uint64_t detect_mask) override {
+    const uint32_t r = (*fault_to_row_)[fault_index];
+    if (r == kNoRow) return;
+    (*rows_)[r][static_cast<size_t>(pattern_base) / 64] |= detect_mask;
+  }
+
+  static constexpr uint32_t kNoRow = 0xffffffffu;
+
+ private:
+  std::vector<std::vector<uint64_t>>* rows_;
+  const std::vector<uint32_t>* fault_to_row_;
+};
+
+/// Reverse-order fault-simulation compaction (TopUpConfig::reverse_compact):
+/// re-simulates the merged pattern set with dropping disabled to get the
+/// complete per-pattern detection row of every fault top-up newly
+/// detected, then keeps — scanning from the last pattern backwards —
+/// only patterns that contribute a still-needed detection. `n_detect`
+/// is the driving simulator's target: each fault is credited up to
+/// min(n_detect, detections available in the set), so single-detect
+/// coverage AND the n-detect multiplicity the uncompacted set provided
+/// are both preserved by construction.
+void reverseCompact(const Netlist& nl, const fault::FaultList& faults,
+                    const std::vector<fault::FaultStatus>& status_before,
+                    const std::vector<GateId>& observed,
+                    const std::vector<GateId>& assignable,
+                    const std::vector<std::pair<GateId, bool>>& fixed_sources,
+                    uint32_t n_detect, TopUpResult& result) {
+  std::vector<size_t> topup_faults;
+  std::vector<uint32_t> fault_to_row(faults.size(), RowRecorder::kNoRow);
+  for (size_t i = 0; i < faults.size(); ++i) {
+    if (status_before[i] == fault::FaultStatus::kUndetected &&
+        faults.record(i).status == fault::FaultStatus::kDetected) {
+      fault_to_row[i] = static_cast<uint32_t>(topup_faults.size());
+      topup_faults.push_back(i);
+    }
+  }
+  const size_t n_pat = result.patterns.size();
+  if (topup_faults.empty() || n_pat <= 1) return;
+
+  const size_t n_blocks = (n_pat + 63) / 64;
+  std::vector<std::vector<uint64_t>> rows(
+      topup_faults.size(), std::vector<uint64_t>(n_blocks, 0));
+  RowRecorder recorder(rows, fault_to_row);
+
+  // Scratch copy: statuses are irrelevant to mask recording (the
+  // observer fires from the serial merge regardless), but the simulation
+  // must not touch the caller's n-detect bookkeeping.
+  fault::FaultList scratch = faults;
+  fault::FsimOptions opts;
+  opts.drop_detected = false;
+  opts.threads = 1;
+  fault::FaultSimulator sim(nl, scratch, observed, opts);
+  sim.setDetectionObserver(&recorder);
+  sim.restrictActiveSet(topup_faults);
+
+  std::vector<uint64_t> lane_words(assignable.size());
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const size_t lo = b * 64;
+    const size_t lanes = std::min<size_t>(64, n_pat - lo);
+    std::fill(lane_words.begin(), lane_words.end(), 0);
+    for (size_t lane = 0; lane < lanes; ++lane) {
+      const TopUpPattern& pat = result.patterns[lo + lane];
+      for (size_t i = 0; i < assignable.size(); ++i) {
+        if (pat.values[i] != 0) lane_words[i] |= uint64_t{1} << lane;
+      }
+    }
+    for (GateId pi : nl.inputs()) sim.setSource(pi, 0);
+    for (GateId dff : nl.dffs()) sim.setSource(dff, 0);
+    for (size_t i = 0; i < assignable.size(); ++i) {
+      sim.setSource(assignable[i], lane_words[i]);
+    }
+    for (const auto& [id, v] : fixed_sources) {
+      sim.setSource(id, v ? ~uint64_t{0} : 0);
+    }
+    sim.simulateBlockStuckAt(static_cast<int64_t>(lo),
+                             static_cast<int>(lanes));
+  }
+
+  // Greedy reverse credit: pattern p survives iff some fault still
+  // needs one of its detections; kept detections then count. need[r]
+  // starts at the fault's preserved multiplicity — n_detect, capped at
+  // what the uncompacted set actually delivers.
+  auto bit = [&](size_t row, size_t p) {
+    return (rows[row][p / 64] >> (p % 64)) & 1u;
+  };
+  std::vector<uint32_t> need(topup_faults.size(), 0);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    uint32_t avail = 0;
+    for (uint64_t w : rows[r]) {
+      avail += static_cast<uint32_t>(std::popcount(w));
+    }
+    need[r] = std::min(n_detect, avail);
+  }
+  std::vector<uint8_t> keep(n_pat, 0);
+  for (size_t p = n_pat; p-- > 0;) {
+    bool needed = false;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (need[r] > 0 && bit(r, p) != 0) needed = true;
+    }
+    if (!needed) continue;
+    keep[p] = 1;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      if (need[r] > 0 && bit(r, p) != 0) --need[r];
+    }
+  }
+
+  std::vector<TopUpPattern> kept;
+  kept.reserve(n_pat);
+  for (size_t p = 0; p < n_pat; ++p) {
+    if (keep[p] != 0) kept.push_back(std::move(result.patterns[p]));
+  }
+  result.patterns = std::move(kept);
+}
+
 }  // namespace
 
 TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
@@ -37,11 +186,34 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
                      const std::vector<std::pair<GateId, bool>>& fixed_sources,
                      const TopUpConfig& cfg) {
   TopUpResult result;
-  Podem podem(nl, observed, assignable, cfg.atpg);
-  for (const auto& [id, v] : fixed_sources) podem.fixSource(id, v);
+  const unsigned n_threads =
+      cfg.threads != 0
+          ? cfg.threads
+          : std::max(1u, std::thread::hardware_concurrency());
+  // Single-thread runs skip pool dispatch entirely (same convention as
+  // the fault simulator's inline path); results are identical either
+  // way. One engine per shard, constructed lazily inside the first
+  // round so the construction work itself parallelizes. Engines are
+  // deterministic per (netlist, observed, assignable, options, fault),
+  // so which OS thread serves a shard never changes any cube.
+  std::unique_ptr<core::ThreadPool> pool;
+  if (n_threads > 1) pool = std::make_unique<core::ThreadPool>(n_threads);
+  auto runShards = [&](const std::function<void(unsigned)>& fn) {
+    if (pool != nullptr) {
+      pool->run(n_threads, fn);
+    } else {
+      fn(0);
+    }
+  };
+  std::vector<std::unique_ptr<PodemEngine>> engines(n_threads);
+
   std::mt19937_64 fill_rng(cfg.fill_seed);
 
   std::vector<uint8_t> tried(faults.size(), 0);
+  std::vector<fault::FaultStatus> status_before(faults.size());
+  for (size_t i = 0; i < faults.size(); ++i) {
+    status_before[i] = faults.record(i).status;
+  }
   int64_t pattern_base = 0;
 
   // Dominance-prunable faults are deferred: their tests come for free
@@ -51,27 +223,68 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
   bool defer_prunable =
       cfg.dominance_prune && !cmap.representatives().empty();
 
+  std::vector<size_t> targets;
+  std::vector<TestCube> cubes;
+  std::vector<AtpgStatus> statuses;
+  std::vector<size_t> backtracks;
+  std::vector<double> gen_seconds;
+
   while (true) {
     if (cfg.max_patterns != 0 && result.patterns.size() >= cfg.max_patterns) {
       break;
     }
-    // --- generate a batch of cubes ----------------------------------------
-    std::vector<TestCube> batch;
-    size_t batch_targets = 0;
-    for (size_t fi = 0; fi < faults.size() && batch.size() < kBatchLanes;
+    // --- pick the round's targets serially, in fault-list order ----------
+    targets.clear();
+    for (size_t fi = 0; fi < faults.size() && targets.size() < kBatchTargets;
          ++fi) {
-      fault::FaultRecord& rec = faults.record(fi);
+      const fault::FaultRecord& rec = faults.record(fi);
       if (tried[fi] != 0 ||
           rec.status != fault::FaultStatus::kUndetected) {
         continue;
       }
       if (defer_prunable && cmap.dominancePrunable(fi)) continue;
       tried[fi] = 1;
-      ++result.targeted;
-      TestCube cube;
-      switch (podem.generate(rec.fault, cube)) {
+      targets.push_back(fi);
+    }
+    if (targets.empty()) {
+      if (defer_prunable) {
+        defer_prunable = false;  // second pass: target the deferred residue
+        continue;
+      }
+      break;
+    }
+    result.targeted += targets.size();
+
+    // --- parallel cube generation, sharded by target index ---------------
+    cubes.assign(targets.size(), TestCube{});
+    statuses.assign(targets.size(), AtpgStatus::kAborted);
+    backtracks.assign(targets.size(), 0);
+    gen_seconds.assign(targets.size(), 0.0);
+    runShards([&](unsigned shard) {
+      if (engines[shard] == nullptr) {
+        engines[shard] =
+            makeEngine(cfg, nl, observed, assignable, fixed_sources);
+      }
+      PodemEngine& engine = *engines[shard];
+      for (size_t k = shard; k < targets.size(); k += n_threads) {
+        const auto t0 = std::chrono::steady_clock::now();
+        statuses[k] =
+            engine.generate(faults.record(targets[k]).fault, cubes[k]);
+        const auto t1 = std::chrono::steady_clock::now();
+        gen_seconds[k] = std::chrono::duration<double>(t1 - t0).count();
+        backtracks[k] = engine.backtracksUsed();
+      }
+    });
+
+    // --- serial merge in fault-list order ---------------------------------
+    std::vector<TestCube> batch;
+    size_t batch_targets = 0;
+    for (size_t k = 0; k < targets.size(); ++k) {
+      result.backtracks += backtracks[k];
+      result.atpg_seconds += gen_seconds[k];
+      switch (statuses[k]) {
         case AtpgStatus::kUntestable:
-          rec.status = fault::FaultStatus::kUntestable;
+          faults.record(targets[k]).status = fault::FaultStatus::kUntestable;
           ++result.proven_untestable;
           continue;
         case AtpgStatus::kAborted:
@@ -85,26 +298,20 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
       if (cfg.compact) {
         bool merged = false;
         for (TestCube& existing : batch) {
-          if (existing.compatibleWith(cube)) {
-            existing.mergeFrom(cube);
+          if (existing.compatibleWith(cubes[k])) {
+            existing.mergeFrom(cubes[k]);
             merged = true;
             break;
           }
         }
-        if (!merged) batch.push_back(std::move(cube));
+        if (!merged) batch.push_back(std::move(cubes[k]));
       } else {
-        batch.push_back(std::move(cube));
+        batch.push_back(std::move(cubes[k]));
       }
     }
-    if (batch.empty()) {
-      if (defer_prunable) {
-        defer_prunable = false;  // second pass: target the deferred residue
-        continue;
-      }
-      break;
-    }
+    if (batch.empty()) continue;  // round produced only aborts/proofs
 
-    // --- fill, store, and fault-simulate the batch --------------------------
+    // --- fill, store, and fault-simulate the batch ------------------------
     std::vector<uint64_t> lane_words(assignable.size(), 0);
     for (size_t lane = 0; lane < batch.size(); ++lane) {
       TopUpPattern pat = fillCube(batch[lane], assignable, fill_rng);
@@ -129,6 +336,11 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
         detected > batch_targets ? detected - batch_targets : 0;
   }
 
+  result.patterns_before_compact = result.patterns.size();
+  if (cfg.reverse_compact) {
+    reverseCompact(nl, faults, status_before, observed, assignable,
+                   fixed_sources, fsim.options().n_detect, result);
+  }
   result.final_coverage = faults.coverage();
   return result;
 }

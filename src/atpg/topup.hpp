@@ -2,11 +2,17 @@
 // Table 1 rows "# of Top-Up Patterns" / "Fault Coverage 2").
 //
 // After the random BIST phase, every still-undetected fault is targeted
-// with PODEM. Generated cubes are statically compacted (merged when their
-// care bits agree), random-filled, and fault-simulated against the
-// remaining fault list so each stored pattern's fortuitous detections
-// drop future targets. The resulting deterministic patterns are applied
-// through the input selector in external mode.
+// with PODEM. Targets are picked serially in fault-list order, cube
+// generation for a round is sharded across the core::ThreadPool workers
+// (one PODEM engine with private scratch per worker), and a serial merge
+// in fault-list order applies statuses, static compaction, random fill,
+// and the batch fault simulation — so the generated pattern set, the
+// fault-sim drop order, and the coverage report are bit-identical for
+// every worker-thread count (the same contract the PPSFP fault simulator
+// established). A final reverse-order fault-simulation pass drops
+// patterns whose detections are fully covered by later patterns. The
+// resulting deterministic patterns are applied through the input
+// selector in external mode.
 #pragma once
 
 #include <cstdint>
@@ -24,11 +30,27 @@ struct TopUpPattern {
   std::vector<uint8_t> values;
 };
 
+/// Which PODEM implementation runTopUp drives. Both are deterministic
+/// and produce valid cubes; kCompiled is the fast production engine,
+/// kInterpreted the Gate-record reference kept for differential testing
+/// and as the bench baseline.
+enum class AtpgEngine : uint8_t {
+  kCompiled,
+  kInterpreted,
+};
+
+/// Flow configuration. Every knob preserves the thread-count
+/// bit-identity contract.
 struct TopUpConfig {
+  /// Search-effort knobs handed to every PODEM engine instance.
   AtpgOptions atpg;
+  /// Seed for the don't-care random fill (consumed in serial merge
+  /// order, so fills are thread-count-invariant).
   uint64_t fill_seed = 0xF111ULL;
-  /// Stop after this many merged patterns (0 = unlimited).
+  /// Stop after this many merged patterns (0 = unlimited). Checked per
+  /// round, so the final count may overshoot by at most one batch.
   size_t max_patterns = 0;
+  /// Static compaction: merge cubes whose care bits agree.
   bool compact = true;
   /// Defer targeting faults the collapse analysis marks
   /// dominance-prunable (any test for some other listed fault detects
@@ -38,21 +60,49 @@ struct TopUpConfig {
   /// pattern count shrink. No-op when the simulator was built with
   /// collapsing off.
   bool dominance_prune = true;
+  /// Worker threads for cube generation (0 = hardware concurrency).
+  /// Pattern sets, statuses, and statistics are bit-identical for every
+  /// value.
+  uint32_t threads = 1;
+  /// Reverse-order fault-simulation compaction: after the main loop,
+  /// patterns are credited in reverse order against the faults top-up
+  /// detected, and patterns contributing no still-needed detection are
+  /// dropped. Coverage is unchanged by construction, and per-fault
+  /// detection multiplicity is preserved up to the driving simulator's
+  /// n-detect target (capped at what the uncompacted set delivered).
+  bool reverse_compact = true;
+  /// PODEM implementation to drive (see AtpgEngine).
+  AtpgEngine engine = AtpgEngine::kCompiled;
 };
 
+/// Flow outcome: the deterministic pattern set plus targeting
+/// statistics (renderable via core::renderAtpgStats).
 struct TopUpResult {
+  /// Final deterministic pattern set (after compaction passes), in
+  /// generation order.
   std::vector<TopUpPattern> patterns;
-  size_t targeted = 0;
-  size_t atpg_detected = 0;      // faults PODEM found cubes for
+  size_t targeted = 0;             // faults handed to PODEM
+  size_t atpg_detected = 0;        // faults PODEM found cubes for
   size_t fortuitous_detected = 0;  // dropped by simulating stored patterns
   size_t proven_untestable = 0;
   size_t aborted = 0;
+  size_t backtracks = 0;  // total chronological backtracks over all targets
+  /// Wall time spent inside PODEM generate() calls, summed over all
+  /// targets and workers — the engine-only cost, excluding fault
+  /// simulation and compaction (benches divide cubes by this). Timing
+  /// is measurement, not behavior: it is the one field exempt from the
+  /// thread-count bit-identity contract.
+  double atpg_seconds = 0.0;
+  /// Pattern count before reverse-order compaction (equals
+  /// patterns.size() when TopUpConfig::reverse_compact is off).
+  size_t patterns_before_compact = 0;
   fault::Coverage final_coverage;
 };
 
 /// Runs the flow. `faults` carries the random-phase statuses in and the
 /// final statuses out. `fsim` must observe the same nets the BIST ODC
 /// observes; `assignable` lists scan-cell outputs plus unwrapped PIs.
+/// Results are bit-identical for every TopUpConfig::threads value.
 [[nodiscard]] TopUpResult runTopUp(const Netlist& nl,
                                    fault::FaultList& faults,
                                    fault::FaultSimulator& fsim,

@@ -189,4 +189,22 @@ std::string renderCollapseStats(const fault::CollapseStats& s) {
   return os.str();
 }
 
+std::string renderAtpgStats(const atpg::TopUpResult& r) {
+  std::ostringstream os;
+  const double per_target =
+      r.targeted == 0 ? 0.0
+                      : static_cast<double>(r.backtracks) /
+                            static_cast<double>(r.targeted);
+  os << "top-up ATPG: " << r.targeted << " targets -> " << r.atpg_detected
+     << " cubes, " << r.proven_untestable << " untestable, " << r.aborted
+     << " aborted; " << r.backtracks << " backtracks (" << std::fixed
+     << std::setprecision(1) << per_target << "/target)";
+  if (r.patterns_before_compact != r.patterns.size()) {
+    os << "; reverse compaction " << r.patterns_before_compact << " -> "
+       << r.patterns.size() << " patterns";
+  }
+  os << "\n";
+  return os.str();
+}
+
 }  // namespace lbist::core

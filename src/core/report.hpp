@@ -57,4 +57,9 @@ struct Table1Column {
 /// percentage, dominance-prunable ATPG targets.
 [[nodiscard]] std::string renderCollapseStats(const fault::CollapseStats& s);
 
+/// One-line summary of a top-up ATPG run for flow reports: targets,
+/// cube hits, untestability proofs, abort count, backtrack totals
+/// (mean per target), and the reverse-compaction pattern delta.
+[[nodiscard]] std::string renderAtpgStats(const atpg::TopUpResult& r);
+
 }  // namespace lbist::core

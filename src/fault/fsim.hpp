@@ -70,8 +70,17 @@ enum class BlockEngine : uint8_t {
   kStemCpt,
 };
 
+/// Engine configuration. Caveat for aggregate initialization (e.g. the
+/// seed-era `FsimOptions{1, false}` spelling): every field not listed
+/// keeps its default, so such callers get collapse = on and the auto
+/// block engine. Both are exact — results are bit-identical either way
+/// — but profiles change; spell out `.collapse` / `.engine` to pin the
+/// work distribution.
 struct FsimOptions {
-  uint32_t n_detect = 1;   // drop a fault after this many detections
+  /// Drop a fault after this many detections.
+  uint32_t n_detect = 1;
+  /// When false, detected faults stay in the simulated set (response
+  /// dictionaries and compaction analyses need complete masks).
   bool drop_detected = true;
   /// Worker threads for the per-fault propagation loop. 0 means hardware
   /// concurrency. Results are bit-identical for every thread count: the
@@ -161,7 +170,11 @@ class FaultSimulator {
   /// samples the undetected residue at large scale).
   void restrictActiveSet(std::span<const size_t> fault_indices);
 
+  /// Attaches the per-fault reach callback (nullptr detaches). Forces
+  /// the per-fault engine and disables class folding while attached.
   void setReachObserver(ReachObserver* obs) { reach_observer_ = obs; }
+  /// Attaches the per-fault detection-mask callback (nullptr detaches);
+  /// fired from the serial merge, so streams are thread-count-invariant.
   void setDetectionObserver(DetectionObserver* obs) {
     detection_observer_ = obs;
   }
@@ -169,6 +182,11 @@ class FaultSimulator {
   /// Changes the worker-thread count between blocks (0 = hardware
   /// concurrency). Detection results are unaffected by this setting.
   void setThreads(uint32_t threads);
+
+  /// Effective engine options (n-detect target, threading, folding) —
+  /// consumers like top-up reverse compaction read the n-detect target
+  /// here to preserve detection multiplicity.
+  [[nodiscard]] const FsimOptions& options() const { return opts_; }
 
   /// Equivalence/dominance analysis (empty when FsimOptions::collapse is
   /// off). Statistics feed core::renderCollapseStats; dominancePrunable
@@ -180,8 +198,11 @@ class FaultSimulator {
     return collapse_map_.stats();
   }
 
+  /// The good-machine simulator (current block's fault-free values).
   [[nodiscard]] const sim::Simulator2v& good() const { return good_; }
+  /// The fault list this simulator decides (uncollapsed universe).
   [[nodiscard]] const FaultList& faults() const { return *faults_; }
+  /// The observation set detection masks accumulate over.
   [[nodiscard]] std::span<const GateId> observed() const { return observed_; }
 
   /// Good-machine next-state of a DFF in the *last* simulated cycle

@@ -135,4 +135,12 @@ void CompiledNetlist::eval(uint64_t* v) const {
   }
 }
 
+void CompiledNetlist::eval3(uint8_t* v) const {
+  const size_t n = op_code_.size();
+  for (size_t i = 0; i < n; ++i) {
+    v[op_gate_[i]] = evalOp3(static_cast<uint32_t>(i),
+                             [&](size_t, uint32_t g) { return v[g]; });
+  }
+}
+
 }  // namespace lbist::sim

@@ -28,6 +28,24 @@
 
 namespace lbist::sim {
 
+/// Scalar three-valued (01X) encoding used by the compiled ATPG engines:
+/// 0 and 1 are themselves, kX3 (= 2) is unknown. Two bits per value; the
+/// lookup tables below implement controlling-value X-suppression exactly
+/// like the word-parallel evalWord3v (an AND with one 0 input is 0 even
+/// if the other is X).
+inline constexpr uint8_t kX3 = 2;
+
+namespace detail3v {
+// 3x3 combiner tables indexed [a * 3 + b] with a, b in {0, 1, kX3}.
+inline constexpr uint8_t kAnd3[9] = {0, 0, 0, 0, 1, 2, 0, 2, 2};
+inline constexpr uint8_t kOr3[9] = {0, 1, 2, 1, 1, 1, 2, 1, 2};
+inline constexpr uint8_t kXor3[9] = {0, 1, 2, 1, 0, 2, 2, 2, 2};
+inline constexpr uint8_t kNot3[3] = {1, 0, 2};
+}  // namespace detail3v
+
+/// 01X inversion: 0 <-> 1, X stays X.
+[[nodiscard]] inline uint8_t not3(uint8_t v) { return detail3v::kNot3[v]; }
+
 /// Opcodes of the compiled stream. kAnd2..kXnor2 are the fixed-arity
 /// specializations of the variadic gate kinds.
 enum class OpCode : uint8_t {
@@ -48,6 +66,7 @@ enum class OpCode : uint8_t {
   kXnorN,
 };
 
+/// The flat structure-of-arrays lowering described in the file comment.
 class CompiledNetlist {
  public:
   /// opOf() value for gates with no op (sources, DFFs, X-sources).
@@ -60,6 +79,9 @@ class CompiledNetlist {
     uint32_t level;
   };
 
+  /// Lowers the levelized netlist into the flat tables. `lev` must have
+  /// been built from `nl`; the snapshot is invalidated by any later
+  /// netlist edit.
   CompiledNetlist(const Netlist& nl, const Levelized& lev);
 
   /// Linear full-pass evaluation of every combinational gate in level
@@ -67,14 +89,18 @@ class CompiledNetlist {
   /// with source words already set by the caller.
   void eval(uint64_t* values) const;
 
+  /// Number of combinational ops in the stream.
   [[nodiscard]] size_t numOps() const { return op_code_.size(); }
+  /// Number of gates in the snapshotted netlist (all kinds).
   [[nodiscard]] size_t numGates() const { return op_of_.size(); }
 
   /// Op index of a gate; kNoOp for non-combinational gates.
   [[nodiscard]] uint32_t opOf(GateId id) const { return op_of_[id.v]; }
+  /// Opcode of op `op`.
   [[nodiscard]] OpCode opcode(uint32_t op) const { return op_code_[op]; }
   /// Gate the op drives.
   [[nodiscard]] uint32_t opGate(uint32_t op) const { return op_gate_[op]; }
+  /// Fanin gate indices of op `op` (CSR slice, fanin-slot order).
   [[nodiscard]] std::span<const uint32_t> opFanins(uint32_t op) const {
     return {fanin_.data() + fanin_off_[op],
             fanin_.data() + fanin_off_[op + 1]};
@@ -82,6 +108,7 @@ class CompiledNetlist {
 
   /// Level of a gate (0 for sources), identical to Levelized::level.
   [[nodiscard]] uint32_t level(GateId id) const { return level_[id.v]; }
+  /// Deepest combinational level (sizes event wheels).
   [[nodiscard]] uint32_t maxLevel() const { return max_level_; }
 
   /// Combinational fanout edges of a gate, with target levels.
@@ -193,6 +220,72 @@ class CompiledNetlist {
     assert(false && "unknown opcode");
     return 0;
   }
+
+  /// Scalar three-valued evaluation of op `op` with fanin values supplied
+  /// by `val(slot, gate) -> uint8_t` in the {0, 1, kX3} encoding. This is
+  /// the 01X counterpart of evalOp: the compiled PODEM engine's good
+  /// machine reads its value array directly and its faulty machine
+  /// substitutes the forced fault-site pin. Semantics match evalWord3v
+  /// lane-for-lane (controlling-value X-suppression included).
+  template <typename ValFn>
+  [[nodiscard]] uint8_t evalOp3(uint32_t op, ValFn&& val) const {
+    using namespace detail3v;
+    const uint32_t* f = fanin_.data() + fanin_off_[op];
+    switch (op_code_[op]) {
+      case OpCode::kBuf:
+        return val(0, f[0]);
+      case OpCode::kNot:
+        return kNot3[val(0, f[0])];
+      case OpCode::kMux2: {
+        const uint8_t s = val(2, f[2]);
+        const uint8_t d0 = val(0, f[0]);
+        const uint8_t d1 = val(1, f[1]);
+        if (s == 0) return d0;
+        if (s == 1) return d1;
+        return d0 == d1 ? d0 : kX3;  // X select: known only if d0 == d1
+      }
+      case OpCode::kAnd2:
+        return kAnd3[val(0, f[0]) * 3 + val(1, f[1])];
+      case OpCode::kNand2:
+        return kNot3[kAnd3[val(0, f[0]) * 3 + val(1, f[1])]];
+      case OpCode::kOr2:
+        return kOr3[val(0, f[0]) * 3 + val(1, f[1])];
+      case OpCode::kNor2:
+        return kNot3[kOr3[val(0, f[0]) * 3 + val(1, f[1])]];
+      case OpCode::kXor2:
+        return kXor3[val(0, f[0]) * 3 + val(1, f[1])];
+      case OpCode::kXnor2:
+        return kNot3[kXor3[val(0, f[0]) * 3 + val(1, f[1])]];
+      case OpCode::kAndN:
+      case OpCode::kNandN: {
+        uint8_t acc = 1;
+        const uint32_t n = fanin_off_[op + 1] - fanin_off_[op];
+        for (uint32_t i = 0; i < n; ++i) acc = kAnd3[acc * 3 + val(i, f[i])];
+        return op_code_[op] == OpCode::kNandN ? kNot3[acc] : acc;
+      }
+      case OpCode::kOrN:
+      case OpCode::kNorN: {
+        uint8_t acc = 0;
+        const uint32_t n = fanin_off_[op + 1] - fanin_off_[op];
+        for (uint32_t i = 0; i < n; ++i) acc = kOr3[acc * 3 + val(i, f[i])];
+        return op_code_[op] == OpCode::kNorN ? kNot3[acc] : acc;
+      }
+      case OpCode::kXorN:
+      case OpCode::kXnorN: {
+        uint8_t acc = 0;
+        const uint32_t n = fanin_off_[op + 1] - fanin_off_[op];
+        for (uint32_t i = 0; i < n; ++i) acc = kXor3[acc * 3 + val(i, f[i])];
+        return op_code_[op] == OpCode::kXnorN ? kNot3[acc] : acc;
+      }
+    }
+    assert(false && "unknown opcode");
+    return kX3;
+  }
+
+  /// Linear full-pass three-valued evaluation in level order, the 01X
+  /// counterpart of eval(). `values` holds one {0, 1, kX3} byte per gate
+  /// (size >= numGates()); source bytes must be set by the caller.
+  void eval3(uint8_t* values) const;
 
  private:
   // Op stream (one entry per combinational gate, topological order).

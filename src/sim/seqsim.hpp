@@ -19,12 +19,18 @@
 
 namespace lbist::sim {
 
+/// Two-valued sequential simulator: word-parallel state + per-domain
+/// clock pulses over the compiled combinational core.
 class SeqSimulator {
  public:
+  /// Binds the netlist; DFF states start at 0.
   explicit SeqSimulator(const Netlist& nl);
 
+  /// Sets a primary-input word for subsequent evaluation.
   void setInput(GateId pi, uint64_t word) { sim_.setSource(pi, word); }
+  /// Overwrites one DFF's state word (scan load).
   void setState(GateId dff, uint64_t word) { sim_.setSource(dff, word); }
+  /// Current state word of a DFF.
   [[nodiscard]] uint64_t state(GateId dff) const { return sim_.value(dff); }
 
   /// Sets every DFF state to `word` (per-lane broadcast).
@@ -36,6 +42,7 @@ class SeqSimulator {
 
   /// One active edge for each domain in `domains` simultaneously.
   void pulse(std::span<const DomainId> domains);
+  /// Single-domain convenience overload of pulse().
   void pulse(DomainId domain) { pulse({&domain, 1}); }
   /// One active edge for every domain (classic synchronous cycle).
   void pulseAll();
@@ -44,7 +51,9 @@ class SeqSimulator {
   /// steady-state values, e.g. PO reads between pulses).
   void settle() { sim_.eval(); }
 
+  /// Value word of any gate after the last pulse()/settle().
   [[nodiscard]] uint64_t value(GateId id) const { return sim_.value(id); }
+  /// The bound netlist.
   [[nodiscard]] const Netlist& netlist() const { return sim_.netlist(); }
 
  private:
@@ -55,24 +64,37 @@ class SeqSimulator {
   bool randomize_x_ = false;
 };
 
+/// Three-valued counterpart of SeqSimulator (power-on X analysis,
+/// X-bounding verification).
 class SeqSimulator3v {
  public:
+  /// Binds the netlist; DFF states start at X.
   explicit SeqSimulator3v(const Netlist& nl);
 
+  /// Sets a primary-input word for subsequent evaluation.
   void setInput(GateId pi, Word3v w) { sim_.setSource(pi, w); }
+  /// Overwrites one DFF's state word (scan load).
   void setState(GateId dff, Word3v w) { sim_.setSource(dff, w); }
+  /// Current state word of a DFF.
   [[nodiscard]] Word3v state(GateId dff) const { return sim_.value(dff); }
 
-  /// Sets every DFF state to unknown (power-on) or to a known word.
+  /// Sets every DFF state to unknown (power-on).
   void resetStateAllX();
+  /// Sets every DFF state to a known word (per-lane broadcast).
   void resetState(uint64_t word);
 
+  /// One active edge for each domain in `domains` simultaneously.
   void pulse(std::span<const DomainId> domains);
+  /// Single-domain convenience overload of pulse().
   void pulse(DomainId domain) { pulse({&domain, 1}); }
+  /// One active edge for every domain (classic synchronous cycle).
   void pulseAll();
+  /// Evaluates combinational logic without clocking anything.
   void settle() { sim_.eval(); }
 
+  /// Value word of any gate after the last pulse()/settle().
   [[nodiscard]] Word3v value(GateId id) const { return sim_.value(id); }
+  /// The bound netlist.
   [[nodiscard]] const Netlist& netlist() const { return sim_.netlist(); }
 
  private:

@@ -22,8 +22,11 @@
 
 namespace lbist::sim {
 
+/// Word-parallel two-valued simulator on the compiled kernel; each bit
+/// lane of a 64-bit word is an independent pattern.
 class Simulator2v {
  public:
+  /// Binds the netlist and lowers it to the compiled tables once.
   explicit Simulator2v(const Netlist& nl);
 
   /// Sets the word of a source gate (primary input, X-source stand-in, or
@@ -38,6 +41,7 @@ class Simulator2v {
   /// kept for differential testing of the compiled kernel).
   void evalInterpreted();
 
+  /// Value word of a gate after eval().
   [[nodiscard]] uint64_t value(GateId id) const { return values_[id.v]; }
 
   /// Value presented at a DFF's data pin (its next state after a capture).
@@ -45,7 +49,9 @@ class Simulator2v {
     return values_[nl_->gate(dff).fanins[0].v];
   }
 
+  /// The bound netlist.
   [[nodiscard]] const Netlist& netlist() const { return *nl_; }
+  /// The levelization the compiled tables were built from.
   [[nodiscard]] const Levelized& levelized() const { return lev_; }
 
   /// Compiled tables, shared with engines layered on top (the fault
@@ -54,6 +60,7 @@ class Simulator2v {
 
   /// Mutable access for engines layered on top (fault injection).
   [[nodiscard]] std::span<uint64_t> rawValues() { return values_; }
+  /// Read-only view of the per-gate value words.
   [[nodiscard]] std::span<const uint64_t> rawValues() const { return values_; }
 
   /// Recomputes one gate from current fanin values (interpreted path).
