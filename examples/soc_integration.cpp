@@ -1,147 +1,131 @@
-// SoC integration scenario (paper section 1, "Simple Test Interface"):
-// an SoC integrator embeds several BISTed IP cores and tests them all
-// through nothing but the Boundary-Scan port — load seeds, pulse Start,
-// poll Finish, read Result, and unload signatures for diagnosis on the
-// failing core. No core-internal test access is routed to the pads.
+// SoC integration scenario (paper section 1, "Simple Test Interface") at
+// chip scale, on the soc:: subsystem: an integrator embeds six BISTed IP
+// cores behind one chip TAP (soc::Chip), estimates per-core test power
+// from real switching activity (soc::PowerModel), packs the core
+// sessions into concurrent groups under a chip-wide power budget
+// (soc::Scheduler), and runs the campaign in parallel
+// (soc::CampaignRunner). The failing core is then re-examined through
+// nothing but the Boundary-Scan port — seeds in, Start, poll Finish,
+// signatures out — exactly the paper's story, now with CORE_SELECT in
+// front.
+#include <algorithm>
 #include <cstdio>
-#include <string>
 #include <vector>
 
-#include "core/architect.hpp"
-#include "core/lbist_top.hpp"
+#include "core/report.hpp"
 #include "core/session.hpp"
+#include "fault/fault.hpp"
 #include "fault/inject.hpp"
-#include "gen/ipcore.hpp"
-#include "jtag/tap.hpp"
+#include "gen/soc.hpp"
+#include "soc/campaign.hpp"
+#include "soc/chip.hpp"
+#include "soc/power.hpp"
 
 using namespace lbist;
 
-namespace {
-
-struct EmbeddedCore {
-  std::string name;
-  core::BistReadyCore ready;
-  Netlist die;  // the silicon this instance got (possibly defective)
-};
-
-/// Drives one core's self-test purely over JTAG; returns pass/fail.
-bool testOverJtag(EmbeddedCore& c, const std::vector<std::string>& golden,
-                  int64_t patterns) {
-  core::LbistTop top(c.ready, c.die);
-  top.setGoldenSignatures(golden);
-  jtag::TapDriver driver(top.tap());
-  driver.reset();
-
-  // CTRL register: start bit + pattern count.
-  std::vector<uint8_t> ctrl(core::LbistTop::kCtrlBits, 0);
-  ctrl[0] = 1;
-  for (int b = 0; b < 32; ++b) {
-    ctrl[static_cast<size_t>(b) + 1] =
-        static_cast<uint8_t>((patterns >> b) & 1);
-  }
-  driver.loadInstruction(core::LbistTop::kOpcodeCtrl);
-  driver.shiftData(ctrl);
-
-  driver.loadInstruction(core::LbistTop::kOpcodeStatus);
-  const auto status = driver.shiftData({0, 0});
-  const bool finish = status[0] != 0;
-  const bool result = status[1] != 0;
-
-  std::printf("  %-10s TCKs=%-6llu Finish=%d Result=%s\n", c.name.c_str(),
-              static_cast<unsigned long long>(driver.tckCount()),
-              finish ? 1 : 0,
-              result ? "PASS" : "FAIL");
-
-  if (!result) {
-    // Diagnosis: unload the per-domain signatures and report which MISR
-    // diverged (narrows the defect to one clock domain's chains).
-    size_t sig_bits = 0;
-    for (const core::DomainBist& db : c.ready.domain_bist) {
-      sig_bits += static_cast<size_t>(db.odc.misr_length);
-    }
-    driver.loadInstruction(core::LbistTop::kOpcodeSignature);
-    const auto sig = driver.shiftData(std::vector<uint8_t>(sig_bits, 0));
-    size_t offset = 0;
-    for (size_t d = 0; d < c.ready.domain_bist.size(); ++d) {
-      const auto len =
-          static_cast<size_t>(c.ready.domain_bist[d].odc.misr_length);
-      // Compare against golden bits by re-running the comparison at the
-      // signature level (golden hex -> per-domain equality came from the
-      // status already; here we just show which domain to suspect).
-      bool nonzero = false;
-      for (size_t b = 0; b < len; ++b) nonzero = nonzero || sig[offset + b];
-      std::printf("    domain %zu signature (%zu bits)%s\n", d, len,
-                  nonzero ? "" : " [all zero]");
-      offset += len;
-    }
-  }
-  return result;
-}
-
-}  // namespace
-
 int main() {
-  std::printf("=== SoC with three embedded BISTed IP cores, tested over "
-              "JTAG only ===\n\n");
-
-  const struct {
-    const char* name;
-    uint64_t seed;
-    int domains;
-    bool defective;
-  } plan[] = {
-      {"cpu0", 101, 2, false},
-      {"dsp0", 202, 1, true},  // this one came back bad from fab
-      {"io0", 303, 3, false},
-  };
-
+  std::printf(
+      "=== SoC with six embedded BISTed IP cores behind one chip TAP ===\n\n");
   const int64_t patterns = 24;
-  std::vector<EmbeddedCore> cores;
-  std::vector<std::vector<std::string>> goldens;
 
-  for (const auto& p : plan) {
-    gen::IpCoreSpec spec;
-    spec.name = p.name;
-    spec.seed = p.seed;
-    spec.target_comb_gates = 1'200;
-    spec.target_ffs = 90;
-    spec.num_domains = p.domains;
-    spec.num_inputs = 16;
-    spec.num_outputs = 12;
-    const Netlist raw = gen::generateIpCore(spec);
+  // --- Integration: generate the chip plan and build every core's BIST.
+  gen::SocSpec spec;
+  spec.name = "demo_soc";
+  spec.seed = 42;
+  spec.num_cores = 6;
+  spec.min_comb_gates = 500;
+  spec.max_comb_gates = 1'500;
+  spec.min_ffs = 40;
+  spec.max_ffs = 90;
 
-    core::LbistConfig cfg;
-    cfg.num_chains = 2 * p.domains;
-    cfg.test_points = 8;
-    cfg.tpi.warmup_patterns = 512;
-    cfg.tpi.guidance_patterns = 128;
-    EmbeddedCore c{p.name, core::buildBistReadyCore(raw, cfg), Netlist{}};
+  core::LbistConfig base;
+  base.test_points = 8;
+  base.tpi.warmup_patterns = 256;
+  base.tpi.guidance_patterns = 64;
 
-    // Golden signatures characterized once pre-production.
-    core::BistSession golden_session(c.ready, c.ready.netlist);
-    core::SessionOptions opts;
-    opts.patterns = patterns;
-    goldens.push_back(golden_session.run(opts).signatures);
+  soc::Chip chip(spec.name);
+  soc::appendGeneratedCores(chip, spec, base);
+  chip.characterizeGolden(patterns);  // pre-production golden signatures
 
-    // Manufacture the die.
-    c.die = c.ready.netlist;
-    if (p.defective) {
-      const GateId victim =
-          c.ready.netlist.gate(c.ready.netlist.dffs()[7]).fanins[0];
-      fault::injectStuckAt(c.die,
-                           fault::Fault{victim, fault::kOutputPin,
-                                        fault::FaultType::kStuckAt0});
+  // --- Fab: one die comes back defective (stuck-at inside core dsp1).
+  const size_t defective = 1;
+  {
+    const Netlist& nl = chip.core(defective).netlist;
+    const GateId victim = nl.gate(nl.dffs()[7]).fanins[0];
+    fault::injectStuckAt(
+        chip.die(defective),
+        fault::Fault{victim, fault::kOutputPin, fault::FaultType::kStuckAt0});
+  }
+
+  // --- Production test: power-aware schedule, then the parallel campaign.
+  core::SessionOptions session;
+  session.patterns = patterns;
+  const std::vector<soc::CoreSession> sessions =
+      soc::buildCoreSessions(chip, session, /*power_sample=*/128);
+  // Budget at ~45% of the all-cores-at-once demand: concurrency where it
+  // fits, serialization where it must.
+  const double budget = std::max(soc::peakSessionPower(sessions),
+                                 0.45 * soc::totalSessionPower(sessions));
+  const soc::TestSchedule sched = soc::Scheduler(budget).build(sessions);
+  std::printf("%s", core::renderScheduleStats(sched).c_str());
+  for (size_t g = 0; g < sched.groups.size(); ++g) {
+    const soc::ScheduleGroup& grp = sched.groups[g];
+    std::printf("  group %zu @%-6llu TCKs [%5.1f toggles/cycle]:", g,
+                static_cast<unsigned long long>(grp.start_tck), grp.power);
+    for (size_t m : grp.members) {
+      std::printf(" %s", sched.sessions[m].name.c_str());
     }
-    cores.push_back(std::move(c));
+    std::printf("\n");
   }
 
-  std::printf("production test (%lld BIST patterns per core):\n",
+  soc::CampaignRunner runner(chip, sched, session);
+  soc::CampaignOptions copts;
+  copts.threads = 0;  // all hardware threads; results identical for any
+  copts.measure_coverage = true;
+  const soc::CampaignResult campaign = runner.run(copts);
+
+  std::printf("\ncampaign (%lld BIST patterns per core):\n",
               static_cast<long long>(patterns));
-  int failures = 0;
-  for (size_t i = 0; i < cores.size(); ++i) {
-    if (!testOverJtag(cores[i], goldens[i], patterns)) ++failures;
+  for (const soc::CoreRunResult& r : campaign.cores) {
+    std::printf("  %-6s TCKs=%-6llu coverage=%5.1f%%  %s\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.tcks), r.coverage_percent,
+                r.pass ? "PASS" : "FAIL");
   }
-  std::printf("\n%d of %zu cores failed self-test.\n", failures,
-              cores.size());
-  return failures == 1 ? 0 : 1;  // exactly the seeded defect must fail
+  std::printf("%zu of %zu cores failed self-test.\n", campaign.failures,
+              campaign.cores.size());
+
+  // --- Diagnosis over JTAG only: drive the failing core through the
+  // chip TAP exactly as a tester would — select, seed, start, poll,
+  // unload signatures — and name the diverging clock domain.
+  std::printf("\nJTAG re-test of the failing core over the chip TAP:\n");
+  soc::ChipTester tester(chip);
+  tester.reset();
+  for (const soc::CoreRunResult& r : campaign.cores) {
+    if (r.pass) continue;
+    tester.selectCore(r.core_index);
+
+    // Load the characterized seeds explicitly (a tester could seed any
+    // value here, e.g. to shorten reproduction).
+    std::vector<uint64_t> seeds;
+    for (const core::DomainBist& db : chip.core(r.core_index).domain_bist) {
+      seeds.push_back(db.prpg.seed);
+    }
+    tester.loadSeeds(seeds);
+    tester.start(patterns);
+    const soc::ChipTester::Status st = tester.readStatus();
+    std::printf("  %-6s Finish=%d Result=%s (%llu TCKs on this core)\n",
+                r.name.c_str(), st.finish ? 1 : 0,
+                st.result_pass ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(
+                    tester.coreTcks(r.core_index)));
+
+    const auto sig = tester.readSignature();
+    const auto golden = chip.goldenSignatureBits(r.core_index);
+    for (size_t d = 0; d < sig.size(); ++d) {
+      std::printf("    domain %zu signature (%zu bits)%s\n", d, sig[d].size(),
+                  sig[d] == golden[d] ? "" : "  <-- diverged");
+    }
+  }
+
+  return campaign.failures == 1 ? 0 : 1;  // exactly the seeded defect
 }

@@ -1,21 +1,38 @@
 #!/usr/bin/env python3
-"""Compares two BENCH_fsim.json files and prints the patterns/sec delta.
+"""Compares two BENCH_*.json files and prints the per-row metric delta.
 
 Usage: bench_delta.py OLD.json NEW.json
 
 Exits 0 always — the comparison is informational (CI runs it
 non-blocking); regressions are reported in the output, not the exit
-code. Rows are matched on (circuit, threads); the meta blocks are
-printed so apples-to-oranges comparisons (different host, compiler, or
-flags) are visible at a glance.
+code. The row key and the compared metric depend on the document's
+"bench" field (see BENCH_SPECS); the meta blocks are printed so
+apples-to-oranges comparisons (different host, compiler, or flags) are
+visible at a glance.
 """
 
 import json
 import sys
 
+# bench field -> (row key fields, metric, higher_is_better)
+BENCH_SPECS = {
+    "fsim_thread_sweep": (("circuit", "threads"), "patterns_per_sec", True),
+    "atpg_topup": (("circuit", "engine", "threads"), "cubes_per_sec", True),
+    "diag_window_sweep": (("circuit", "window"), "total_seconds", False),
+    "soc_campaign": (("budget", "threads"), "wall_seconds", False),
+}
 
-def rows(doc):
-    return {(r["circuit"], r["threads"]): r for r in doc.get("runs", [])}
+
+def rows(doc, key_fields, metric):
+    out = {}
+    for r in doc.get("runs", []):
+        if metric not in r:
+            continue
+        try:
+            out[tuple(r[k] for k in key_fields)] = r
+        except KeyError:
+            pass
+    return out
 
 
 def main() -> int:
@@ -31,23 +48,43 @@ def main() -> int:
         print(f"bench_delta: cannot compare: {e}")
         return 0
 
+    if old.get("bench") != new.get("bench"):
+        print(
+            f"bench_delta: different benches "
+            f"({old.get('bench')} vs {new.get('bench')})"
+        )
+        return 0
+    if old.get("bench") not in BENCH_SPECS:
+        print(f"bench_delta: no comparison spec for '{old.get('bench')}'")
+        return 0
+    key_fields, metric, higher_is_better = BENCH_SPECS[old.get("bench")]
+
     print(f"old meta: {old.get('meta')}")
     print(f"new meta: {new.get('meta')}")
-    old_rows, new_rows = rows(old), rows(new)
+    old_rows = rows(old, key_fields, metric)
+    new_rows = rows(new, key_fields, metric)
     common = sorted(set(old_rows) & set(new_rows), key=str)
     if not common:
-        print("bench_delta: no common (circuit, threads) rows")
+        print(f"bench_delta: no common {key_fields} rows")
         return 0
 
-    print(f"{'circuit':<24} {'thr':>3} {'old pat/s':>12} {'new pat/s':>12} "
-          f"{'delta':>8}")
+    key_w = max(24, max(len(" ".join(map(str, k))) for k in common))
+    print(
+        f"{'row':<{key_w}} {'old ' + metric:>16} {'new ' + metric:>16} "
+        f"{'delta':>8}"
+    )
     for key in common:
         o, n = old_rows[key], new_rows[key]
-        old_pps, new_pps = o["patterns_per_sec"], n["patterns_per_sec"]
-        delta = (new_pps / old_pps - 1.0) * 100.0 if old_pps else float("nan")
-        flag = "  <-- regression" if delta < -10.0 else ""
-        print(f"{key[0]:<24} {key[1]:>3} {old_pps:>12.1f} {new_pps:>12.1f} "
-              f"{delta:>+7.1f}%{flag}")
+        old_v, new_v = o[metric], n[metric]
+        delta = (new_v / old_v - 1.0) * 100.0 if old_v else float("nan")
+        # For lower-is-better metrics a positive delta is the regression.
+        regressed = delta < -10.0 if higher_is_better else delta > 10.0
+        flag = "  <-- regression" if regressed else ""
+        label = " ".join(map(str, key))
+        print(
+            f"{label:<{key_w}} {old_v:>16.4f} {new_v:>16.4f} "
+            f"{delta:>+7.1f}%{flag}"
+        )
     return 0
 
 

@@ -88,20 +88,42 @@ uint64_t Misr::advance(uint64_t state, uint64_t cycles) const {
   return matrix_.pow(cycles).apply(state & mask_);
 }
 
-WideMisr::WideMisr(int length) : length_(length) {
-  if (length < 2) {
-    throw std::out_of_range("WideMisr length must be >= 2");
-  }
+std::vector<int> WideMisr::segmentLengths(int length) {
+  std::vector<int> lengths;
   int remaining = length;
-  int offset = 0;
   while (remaining > 0) {
     // Keep every segment in [2, 63]: never leave a 1-bit remainder.
     int seg = remaining > 63 ? 63 : remaining;
     if (remaining - seg == 1) --seg;
+    lengths.push_back(seg);
+    remaining -= seg;
+  }
+  return lengths;
+}
+
+std::vector<uint8_t> WideMisr::unpackBits(std::span<const uint64_t> words,
+                                          int length) {
+  std::vector<uint8_t> bits;
+  bits.reserve(static_cast<size_t>(length));
+  const std::vector<int> segs = segmentLengths(length);
+  for (size_t s = 0; s < segs.size(); ++s) {
+    const uint64_t w = s < words.size() ? words[s] : 0;
+    for (int b = 0; b < segs[s]; ++b) {
+      bits.push_back(static_cast<uint8_t>((w >> b) & 1u));
+    }
+  }
+  return bits;
+}
+
+WideMisr::WideMisr(int length) : length_(length) {
+  if (length < 2) {
+    throw std::out_of_range("WideMisr length must be >= 2");
+  }
+  int offset = 0;
+  for (int seg : segmentLengths(length)) {
     segments_.emplace_back(seg, 0);
     segment_offsets_.push_back(offset);
     offset += seg;
-    remaining -= seg;
   }
 }
 

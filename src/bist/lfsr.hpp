@@ -98,6 +98,20 @@ class WideMisr {
   /// `length` >= 2; split greedily into segments of at most 63 bits.
   explicit WideMisr(int length);
 
+  /// The segment lengths a WideMisr of `length` bits uses (greedy 63s,
+  /// never leaving a 1-bit remainder, so e.g. 64 -> 62 + 2). Consumers
+  /// that unpack signatureWords() into bit streams must follow this
+  /// split, not a naive 63-bit one — use unpackBits below.
+  [[nodiscard]] static std::vector<int> segmentLengths(int length);
+
+  /// Unpacks signature words into `length` LSB-first bits using the
+  /// segment split above. Missing words read as zero. The one shared
+  /// words-to-bits path for every consumer (the LbistTop SIGNATURE
+  /// register, soc::Chip golden comparison), so the packing can never
+  /// diverge between them.
+  [[nodiscard]] static std::vector<uint8_t> unpackBits(
+      std::span<const uint64_t> words, int length);
+
   [[nodiscard]] int length() const { return length_; }
   [[nodiscard]] size_t numSegments() const { return segments_.size(); }
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "bist/lfsr.hpp"
+
 namespace lbist::core {
 
 LbistTop::LbistTop(const BistReadyCore& core, const Netlist& die)
@@ -73,15 +75,9 @@ std::vector<uint8_t> LbistTop::captureSignature() const {
       ++digits;
     }
     if (digits > 0) words.push_back(current);
-    int remaining = core_->domain_bist[i].odc.misr_length;
-    for (uint64_t w : words) {
-      const int take = remaining < 63 ? remaining : 63;
-      for (int b = 0; b < take; ++b) {
-        bits.push_back(static_cast<uint8_t>((w >> b) & 1u));
-      }
-      remaining -= take;
-    }
-    while (remaining-- > 0) bits.push_back(0);
+    const std::vector<uint8_t> domain_bits = bist::WideMisr::unpackBits(
+        words, core_->domain_bist[i].odc.misr_length);
+    bits.insert(bits.end(), domain_bits.begin(), domain_bits.end());
   }
   return bits;
 }

@@ -17,8 +17,7 @@ PrpgPatternSource::PrpgPatternSource(const BistReadyCore& core)
   cell_words_.assign(core.netlist.numGates(), 0);
 }
 
-void PrpgPatternSource::loadBlock(fault::FaultSimulator& fsim, int lanes) {
-  const Netlist& nl = core_->netlist;
+void PrpgPatternSource::computeCellWords(int lanes) {
   const int shift_cycles = core_->shiftCyclesPerPattern();
 
   std::fill(cell_words_.begin(), cell_words_.end(), 0);
@@ -43,12 +42,35 @@ void PrpgPatternSource::loadBlock(fault::FaultSimulator& fsim, int lanes) {
       }
     }
   }
+}
 
-  for (GateId pi : nl.inputs()) fsim.setSource(pi, 0);
-  for (GateId dff : nl.dffs()) fsim.setSource(dff, cell_words_[dff.v]);
-  for (const auto& [id, v] : fixed_) {
-    fsim.setSource(id, v ? ~uint64_t{0} : 0);
+namespace {
+
+/// One source-application path for every sink exposing
+/// setSource(GateId, uint64_t) — the overloads below must never drift.
+template <typename Sink>
+void applySources(const BistReadyCore& core,
+                  const std::vector<uint64_t>& cell_words,
+                  const std::vector<std::pair<GateId, bool>>& fixed,
+                  Sink& sink) {
+  const Netlist& nl = core.netlist;
+  for (GateId pi : nl.inputs()) sink.setSource(pi, 0);
+  for (GateId dff : nl.dffs()) sink.setSource(dff, cell_words[dff.v]);
+  for (const auto& [id, v] : fixed) {
+    sink.setSource(id, v ? ~uint64_t{0} : 0);
   }
+}
+
+}  // namespace
+
+void PrpgPatternSource::loadBlock(fault::FaultSimulator& fsim, int lanes) {
+  computeCellWords(lanes);
+  applySources(*core_, cell_words_, fixed_, fsim);
+}
+
+void PrpgPatternSource::loadBlock(sim::Simulator2v& sim, int lanes) {
+  computeCellWords(lanes);
+  applySources(*core_, cell_words_, fixed_, sim);
 }
 
 }  // namespace lbist::core

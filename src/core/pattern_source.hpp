@@ -28,6 +28,11 @@ class PrpgPatternSource {
   /// pattern blocks.
   void loadBlock(fault::FaultSimulator& fsim, int lanes);
 
+  /// Same block semantics into a bare 2-valued simulator — consumers
+  /// that need PRPG-exact states without a fault list (the soc power
+  /// estimator samples switching activity this way).
+  void loadBlock(sim::Simulator2v& sim, int lanes);
+
   /// Pins the session holds at a fixed level during capture (SE low,
   /// test-mode high) — also what deterministic top-up must respect.
   [[nodiscard]] const std::vector<std::pair<GateId, bool>>& fixedPins()
@@ -36,6 +41,8 @@ class PrpgPatternSource {
   }
 
  private:
+  void computeCellWords(int lanes);
+
   const BistReadyCore* core_;
   std::vector<bist::Prpg> prpgs_;
   std::vector<std::pair<GateId, bool>> fixed_;

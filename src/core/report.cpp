@@ -207,4 +207,15 @@ std::string renderAtpgStats(const atpg::TopUpResult& r) {
   return os.str();
 }
 
+std::string renderScheduleStats(const soc::TestSchedule& s) {
+  std::ostringstream os;
+  os << "SoC schedule: " << s.sessions.size() << " cores -> "
+     << s.groups.size() << " groups; peak power " << std::fixed
+     << std::setprecision(1) << s.peakPower() << "/" << s.power_budget
+     << " toggles/cycle; total " << s.total_tcks << " TCKs (serial "
+     << s.serial_tcks << ", speedup " << std::setprecision(2) << s.speedup()
+     << "x, " << s.boundRatio() << "x of bound)\n";
+  return os.str();
+}
+
 }  // namespace lbist::core

@@ -10,6 +10,7 @@
 #include "core/architect.hpp"
 #include "core/flow.hpp"
 #include "netlist/stats.hpp"
+#include "soc/schedule.hpp"
 
 namespace lbist::core {
 
@@ -61,5 +62,10 @@ struct Table1Column {
 /// cube hits, untestability proofs, abort count, backtrack totals
 /// (mean per target), and the reverse-compaction pattern delta.
 [[nodiscard]] std::string renderAtpgStats(const atpg::TopUpResult& r);
+
+/// One-line summary of a chip-level test schedule for flow reports:
+/// cores, concurrent groups, peak vs budget power, total TCKs, and the
+/// serial-vs-scheduled test-time speedup with the instance-bound ratio.
+[[nodiscard]] std::string renderScheduleStats(const soc::TestSchedule& s);
 
 }  // namespace lbist::core

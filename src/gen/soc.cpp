@@ -1,0 +1,56 @@
+#include "gen/soc.hpp"
+
+#include <random>
+
+namespace lbist::gen {
+
+namespace {
+
+// Raw engine draws with modulo: biased by < 2^-40 for these ranges and,
+// unlike uniform_int_distribution, bit-identical across standard
+// libraries — the plan is part of reproducible test/bench inputs.
+size_t drawRange(std::mt19937_64& rng, size_t lo, size_t hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<size_t>(rng() % (hi - lo + 1));
+}
+
+}  // namespace
+
+std::vector<SocCorePlan> generateSocPlan(const SocSpec& spec) {
+  static constexpr const char* kPrefixes[] = {"cpu", "dsp", "gpu", "io",
+                                              "npu", "sec", "vid", "mdm"};
+  constexpr size_t kNumPrefixes = sizeof(kPrefixes) / sizeof(kPrefixes[0]);
+
+  std::mt19937_64 rng(spec.seed * 0x9E37'79B9'7F4A'7C15ULL + 1);
+  std::vector<SocCorePlan> plan;
+  plan.reserve(static_cast<size_t>(spec.num_cores));
+  for (int i = 0; i < spec.num_cores; ++i) {
+    SocCorePlan p;
+    p.name = std::string(kPrefixes[static_cast<size_t>(i) % kNumPrefixes]) +
+             std::to_string(i);
+
+    p.core.name = p.name;
+    p.core.seed = rng();
+    p.core.target_comb_gates =
+        drawRange(rng, spec.min_comb_gates, spec.max_comb_gates);
+    p.core.target_ffs = drawRange(rng, spec.min_ffs, spec.max_ffs);
+    const int max_domains = spec.max_domains < 1 ? 1 : spec.max_domains;
+    p.core.num_domains =
+        1 + static_cast<int>(drawRange(
+                rng, 0, static_cast<size_t>(max_domains - 1)));
+    p.core.num_inputs = 12 + static_cast<int>(drawRange(rng, 0, 12));
+    p.core.num_outputs = 8 + static_cast<int>(drawRange(rng, 0, 8));
+    p.core.num_xsources = 2;
+    p.core.num_noscan_ffs = 4;
+
+    // BIST sizing: two chains per domain keeps shift windows short on
+    // the small cores; a few observation points per core mirror the
+    // per-core TPI budget an integrator would spend.
+    p.num_chains = 2 * p.core.num_domains;
+    p.test_points = 4;
+    plan.push_back(std::move(p));
+  }
+  return plan;
+}
+
+}  // namespace lbist::gen

@@ -1,0 +1,52 @@
+// Synthetic SoC plan generator.
+//
+// The paper's headline scenario (section 1, "Simple Test Interface") is
+// an SoC integrator embedding many BISTed IP cores behind one
+// Boundary-Scan port. This generator turns one seed into a deterministic
+// *plan* for such a chip: a mixed-size set of IpCoreSpecs (different
+// gate counts, flip-flop counts and clock-domain counts per core, the
+// way real SoCs mix a big CPU with small peripherals) plus the per-core
+// BIST sizing knobs the integrator would pick. The plan stays in plain
+// gen/netlist vocabulary; soc::appendGeneratedCores turns it into a
+// built soc::Chip.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/ipcore.hpp"
+
+namespace lbist::gen {
+
+/// Knobs of the generated chip. Core sizes are drawn uniformly (raw
+/// mt19937_64 draws + modulo, so the plan is identical across standard
+/// libraries) from [min, max] ranges; domain counts cycle 1..max_domains.
+struct SocSpec {
+  std::string name = "soc";
+  uint64_t seed = 1;
+  int num_cores = 8;
+
+  size_t min_comb_gates = 600;
+  size_t max_comb_gates = 2'400;
+  size_t min_ffs = 48;
+  size_t max_ffs = 128;
+  int max_domains = 3;
+};
+
+/// One core of the plan: instance name, the core generator spec, and the
+/// BIST sizing the integrator assigns (kept as plain numbers so gen does
+/// not depend on the core/ flow layer).
+struct SocCorePlan {
+  std::string name;
+  IpCoreSpec core;
+  int num_chains = 2;
+  size_t test_points = 4;
+};
+
+/// Expands `spec` into per-core plans, deterministically from the seed:
+/// same spec, same plan, on every platform. Core names combine a cycling
+/// function prefix (cpu, dsp, gpu, ...) with the instance index.
+[[nodiscard]] std::vector<SocCorePlan> generateSocPlan(const SocSpec& spec);
+
+}  // namespace lbist::gen

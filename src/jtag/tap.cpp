@@ -135,6 +135,13 @@ void TapController::bindInstruction(uint32_t opcode, std::string name,
   bindings_.push_back(Binding{opcode, std::move(name), dr});
 }
 
+DataRegister* TapController::boundRegister(uint32_t opcode) const {
+  for (const Binding& b : bindings_) {
+    if (b.opcode == opcode) return b.dr;
+  }
+  return nullptr;
+}
+
 DataRegister* TapController::selectedRegister() {
   if (ir_ == idcodeOpcode()) return idcode_.get();
   for (const Binding& b : bindings_) {

@@ -57,7 +57,9 @@ class DataRegister {
   virtual void update() {}
 
   /// One Shift-DR clock; returns the bit leaving on TDO (LSB first).
-  bool shiftBit(bool tdi);
+  /// Virtual so hierarchy glue (ForwardingRegister) can route the shift
+  /// path to another register.
+  virtual bool shiftBit(bool tdi);
 
   [[nodiscard]] const std::vector<uint8_t>& bits() const { return bits_; }
   void setBits(const std::vector<uint8_t>& b);
@@ -90,6 +92,41 @@ class CallbackRegister final : public DataRegister {
   Storer on_update_;
 };
 
+/// Hierarchy glue for multi-core TAP access: forwards capture, shift and
+/// update to the register returned by `selector` at each access — the
+/// mechanism a chip-level TAP uses to expose the currently selected
+/// core's BIST registers under one instruction set (soc::Chip). When the
+/// selector yields nullptr (no core selected) the register degrades to a
+/// 1-bit bypass. The forwarded register keeps its own length, so hosts
+/// shift exactly the selected core's register width.
+class ForwardingRegister final : public DataRegister {
+ public:
+  using Selector = std::function<DataRegister*()>;
+
+  explicit ForwardingRegister(Selector selector)
+      : DataRegister(1), selector_(std::move(selector)) {}
+
+  void capture() override {
+    if (DataRegister* r = selector_()) {
+      r->capture();
+    } else {
+      // Degraded 1-bit bypass: real silicon captures 0, so a host can
+      // recognize the bypass by its leading-0 convention.
+      bits_.assign(bits_.size(), 0);
+    }
+  }
+  void update() override {
+    if (DataRegister* r = selector_()) r->update();
+  }
+  bool shiftBit(bool tdi) override {
+    if (DataRegister* r = selector_()) return r->shiftBit(tdi);
+    return DataRegister::shiftBit(tdi);  // bypass-like 1-bit fallback
+  }
+
+ private:
+  Selector selector_;
+};
+
 class TapController {
  public:
   TapController(int ir_length, uint32_t idcode);
@@ -100,6 +137,12 @@ class TapController {
 
   /// One TCK rising edge with the given TMS/TDI; returns TDO.
   bool clockTck(bool tms, bool tdi);
+
+  /// The register bound under `opcode` (nullptr when unbound) — lets a
+  /// chip-level TAP forward to a core TAP's registers without driving the
+  /// core's FSM pin by pin (ForwardingRegister selectors resolve through
+  /// this).
+  [[nodiscard]] DataRegister* boundRegister(uint32_t opcode) const;
 
   [[nodiscard]] TapState state() const { return state_; }
   [[nodiscard]] uint32_t currentInstruction() const { return ir_; }

@@ -1,0 +1,275 @@
+#include "soc/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/flow.hpp"
+#include "core/session.hpp"
+#include "core/thread_pool.hpp"
+#include "soc/power.hpp"
+
+namespace lbist::soc {
+
+namespace {
+
+constexpr const char* kCheckpointMagic = "lbist-campaign v1";
+
+std::string checkpointHeader(const Chip& chip, int64_t patterns,
+                             bool coverage) {
+  std::ostringstream os;
+  os << kCheckpointMagic << " chip=" << chip.name()
+     << " patterns=" << patterns << " cores=" << chip.numCores()
+     << " coverage=" << (coverage ? 1 : 0);
+  return os.str();
+}
+
+std::string checkpointLine(const CoreRunResult& r) {
+  std::ostringstream os;
+  os << "core name=" << r.name << " pass=" << (r.pass ? 1 : 0)
+     << " tcks=" << r.tcks << " coverage=";
+  if (r.coverage_percent < 0.0) {
+    os << "-";
+  } else {
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << r.coverage_percent;
+  }
+  os << " sigs=";
+  for (size_t i = 0; i < r.signatures.size(); ++i) {
+    if (i > 0) os << ";";
+    os << r.signatures[i];
+  }
+  return os.str();
+}
+
+/// Parses one `key=value` token; returns false on shape mismatch.
+bool tokenValue(const std::string& token, const std::string& key,
+                std::string* value) {
+  if (token.rfind(key + "=", 0) != 0) return false;
+  *value = token.substr(key.size() + 1);
+  return true;
+}
+
+/// Loads completed-core results from a checkpoint file, in file order
+/// (empty when the file does not exist). A kill can tear the file
+/// mid-append, so only lines carrying every field are accepted — a torn
+/// tail line is dropped and its core simply re-runs. Throws on header
+/// mismatch: resuming a different chip or pattern count would silently
+/// mix campaigns.
+std::vector<CoreRunResult> loadCheckpoint(const std::string& path,
+                                          const Chip& chip, int64_t patterns,
+                                          bool coverage) {
+  std::vector<CoreRunResult> done;
+  std::ifstream in(path);
+  if (!in.is_open()) return done;
+
+  std::string header;
+  std::getline(in, header);
+  if (header.empty()) return done;  // empty file: treat as no checkpoint
+  if (header != checkpointHeader(chip, patterns, coverage)) {
+    throw std::invalid_argument(
+        "checkpoint '" + path +
+        "' does not match this chip campaign (chip, pattern count, or "
+        "coverage mode)");
+  }
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag != "core") continue;
+
+    CoreRunResult r;
+    r.from_checkpoint = true;
+    bool has_name = false;
+    bool has_pass = false;
+    bool has_tcks = false;
+    bool has_coverage = false;
+    bool has_sigs = false;
+    std::string token;
+    std::string value;
+    try {
+      while (ls >> token) {
+        if (tokenValue(token, "name", &value)) {
+          r.name = value;
+          has_name = !value.empty();
+        } else if (tokenValue(token, "pass", &value)) {
+          r.pass = value == "1";
+          has_pass = true;
+        } else if (tokenValue(token, "tcks", &value)) {
+          r.tcks = std::stoull(value);
+          has_tcks = true;
+        } else if (tokenValue(token, "coverage", &value)) {
+          r.coverage_percent = value == "-" ? -1.0 : std::stod(value);
+          has_coverage = true;
+        } else if (tokenValue(token, "sigs", &value)) {
+          r.signatures.clear();
+          std::istringstream ss(value);
+          std::string sig;
+          while (std::getline(ss, sig, ';')) r.signatures.push_back(sig);
+          has_sigs = !r.signatures.empty();
+        }
+      }
+    } catch (const std::exception&) {
+      continue;  // torn numeric field: drop the line, the core re-runs
+    }
+    if (has_name && has_pass && has_tcks && has_coverage && has_sigs) {
+      done.push_back(std::move(r));
+    }
+  }
+  return done;
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(Chip& chip, const TestSchedule& schedule,
+                               core::SessionOptions session)
+    : chip_(&chip), schedule_(&schedule), session_(std::move(session)) {}
+
+CampaignResult CampaignRunner::run(const CampaignOptions& opts) {
+  const int64_t patterns = session_.patterns;
+  if (chip_->goldenPatterns() != patterns) {
+    throw std::invalid_argument(
+        "chip golden characterization (Chip::characterizeGolden) is "
+        "missing or ran a different pattern count than the campaign "
+        "session");
+  }
+
+  std::vector<CoreRunResult> loaded;
+  if (!opts.checkpoint_path.empty() && opts.resume) {
+    loaded = loadCheckpoint(opts.checkpoint_path, *chip_, patterns,
+                            opts.measure_coverage);
+  }
+  std::map<std::string, CoreRunResult> done;
+  for (const CoreRunResult& r : loaded) done.emplace(r.name, r);
+
+  // The checkpoint is always rewritten from the accepted entries: a
+  // resume after a torn append heals the file, so every campaign —
+  // interrupted or not — converges to the same bytes. The rewrite goes
+  // through a temp file + rename so a kill during the rewrite itself
+  // can never lose the already-recorded cores.
+  std::ofstream ckpt;
+  if (!opts.checkpoint_path.empty()) {
+    const std::string tmp = opts.checkpoint_path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out.is_open()) {
+        throw std::invalid_argument("cannot write checkpoint '" + tmp + "'");
+      }
+      out << checkpointHeader(*chip_, patterns, opts.measure_coverage)
+          << "\n";
+      for (const CoreRunResult& r : loaded) out << checkpointLine(r) << "\n";
+    }
+    if (std::rename(tmp.c_str(), opts.checkpoint_path.c_str()) != 0) {
+      throw std::invalid_argument("cannot replace checkpoint '" +
+                                  opts.checkpoint_path + "'");
+    }
+    ckpt.open(opts.checkpoint_path, std::ios::app);
+    if (!ckpt.is_open()) {
+      throw std::invalid_argument("cannot write checkpoint '" +
+                                  opts.checkpoint_path + "'");
+    }
+  }
+
+  core::ThreadPool pool(opts.threads);
+  CampaignResult result;
+
+  const size_t group_limit =
+      opts.max_groups < 0
+          ? schedule_->groups.size()
+          : std::min(schedule_->groups.size(),
+                     static_cast<size_t>(opts.max_groups));
+
+  for (size_t gi = 0; gi < group_limit; ++gi) {
+    const ScheduleGroup& group = schedule_->groups[gi];
+
+    // Workers fill disjoint slots; every shared structure (chip slots,
+    // goldens, schedule) is read-only here. The index indirection keeps
+    // the job list dense when some members come from the checkpoint.
+    std::vector<size_t> pending;
+    for (size_t m = 0; m < group.members.size(); ++m) {
+      const CoreSession& cs = schedule_->sessions[group.members[m]];
+      if (done.find(cs.name) == done.end()) pending.push_back(m);
+    }
+    std::vector<CoreRunResult> fresh(group.members.size());
+    pool.run(static_cast<unsigned>(pending.size()), [&](unsigned shard) {
+      const size_t m = pending[shard];
+      const CoreSession& cs = schedule_->sessions[group.members[m]];
+      const size_t ci = cs.core_index;
+      const core::BistReadyCore& ready = chip_->core(ci);
+
+      core::SessionResult golden;
+      golden.signatures.assign(chip_->golden(ci).begin(),
+                               chip_->golden(ci).end());
+      core::BistSession session(ready, chip_->die(ci));
+      const core::SessionResult res = session.run(session_, &golden);
+
+      CoreRunResult r;
+      r.name = cs.name;
+      r.core_index = ci;
+      r.pass = res.result_pass;
+      r.signatures = res.signatures;
+      r.tcks = sessionTcks(ready, session_);
+      if (opts.measure_coverage) {
+        core::CoverageFlow flow(ready);
+        r.coverage_percent =
+            flow.runRandomPhase(patterns).coverage.faultCoveragePercent();
+      }
+      fresh[m] = std::move(r);
+    });
+
+    // Serial merge in schedule order: result rows, failure accounting,
+    // and checkpoint lines all come from this single loop.
+    for (size_t m = 0; m < group.members.size(); ++m) {
+      const CoreSession& cs = schedule_->sessions[group.members[m]];
+      const auto it = done.find(cs.name);
+      CoreRunResult r;
+      if (it != done.end()) {
+        r = it->second;
+        r.core_index = cs.core_index;
+        ++result.resumed_cores;
+      } else {
+        r = std::move(fresh[m]);
+        if (ckpt.is_open()) ckpt << checkpointLine(r) << "\n" << std::flush;
+      }
+      if (!r.pass) ++result.failures;
+      result.cores.push_back(std::move(r));
+    }
+    result.total_tcks += group.duration_tcks;
+    ++result.executed_groups;
+  }
+
+  result.complete = result.executed_groups == schedule_->groups.size();
+  return result;
+}
+
+std::vector<CoreSession> buildCoreSessions(const Chip& chip,
+                                           const core::SessionOptions& session,
+                                           int64_t power_sample_patterns) {
+  std::vector<CoreSession> sessions;
+  sessions.reserve(chip.numCores());
+  for (size_t i = 0; i < chip.numCores(); ++i) {
+    CoreSession cs;
+    cs.core_index = i;
+    cs.name = chip.coreName(i);
+    cs.test_tcks = sessionTcks(chip.core(i), session);
+    cs.power = PowerModel(chip.core(i)).estimate(power_sample_patterns).peak();
+    sessions.push_back(std::move(cs));
+  }
+  return sessions;
+}
+
+TestSchedule buildChipSchedule(const Chip& chip, double power_budget,
+                               const core::SessionOptions& session,
+                               int64_t power_sample_patterns) {
+  return Scheduler(power_budget)
+      .build(buildCoreSessions(chip, session, power_sample_patterns));
+}
+
+}  // namespace lbist::soc

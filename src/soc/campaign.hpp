@@ -1,0 +1,110 @@
+// soc::CampaignRunner — executes a TestSchedule against a Chip.
+//
+// Groups run in schedule order; within a group every core's BIST session
+// is an independent job on core::ThreadPool (sessions share nothing —
+// each job owns its BistSession, simulator and optional coverage flow),
+// and a serial in-schedule-order merge assembles per-core pass/fail,
+// signatures, and coverage. The merge is the only writer of results and
+// of the checkpoint file, so campaign output — including the checkpoint
+// bytes — is bit-identical for 1/2/4/0 worker threads.
+//
+// Checkpoint/resume: with CampaignOptions::checkpoint_path set, the
+// merge appends one line per completed core. A later run with
+// resume = true validates the header (chip name, pattern count, core
+// count), skips every recorded core, and appends only the remainder —
+// so a killed chip campaign resumes without re-running finished cores
+// and converges to the same results and checkpoint bytes as an
+// uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "soc/chip.hpp"
+#include "soc/schedule.hpp"
+
+namespace lbist::soc {
+
+/// Campaign execution knobs.
+struct CampaignOptions {
+  /// Worker threads for in-group core sessions (0 = hardware
+  /// concurrency). Results are bit-identical for every value.
+  uint32_t threads = 1;
+  /// Also measure each core's stuck-at fault coverage over the session's
+  /// PRPG patterns (core::CoverageFlow). Costs one fault-simulation
+  /// campaign per core.
+  bool measure_coverage = false;
+  /// Checkpoint file path; empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Resume from an existing checkpoint file instead of truncating it.
+  bool resume = false;
+  /// Stop after this many groups (-1 = run all). The campaign reports
+  /// complete = false; a later resume run finishes the remainder — the
+  /// hook the kill-and-resume tests use.
+  int64_t max_groups = -1;
+};
+
+/// One core's campaign outcome.
+struct CoreRunResult {
+  std::string name;
+  size_t core_index = 0;
+  bool pass = false;
+  std::vector<std::string> signatures;  // per domain, hex
+  uint64_t tcks = 0;                    // session length (sessionTcks)
+  double coverage_percent = -1.0;       // -1 when not measured
+  bool from_checkpoint = false;
+};
+
+/// Whole-campaign outcome, merged in schedule order.
+struct CampaignResult {
+  std::vector<CoreRunResult> cores;  // group order, in-group member order
+  size_t executed_groups = 0;
+  uint64_t total_tcks = 0;  // scheduled duration of the executed groups
+  size_t failures = 0;
+  size_t resumed_cores = 0;
+  bool complete = false;
+};
+
+/// See file comment.
+class CampaignRunner {
+ public:
+  /// Binds a chip, a schedule over that chip's cores, and the session
+  /// every core runs — pass the same options the schedule was built
+  /// with (buildChipSchedule's `session`), or the TCK/power accounting
+  /// the schedule promises will not match what executes. The chip must
+  /// be golden-characterized (Chip::characterizeGolden) before run().
+  CampaignRunner(Chip& chip, const TestSchedule& schedule,
+                 core::SessionOptions session);
+
+  /// Executes the schedule. Throws std::invalid_argument when the
+  /// session pattern count disagrees with the chip's golden
+  /// characterization (the on-chip compare would be meaningless) or a
+  /// resume checkpoint disagrees with the chip (name, pattern count,
+  /// core count).
+  [[nodiscard]] CampaignResult run(const CampaignOptions& opts);
+
+ private:
+  Chip* chip_;
+  const TestSchedule* schedule_;
+  core::SessionOptions session_;
+};
+
+/// Estimates the sessions a chip-level schedule packs: one CoreSession
+/// per core, TCKs from sessionTcks and power from PowerModel::peak().
+/// Callers choosing a budget relative to the chip's demand combine this
+/// with peakSessionPower / totalSessionPower and pack with Scheduler.
+[[nodiscard]] std::vector<CoreSession> buildCoreSessions(
+    const Chip& chip, const core::SessionOptions& session,
+    int64_t power_sample_patterns = 128);
+
+/// Convenience: buildCoreSessions packed with Scheduler under
+/// `power_budget`. `session` supplies the pattern count and timing every
+/// core session will run with; `power_sample_patterns` sizes the
+/// activity sample.
+[[nodiscard]] TestSchedule buildChipSchedule(
+    const Chip& chip, double power_budget,
+    const core::SessionOptions& session,
+    int64_t power_sample_patterns = 128);
+
+}  // namespace lbist::soc

@@ -1,0 +1,241 @@
+#include "soc/chip.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bist/lfsr.hpp"
+#include "core/session.hpp"
+#include "gen/ipcore.hpp"
+
+namespace lbist::soc {
+
+Chip::Chip(std::string name)
+    : name_(std::move(name)), tap_(kIrLength, kIdcode) {
+  select_reg_ = std::make_unique<jtag::CallbackRegister>(
+      kCoreSelectBits,
+      [this] {
+        std::vector<uint8_t> bits(kCoreSelectBits, 0);
+        for (size_t b = 0; b < kCoreSelectBits; ++b) {
+          bits[b] = static_cast<uint8_t>((selected_ >> b) & 1u);
+        }
+        return bits;
+      },
+      [this](const std::vector<uint8_t>& bits) {
+        size_t idx = 0;
+        for (size_t b = 0; b < bits.size(); ++b) {
+          if (bits[b] != 0) idx |= size_t{1} << b;
+        }
+        // Out-of-range addresses are kept as written: the BIST opcodes
+        // then forward to nothing (1-bit bypass behaviour), so a
+        // mis-addressed host sees garbage instead of silently testing
+        // the wrong core.
+        selected_ = idx;
+      });
+
+  auto forward = [this](uint32_t opcode) {
+    return std::make_unique<jtag::ForwardingRegister>(
+        [this, opcode] { return selectedCoreRegister(opcode); });
+  };
+  ctrl_fwd_ = forward(kOpcodeCtrl);
+  status_fwd_ = forward(kOpcodeStatus);
+  seed_fwd_ = forward(kOpcodeSeed);
+  sig_fwd_ = forward(kOpcodeSignature);
+
+  tap_.bindInstruction(kOpcodeCtrl, "BIST_CTRL", ctrl_fwd_.get());
+  tap_.bindInstruction(kOpcodeStatus, "BIST_STATUS", status_fwd_.get());
+  tap_.bindInstruction(kOpcodeSeed, "PRPG_SEED", seed_fwd_.get());
+  tap_.bindInstruction(kOpcodeSignature, "MISR_SIG", sig_fwd_.get());
+  tap_.bindInstruction(kOpcodeCoreSelect, "CORE_SELECT", select_reg_.get());
+}
+
+jtag::DataRegister* Chip::selectedCoreRegister(uint32_t opcode) {
+  if (selected_ >= slots_.size()) return nullptr;
+  return slots_[selected_]->top->tap().boundRegister(opcode);
+}
+
+size_t Chip::addCore(std::string name, core::BistReadyCore ready) {
+  if (slots_.size() >= (size_t{1} << kCoreSelectBits)) {
+    throw std::invalid_argument("CORE_SELECT address space exhausted");
+  }
+  for (const std::unique_ptr<Slot>& s : slots_) {
+    if (s->name == name) {
+      throw std::invalid_argument("duplicate core name '" + name +
+                                  "' (names key campaign checkpoints)");
+    }
+  }
+  auto slot = std::make_unique<Slot>();
+  slot->name = std::move(name);
+  slot->ready = std::move(ready);
+  slot->die = slot->ready.netlist;  // good die until someone injects
+  slot->top = std::make_unique<core::LbistTop>(slot->ready, slot->die);
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+const std::string& Chip::coreName(size_t i) const { return slots_.at(i)->name; }
+
+const core::BistReadyCore& Chip::core(size_t i) const {
+  return slots_.at(i)->ready;
+}
+
+Netlist& Chip::die(size_t i) { return slots_.at(i)->die; }
+
+const Netlist& Chip::die(size_t i) const { return slots_.at(i)->die; }
+
+core::LbistTop& Chip::top(size_t i) { return *slots_.at(i)->top; }
+
+void Chip::characterizeGolden(int64_t patterns) {
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    core::BistSession session(slot->ready, slot->ready.netlist);
+    core::SessionOptions opts;
+    opts.patterns = patterns;
+    const core::SessionResult res = session.run(opts);
+    slot->golden = res.signatures;
+    slot->golden_words = res.signature_words;
+    slot->top->setGoldenSignatures(slot->golden);
+  }
+  golden_patterns_ = patterns;
+}
+
+std::span<const std::string> Chip::golden(size_t i) const {
+  return slots_.at(i)->golden;
+}
+
+std::vector<std::vector<uint8_t>> Chip::goldenSignatureBits(size_t i) const {
+  const Slot& s = *slots_.at(i);
+  std::vector<std::vector<uint8_t>> per_domain;
+  for (size_t d = 0; d < s.ready.domain_bist.size(); ++d) {
+    // Same words-to-bits path as LbistTop's SIGNATURE register.
+    per_domain.push_back(bist::WideMisr::unpackBits(
+        d < s.golden_words.size() ? s.golden_words[d]
+                                  : std::span<const uint64_t>{},
+        s.ready.domain_bist[d].odc.misr_length));
+  }
+  return per_domain;
+}
+
+size_t Chip::seedBits(size_t i) const {
+  const Slot& s = *slots_.at(i);
+  return s.ready.domain_bist.size() *
+         static_cast<size_t>(s.ready.config.prpg_length);
+}
+
+size_t Chip::signatureBits(size_t i) const {
+  const Slot& s = *slots_.at(i);
+  size_t bits = 0;
+  for (const core::DomainBist& db : s.ready.domain_bist) {
+    bits += static_cast<size_t>(db.odc.misr_length);
+  }
+  return bits;
+}
+
+ChipTester::ChipTester(Chip& chip)
+    : chip_(&chip), driver_(chip.tap()), core_tcks_(chip.numCores(), 0) {}
+
+void ChipTester::charge(uint64_t before, bool to_core) {
+  const uint64_t spent = driver_.tckCount() - before;
+  if (to_core && selected_once_) {
+    const size_t idx = chip_->selectedCore();
+    if (idx >= core_tcks_.size()) core_tcks_.resize(idx + 1, 0);
+    core_tcks_[idx] += spent;
+  } else {
+    overhead_tcks_ += spent;
+  }
+}
+
+void ChipTester::reset() {
+  const uint64_t t0 = driver_.tckCount();
+  driver_.reset();
+  charge(t0, false);
+}
+
+void ChipTester::selectCore(size_t index) {
+  if (index >= chip_->numCores()) {
+    throw std::invalid_argument("core index out of range");
+  }
+  const uint64_t t0 = driver_.tckCount();
+  std::vector<uint8_t> bits(Chip::kCoreSelectBits, 0);
+  for (size_t b = 0; b < Chip::kCoreSelectBits; ++b) {
+    bits[b] = static_cast<uint8_t>((index >> b) & 1u);
+  }
+  driver_.loadInstruction(Chip::kOpcodeCoreSelect);
+  driver_.shiftData(bits);
+  // The select shift works for the core being selected, so the charge
+  // lands on the *new* selection.
+  selected_once_ = true;
+  charge(t0, true);
+}
+
+void ChipTester::loadSeeds(std::span<const uint64_t> seeds) {
+  const uint64_t t0 = driver_.tckCount();
+  const size_t core = chip_->selectedCore();
+  if (seeds.size() != chip_->core(core).domain_bist.size()) {
+    // A missing seed would silently zero that domain's PRPG and fail a
+    // good die against the golden characterization.
+    throw std::invalid_argument("one seed per clock domain required");
+  }
+  const auto len =
+      static_cast<size_t>(chip_->core(core).config.prpg_length);
+  std::vector<uint8_t> bits(chip_->seedBits(core), 0);
+  for (size_t i = 0; i < seeds.size() && i < bits.size() / len; ++i) {
+    for (size_t b = 0; b < len; ++b) {
+      bits[i * len + b] = static_cast<uint8_t>((seeds[i] >> b) & 1u);
+    }
+  }
+  driver_.loadInstruction(Chip::kOpcodeSeed);
+  driver_.shiftData(bits);
+  charge(t0, true);
+}
+
+void ChipTester::start(int64_t patterns) {
+  const uint64_t t0 = driver_.tckCount();
+  std::vector<uint8_t> ctrl(core::LbistTop::kCtrlBits, 0);
+  ctrl[0] = 1;
+  for (int b = 0; b < 32; ++b) {
+    ctrl[static_cast<size_t>(b) + 1] =
+        static_cast<uint8_t>((patterns >> b) & 1);
+  }
+  driver_.loadInstruction(Chip::kOpcodeCtrl);
+  driver_.shiftData(ctrl);
+  charge(t0, true);
+}
+
+ChipTester::Status ChipTester::readStatus() {
+  const uint64_t t0 = driver_.tckCount();
+  driver_.loadInstruction(Chip::kOpcodeStatus);
+  const auto bits = driver_.shiftData({0, 0});
+  charge(t0, true);
+  return Status{bits[0] != 0, bits[1] != 0};
+}
+
+std::vector<std::vector<uint8_t>> ChipTester::readSignature() {
+  const uint64_t t0 = driver_.tckCount();
+  const size_t core = chip_->selectedCore();
+  driver_.loadInstruction(Chip::kOpcodeSignature);
+  const auto bits =
+      driver_.shiftData(std::vector<uint8_t>(chip_->signatureBits(core), 0));
+  charge(t0, true);
+
+  std::vector<std::vector<uint8_t>> per_domain;
+  size_t offset = 0;
+  for (const core::DomainBist& db : chip_->core(core).domain_bist) {
+    const auto len = static_cast<size_t>(db.odc.misr_length);
+    per_domain.emplace_back(bits.begin() + static_cast<long>(offset),
+                            bits.begin() + static_cast<long>(offset + len));
+    offset += len;
+  }
+  return per_domain;
+}
+
+void appendGeneratedCores(Chip& chip, const gen::SocSpec& spec,
+                          const core::LbistConfig& base) {
+  for (const gen::SocCorePlan& plan : gen::generateSocPlan(spec)) {
+    core::LbistConfig cfg = base;
+    cfg.num_chains = plan.num_chains;
+    cfg.test_points = plan.test_points;
+    chip.addCore(plan.name, core::buildBistReadyCore(
+                                gen::generateIpCore(plan.core), cfg));
+  }
+}
+
+}  // namespace lbist::soc

@@ -1,0 +1,192 @@
+// soc::Chip — an assembly of named BISTed IP cores behind one chip TAP.
+//
+// The paper's section 1 scenario at chip scale: every embedded core
+// keeps its own LbistTop (CTRL/STATUS/SEED/SIGNATURE registers), and the
+// chip-level TAP adds a CORE_SELECT register plus jtag::ForwardingRegister
+// bindings, so one TapDriver on the chip pins reaches whichever core is
+// selected — seeds in, Start, poll Finish, signatures out — without any
+// core-internal test access routed to the pads. ChipTester wraps the
+// host-side sequences and keeps per-core TCK accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/architect.hpp"
+#include "core/lbist_top.hpp"
+#include "gen/soc.hpp"
+#include "jtag/tap.hpp"
+
+namespace lbist::soc {
+
+/// The chip under test: N cores (each a BistReadyCore plus the die that
+/// instance got from fab) behind a single chip-level TapController.
+/// Non-movable: the TAP registers capture `this`.
+class Chip {
+ public:
+  /// Chip-level IR geometry and opcodes. The four BIST opcodes carry the
+  /// same numeric values as core::LbistTop's, so a host that knows the
+  /// single-core protocol only learns CORE_SELECT.
+  static constexpr uint32_t kIrLength = core::LbistTop::kIrLength;
+  /// Forwarded to the selected core's BIST_CTRL register.
+  static constexpr uint32_t kOpcodeCtrl = core::LbistTop::kOpcodeCtrl;
+  /// Forwarded to the selected core's BIST_STATUS register.
+  static constexpr uint32_t kOpcodeStatus = core::LbistTop::kOpcodeStatus;
+  /// Forwarded to the selected core's PRPG_SEED register.
+  static constexpr uint32_t kOpcodeSeed = core::LbistTop::kOpcodeSeed;
+  /// Forwarded to the selected core's MISR_SIG register.
+  static constexpr uint32_t kOpcodeSignature = core::LbistTop::kOpcodeSignature;
+  /// Selects which core the four opcodes above reach (LSB-first index).
+  static constexpr uint32_t kOpcodeCoreSelect = 0b0110;
+  /// CORE_SELECT register width (indexes up to 255 cores).
+  static constexpr size_t kCoreSelectBits = 8;
+  /// Chip-level IDCODE (distinct from the per-core LbistTop IDCODE).
+  static constexpr uint32_t kIdcode = 0x1B15'70C0;
+
+  /// An empty chip named `name`; add cores with addCore().
+  explicit Chip(std::string name);
+
+  Chip(const Chip&) = delete;
+  Chip& operator=(const Chip&) = delete;
+
+  /// Adds a core instance; the die starts as a copy of the BIST-ready
+  /// netlist (a good die) and can be mutated afterwards through die().
+  /// Returns the core's index (also its CORE_SELECT address). Throws on
+  /// a duplicate instance name (names key campaign checkpoints) or when
+  /// the CORE_SELECT address space (2^kCoreSelectBits) is full.
+  size_t addCore(std::string name, core::BistReadyCore ready);
+
+  /// Number of embedded cores.
+  [[nodiscard]] size_t numCores() const { return slots_.size(); }
+  /// Instance name of core `i`.
+  [[nodiscard]] const std::string& coreName(size_t i) const;
+  /// BIST-ready description of core `i`.
+  [[nodiscard]] const core::BistReadyCore& core(size_t i) const;
+  /// The silicon core `i` got — mutable so defects can be injected
+  /// (fault::injectStuckAt) before a campaign.
+  [[nodiscard]] Netlist& die(size_t i);
+  /// Read-only die access (campaign jobs).
+  [[nodiscard]] const Netlist& die(size_t i) const;
+  /// Direct (non-JTAG) access to core `i`'s LbistTop.
+  [[nodiscard]] core::LbistTop& top(size_t i);
+
+  /// Characterizes golden signatures for every core by running fault-free
+  /// sessions of `patterns` patterns, and arms each core's on-chip
+  /// compare. Must run before campaigns or JTAG Result polling.
+  void characterizeGolden(int64_t patterns);
+
+  /// Golden signatures of core `i` (empty before characterizeGolden).
+  [[nodiscard]] std::span<const std::string> golden(size_t i) const;
+  /// Golden signatures of core `i` as per-domain LSB-first bit vectors —
+  /// directly comparable with ChipTester::readSignature to name the
+  /// diverging clock domain of a failing core.
+  [[nodiscard]] std::vector<std::vector<uint8_t>> goldenSignatureBits(
+      size_t i) const;
+  /// Pattern count the goldens were characterized with (-1 before).
+  [[nodiscard]] int64_t goldenPatterns() const { return golden_patterns_; }
+
+  /// The chip-level TAP a host drives.
+  [[nodiscard]] jtag::TapController& tap() { return tap_; }
+  /// Currently selected core index (CORE_SELECT system side; survives
+  /// TAP reset — selection is chip state, not TAP state). May be out of
+  /// range when a host wrote a bad address; the BIST opcodes then
+  /// degrade to 1-bit bypass registers rather than reaching any core.
+  [[nodiscard]] size_t selectedCore() const { return selected_; }
+
+  /// SEED register width of core `i` (domains x PRPG length).
+  [[nodiscard]] size_t seedBits(size_t i) const;
+  /// SIGNATURE register width of core `i` (sum of MISR lengths).
+  [[nodiscard]] size_t signatureBits(size_t i) const;
+
+  /// The chip's name.
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  [[nodiscard]] jtag::DataRegister* selectedCoreRegister(uint32_t opcode);
+
+  struct Slot {
+    std::string name;
+    core::BistReadyCore ready;
+    Netlist die;
+    std::vector<std::string> golden;
+    std::vector<std::vector<uint64_t>> golden_words;  // per domain
+    std::unique_ptr<core::LbistTop> top;  // built last; points into ready/die
+  };
+
+  std::string name_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  size_t selected_ = 0;
+  int64_t golden_patterns_ = -1;
+
+  jtag::TapController tap_;
+  std::unique_ptr<jtag::CallbackRegister> select_reg_;
+  std::unique_ptr<jtag::ForwardingRegister> ctrl_fwd_;
+  std::unique_ptr<jtag::ForwardingRegister> status_fwd_;
+  std::unique_ptr<jtag::ForwardingRegister> seed_fwd_;
+  std::unique_ptr<jtag::ForwardingRegister> sig_fwd_;
+};
+
+/// Host-side convenience over the chip TAP: drives the CORE_SELECT /
+/// SEED / CTRL / STATUS / SIGNATURE sequences and attributes every TCK
+/// to the core selected while it was spent (reset and select overhead
+/// TCKs go to a separate bucket), so chip-level test-time accounting
+/// sums exactly to the driver's total.
+class ChipTester {
+ public:
+  /// Binds a driver to `chip`'s TAP; the caller keeps the chip alive.
+  explicit ChipTester(Chip& chip);
+
+  /// TAP reset (five TMS=1 clocks). Core selection is chip state and
+  /// survives; counted as overhead TCKs.
+  void reset();
+  /// Writes CORE_SELECT; subsequent BIST ops reach core `index`. The
+  /// select shift itself is attributed to `index`.
+  void selectCore(size_t index);
+  /// Loads per-domain PRPG seeds into the selected core's SEED register;
+  /// throws unless exactly one seed per clock domain is given.
+  void loadSeeds(std::span<const uint64_t> seeds);
+  /// Writes CTRL with start=1 and the pattern count: runs the self-test.
+  void start(int64_t patterns);
+
+  /// One STATUS poll result.
+  struct Status {
+    bool finish = false;
+    bool result_pass = false;
+  };
+  /// Reads the selected core's STATUS register.
+  [[nodiscard]] Status readStatus();
+
+  /// Unloads the selected core's SIGNATURE register, split per clock
+  /// domain (LSB-first bits, DomainBist order).
+  [[nodiscard]] std::vector<std::vector<uint8_t>> readSignature();
+
+  /// Total TCKs the host spent on the chip TAP.
+  [[nodiscard]] uint64_t tckCount() const { return driver_.tckCount(); }
+  /// TCKs attributed to core `i` (0 for never-selected cores).
+  [[nodiscard]] uint64_t coreTcks(size_t i) const {
+    return i < core_tcks_.size() ? core_tcks_[i] : 0;
+  }
+  /// TCKs not attributable to any core (resets before a selection).
+  [[nodiscard]] uint64_t overheadTcks() const { return overhead_tcks_; }
+
+ private:
+  void charge(uint64_t before, bool to_core);
+
+  Chip* chip_;
+  jtag::TapDriver driver_;
+  std::vector<uint64_t> core_tcks_;
+  uint64_t overhead_tcks_ = 0;
+  bool selected_once_ = false;
+};
+
+/// Builds the cores of a generated SoC plan (gen::generateSocPlan) and
+/// appends them to `chip`. `base` provides the flow knobs shared by all
+/// cores (timing, TPI method/budgets); per-core chain counts and
+/// test-point budgets come from the plan.
+void appendGeneratedCores(Chip& chip, const gen::SocSpec& spec,
+                          const core::LbistConfig& base = {});
+
+}  // namespace lbist::soc

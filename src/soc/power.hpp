@@ -1,0 +1,62 @@
+// soc::PowerModel — per-core test-power estimation from real switching
+// activity.
+//
+// Scan BIST power is not functional power: the shift window toggles the
+// scan chains with near-random data every slow TCK, and the capture
+// window slams the whole combinational core from one pseudo-random state
+// to the next. The estimator samples both components from the actual
+// hardware the session would run: the per-domain PRPG + phase-shifter
+// models produce the exact scan states (core::PrpgPatternSource), the
+// compiled 2-valued kernel (sim/compiled) evaluates 64 patterns per
+// sweep, and toggle counts are read straight off the value words. The
+// unit is *toggles per cycle* — proportional to dynamic power and, like
+// any activity measure, comparable across cores and additive across
+// concurrently tested cores, which is what the scheduler packs against.
+#pragma once
+
+#include <cstdint>
+
+#include "core/architect.hpp"
+
+namespace lbist::soc {
+
+/// Switching-activity estimate for one core's BIST session, split the
+/// way the session spends cycles: shifting and capturing.
+struct PowerEstimate {
+  /// Mean toggles per shift TCK: scan cells whose value differs from
+  /// their chain predecessor's toggle on every shift edge as the
+  /// pattern marches down the chain.
+  double shift_toggles_per_cycle = 0.0;
+  /// Mean toggles per capture window: gates whose steady-state value
+  /// differs between consecutive PRPG patterns.
+  double capture_toggles_per_cycle = 0.0;
+  /// Patterns the estimate was sampled over.
+  int64_t sampled_patterns = 0;
+
+  /// The packing unit: worst concurrent demand over the session's two
+  /// phases. Conservative — groups sized by peak() never exceed the
+  /// budget in either phase, whichever phases of their members overlap.
+  [[nodiscard]] double peak() const {
+    return shift_toggles_per_cycle > capture_toggles_per_cycle
+               ? shift_toggles_per_cycle
+               : capture_toggles_per_cycle;
+  }
+};
+
+/// Reusable estimator bound to one BIST-ready core. estimate() is a pure
+/// function of (core, sample_patterns): repeated calls and calls from
+/// different threads return identical numbers.
+class PowerModel {
+ public:
+  /// Binds `core`; the caller keeps it alive.
+  explicit PowerModel(const core::BistReadyCore& core) : core_(&core) {}
+
+  /// Samples `sample_patterns` PRPG patterns (rounded up to 64-pattern
+  /// blocks) through the compiled kernel and returns the activity split.
+  [[nodiscard]] PowerEstimate estimate(int64_t sample_patterns = 256) const;
+
+ private:
+  const core::BistReadyCore* core_;
+};
+
+}  // namespace lbist::soc

@@ -1,0 +1,110 @@
+// soc::Scheduler — packs per-core BIST sessions into concurrent groups
+// under a chip-wide power budget.
+//
+// Model: a schedule is a sequence of groups; all cores of a group start
+// together and the group ends when its longest session finishes
+// (group-synchronous — the controller fabric only needs one chip-level
+// Start per group). A group is feasible when the sum of its members'
+// peak switching activity stays within the budget, so the chip never
+// draws more than the budget in any cycle of any phase overlap.
+//
+// Algorithm: greedy longest-session-first first-fit (sort sessions by
+// descending TCK count, place each into the first group with power
+// headroom, else open a new group). Documented optimality gap: the
+// group-synchronous model itself can waste power slack — a short session
+// grouped with a long one idles its power share for the rest of the
+// group — so the total can exceed the instance lower bound
+//   lower_bound_tcks = max(longest session, ceil(sum(p_i * t_i) / budget))
+// by up to 2x in adversarial instances (the classic bound for
+// first-fit-decreasing resource packing; no better guarantee is claimed).
+// Every TestSchedule records the bound so callers can see the achieved
+// gap on their instance; bench_soc records it across budgets on the
+// generated 8-core chip, where the greedy typically lands within a few
+// percent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/architect.hpp"
+#include "core/session.hpp"
+
+namespace lbist::soc {
+
+/// One core's session as the scheduler sees it: a duration in TCKs and
+/// a peak power demand (soc::PowerEstimate::peak() in toggles/cycle).
+struct CoreSession {
+  size_t core_index = 0;
+  std::string name;
+  uint64_t test_tcks = 0;
+  double power = 0.0;
+};
+
+/// One concurrent group of the schedule. `members` index into
+/// TestSchedule::sessions, in descending-duration placement order.
+struct ScheduleGroup {
+  std::vector<size_t> members;
+  uint64_t start_tck = 0;
+  uint64_t duration_tcks = 0;  // longest member session
+  double power = 0.0;          // sum of member peak powers
+};
+
+/// A deterministic chip-level test schedule with its TCK accounting.
+struct TestSchedule {
+  double power_budget = 0.0;
+  std::vector<CoreSession> sessions;  // as passed to build(), input order
+  std::vector<ScheduleGroup> groups;  // execution order
+
+  uint64_t total_tcks = 0;        // sum of group durations
+  uint64_t serial_tcks = 0;       // one-core-at-a-time baseline
+  uint64_t lower_bound_tcks = 0;  // see file comment
+
+  /// Highest group power (always <= power_budget).
+  [[nodiscard]] double peakPower() const;
+  /// Serial-vs-scheduled test-time speedup.
+  [[nodiscard]] double speedup() const {
+    return total_tcks == 0 ? 0.0
+                           : static_cast<double>(serial_tcks) /
+                                 static_cast<double>(total_tcks);
+  }
+  /// Achieved total over the instance lower bound (>= 1.0).
+  [[nodiscard]] double boundRatio() const {
+    return lower_bound_tcks == 0
+               ? 0.0
+               : static_cast<double>(total_tcks) /
+                     static_cast<double>(lower_bound_tcks);
+  }
+};
+
+/// Largest single-session power of `sessions` — the smallest budget any
+/// schedule over them can be built with.
+[[nodiscard]] double peakSessionPower(std::span<const CoreSession> sessions);
+
+/// Sum of session powers — the budget at which one group holds all.
+[[nodiscard]] double totalSessionPower(std::span<const CoreSession> sessions);
+
+/// Session length of one core's BIST run in TCK-equivalent cycles:
+/// per-pattern shift windows, the final-unload window, and every
+/// launch/capture pulse — matching what BistSession's controller counts
+/// (SessionResult::shift_pulses + capture_pulses) plus the final unload.
+[[nodiscard]] uint64_t sessionTcks(const core::BistReadyCore& core,
+                                   const core::SessionOptions& opts);
+
+/// Greedy longest-session-first power-budget packer (see file comment).
+class Scheduler {
+ public:
+  /// `power_budget` is the chip-wide activity ceiling, in the same
+  /// toggles/cycle unit as CoreSession::power.
+  explicit Scheduler(double power_budget) : budget_(power_budget) {}
+
+  /// Builds the schedule. Throws std::invalid_argument when any single
+  /// session's power already exceeds the budget (unschedulable).
+  [[nodiscard]] TestSchedule build(std::vector<CoreSession> sessions) const;
+
+ private:
+  double budget_;
+};
+
+}  // namespace lbist::soc
