@@ -45,16 +45,22 @@ inline void writeJsonEscaped(std::FILE* f, const char* s) {
 }
 
 /// Writes the `"meta": {...},` object (with trailing comma) into an
-/// already-open JSON object.
-inline void writeMetaJson(std::FILE* f) {
+/// already-open JSON object. `extra_json`, when non-null, is inserted
+/// verbatim as additional members (no leading/trailing comma) — benches
+/// use it to record their swept configuration axes (lane widths, thread
+/// counts) next to the host facts, so delta tooling can see at a glance
+/// which rows a file is expected to contain.
+inline void writeMetaJson(std::FILE* f, const char* extra_json = nullptr) {
   std::fprintf(f, "  \"meta\": {\"git_sha\": \"");
   writeJsonEscaped(f, LBIST_GIT_SHA);
   std::fprintf(f, "\", \"compiler\": \"");
   writeJsonEscaped(f, LBIST_COMPILER_NAME " " __VERSION__);
   std::fprintf(f, "\", \"flags\": \"");
   writeJsonEscaped(f, LBIST_CXX_FLAGS);
-  std::fprintf(f, "\", \"hardware_concurrency\": %u},\n",
+  std::fprintf(f, "\", \"hardware_concurrency\": %u",
                std::thread::hardware_concurrency());
+  if (extra_json != nullptr) std::fprintf(f, ", %s", extra_json);
+  std::fprintf(f, "},\n");
 }
 
 }  // namespace lbist::bench

@@ -16,11 +16,21 @@ import sys
 
 # bench field -> (row key fields, metric, higher_is_better)
 BENCH_SPECS = {
-    "fsim_thread_sweep": (("circuit", "threads"), "patterns_per_sec", True),
+    "fsim_thread_sweep": (
+        ("circuit", "threads", "lane_words"),
+        "patterns_per_sec",
+        True,
+    ),
     "atpg_topup": (("circuit", "engine", "threads"), "cubes_per_sec", True),
     "diag_window_sweep": (("circuit", "window"), "total_seconds", False),
     "soc_campaign": (("budget", "threads"), "wall_seconds", False),
 }
+
+# Key fields added after a bench's first committed JSON, with the value
+# the older files implicitly ran at. Rows are only compared like-for-like
+# on the full key; a pre-lane-fabric file (no "lane_words") is exactly a
+# lane_words=1 configuration, not a missing row.
+KEY_DEFAULTS = {"lane_words": 1}
 
 
 def rows(doc, key_fields, metric):
@@ -29,9 +39,12 @@ def rows(doc, key_fields, metric):
         if metric not in r:
             continue
         try:
-            out[tuple(r[k] for k in key_fields)] = r
+            key = tuple(
+                r[k] if k in r else KEY_DEFAULTS[k] for k in key_fields
+            )
         except KeyError:
-            pass
+            continue
+        out[key] = r
     return out
 
 

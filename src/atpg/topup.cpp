@@ -62,10 +62,14 @@ class RowRecorder final : public fault::DetectionObserver {
       : rows_(&rows), fault_to_row_(&fault_to_row) {}
 
   void onDetectionMask(size_t fault_index, int64_t pattern_base,
-                       uint64_t detect_mask) override {
+                       sim::LaneMask detect_mask) override {
     const uint32_t r = (*fault_to_row_)[fault_index];
     if (r == kNoRow) return;
-    (*rows_)[r][static_cast<size_t>(pattern_base) / 64] |= detect_mask;
+    std::vector<uint64_t>& row = (*rows_)[r];
+    const size_t base = static_cast<size_t>(pattern_base) / 64;
+    const size_t n =
+        std::min(detect_mask.words(), row.size() > base ? row.size() - base : 0);
+    for (size_t wi = 0; wi < n; ++wi) row[base + wi] |= detect_mask.word(wi);
   }
 
   static constexpr uint32_t kNoRow = 0xffffffffu;

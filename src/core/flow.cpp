@@ -35,14 +35,15 @@ std::vector<GateId> makeAssignable(const BistReadyCore& core) {
 
 }  // namespace
 
-CoverageFlow::CoverageFlow(const BistReadyCore& core, bool transition)
+CoverageFlow::CoverageFlow(const BistReadyCore& core, bool transition,
+                           const fault::FsimOptions& fsim_opts)
     : core_(&core),
       transition_(transition),
       faults_(makeFaults(core.netlist, transition)),
       observed_(fault::defaultObservationSet(core.netlist)),
       assignable_(makeAssignable(core)),
-      fsim_(core.netlist, faults_, observed_),
-      source_(core) {
+      fsim_(core.netlist, faults_, observed_, fsim_opts),
+      source_(core, fsim_opts.lane_words) {
   fsim_.markUnobservable();
 }
 
@@ -50,15 +51,27 @@ RandomPhaseResult CoverageFlow::runRandomPhase(int64_t n_patterns) {
   const auto t0 = std::chrono::steady_clock::now();
   RandomPhaseResult res;
   res.patterns = n_patterns;
-  for (int64_t base = 0; base < n_patterns; base += 64) {
-    const int lanes =
-        static_cast<int>(std::min<int64_t>(64, n_patterns - base));
-    source_.loadBlock(fsim_, lanes);
+  const int64_t block_lanes = static_cast<int64_t>(fsim_.lanes());
+  const int64_t batch =
+      std::max<int64_t>(1, fsim_.options().batch_blocks);
+  for (int64_t base = 0; base < n_patterns;) {
+    const int64_t blocks_left =
+        (n_patterns - base + block_lanes - 1) / block_lanes;
+    const size_t n_blocks =
+        static_cast<size_t>(std::min(batch, blocks_left));
+    const auto load = [&](size_t b, sim::Simulator2v& sim) -> int {
+      const int64_t blk_base = base + static_cast<int64_t>(b) * block_lanes;
+      const int lanes = static_cast<int>(
+          std::min<int64_t>(block_lanes, n_patterns - blk_base));
+      source_.loadBlock(sim, lanes);
+      return lanes;
+    };
     if (transition_) {
-      fsim_.simulateBlockTransition(base, lanes);
+      fsim_.simulateBatchTransition(base, n_blocks, load);
     } else {
-      fsim_.simulateBlockStuckAt(base, lanes);
+      fsim_.simulateBatchStuckAt(base, n_blocks, load);
     }
+    base += static_cast<int64_t>(n_blocks) * block_lanes;
   }
   res.coverage = faults_.coverage();
   res.wall_seconds =

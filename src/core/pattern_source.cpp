@@ -1,11 +1,19 @@
 #include "core/pattern_source.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/lane.hpp"
 
 namespace lbist::core {
 
-PrpgPatternSource::PrpgPatternSource(const BistReadyCore& core)
-    : core_(&core) {
+PrpgPatternSource::PrpgPatternSource(const BistReadyCore& core,
+                                     size_t lane_words)
+    : core_(&core), lane_words_(lane_words) {
+  if (!sim::isSupportedLaneWords(lane_words)) {
+    throw std::invalid_argument("PrpgPatternSource: unsupported lane_words");
+  }
   for (const DomainBist& db : core.domain_bist) {
     prpgs_.emplace_back(db.prpg);
     slice_.emplace_back(db.chain_indices.size(), 0);
@@ -14,15 +22,18 @@ PrpgPatternSource::PrpgPatternSource(const BistReadyCore& core)
   if (core.scan.test_mode_port.valid()) {
     fixed_.emplace_back(core.scan.test_mode_port, true);
   }
-  cell_words_.assign(core.netlist.numGates(), 0);
+  cell_words_.assign(core.netlist.numGates() * lane_words_, 0);
 }
 
 void PrpgPatternSource::computeCellWords(int lanes) {
+  assert(lanes >= 0 && static_cast<size_t>(lanes) <= this->lanes());
   const int shift_cycles = core_->shiftCyclesPerPattern();
 
   std::fill(cell_words_.begin(), cell_words_.end(), 0);
 
   for (int lane = 0; lane < lanes; ++lane) {
+    const size_t word = static_cast<size_t>(lane) / 64;
+    const uint64_t bit = uint64_t{1} << (lane % 64);
     for (size_t i = 0; i < prpgs_.size(); ++i) {
       const DomainBist& db = core_->domain_bist[i];
       for (int k = 0; k < shift_cycles; ++k) {
@@ -35,8 +46,9 @@ void PrpgPatternSource::computeCellWords(int lanes) {
               core_->scan.chains[db.chain_indices[c]];
           if (cell_pos < static_cast<int>(chain.cells.size()) &&
               slice_[i][c] != 0) {
-            cell_words_[chain.cells[static_cast<size_t>(cell_pos)].v] |=
-                uint64_t{1} << lane;
+            cell_words_[chain.cells[static_cast<size_t>(cell_pos)].v *
+                            lane_words_ +
+                        word] |= bit;
           }
         }
       }
@@ -47,15 +59,19 @@ void PrpgPatternSource::computeCellWords(int lanes) {
 namespace {
 
 /// One source-application path for every sink exposing
-/// setSource(GateId, uint64_t) — the overloads below must never drift.
+/// setSource(GateId, uint64_t) + setSourceRow(GateId, const uint64_t*)
+/// — the overloads below must never drift. Constant-across-lanes pins
+/// (PIs, fixed control) broadcast; scan cells copy their stride-W rows.
 template <typename Sink>
-void applySources(const BistReadyCore& core,
+void applySources(const BistReadyCore& core, size_t lane_words,
                   const std::vector<uint64_t>& cell_words,
                   const std::vector<std::pair<GateId, bool>>& fixed,
                   Sink& sink) {
   const Netlist& nl = core.netlist;
   for (GateId pi : nl.inputs()) sink.setSource(pi, 0);
-  for (GateId dff : nl.dffs()) sink.setSource(dff, cell_words[dff.v]);
+  for (GateId dff : nl.dffs()) {
+    sink.setSourceRow(dff, cell_words.data() + size_t{dff.v} * lane_words);
+  }
   for (const auto& [id, v] : fixed) {
     sink.setSource(id, v ? ~uint64_t{0} : 0);
   }
@@ -64,13 +80,17 @@ void applySources(const BistReadyCore& core,
 }  // namespace
 
 void PrpgPatternSource::loadBlock(fault::FaultSimulator& fsim, int lanes) {
+  assert(fsim.laneWords() == lane_words_ &&
+         "pattern source / simulator lane width mismatch");
   computeCellWords(lanes);
-  applySources(*core_, cell_words_, fixed_, fsim);
+  applySources(*core_, lane_words_, cell_words_, fixed_, fsim);
 }
 
 void PrpgPatternSource::loadBlock(sim::Simulator2v& sim, int lanes) {
+  assert(sim.laneWords() == lane_words_ &&
+         "pattern source / simulator lane width mismatch");
   computeCellWords(lanes);
-  applySources(*core_, cell_words_, fixed_, sim);
+  applySources(*core_, lane_words_, cell_words_, fixed_, sim);
 }
 
 }  // namespace lbist::core

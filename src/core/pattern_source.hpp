@@ -1,11 +1,14 @@
 // PRPG-exact scan-state source for block fault simulation.
 //
-// Computes, for 64-pattern blocks, the per-scan-cell stimulus words the
-// real per-domain PRPG + phase-shifter hardware shifts in over the shift
-// schedule, and loads them into a FaultSimulator. Shared by the coverage
-// flow (Table 1 accounting) and the diagnosis dictionary builder
-// (src/diag) so both agree bit-for-bit with the cycle-accurate
-// BistSession on what "pattern p" is.
+// Computes, for lane-block-sized pattern groups (64 * laneWords()
+// patterns), the per-scan-cell stimulus rows the real per-domain PRPG +
+// phase-shifter hardware shifts in over the shift schedule, and loads
+// them into a FaultSimulator. Shared by the coverage flow (Table 1
+// accounting) and the diagnosis dictionary builder (src/diag) so both
+// agree bit-for-bit with the cycle-accurate BistSession on what
+// "pattern p" is. Widening the lane block never changes which stimulus
+// pattern p receives — the PRPG stream is consumed strictly in pattern
+// order regardless of how many lanes each block packs.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +23,16 @@ namespace lbist::core {
 
 class PrpgPatternSource {
  public:
-  explicit PrpgPatternSource(const BistReadyCore& core);
+  /// Binds `core` and sizes the per-cell stimulus rows for blocks of
+  /// `lane_words` 64-bit words (one of sim::isSupportedLaneWords();
+  /// must match the sink simulator's width).
+  explicit PrpgPatternSource(const BistReadyCore& core,
+                             size_t lane_words = 1);
+
+  /// Lane-block width in 64-bit words.
+  [[nodiscard]] size_t laneWords() const { return lane_words_; }
+  /// Maximum patterns per loadBlock call (64 * laneWords()).
+  [[nodiscard]] size_t lanes() const { return lane_words_ * 64; }
 
   /// Loads sources for the next `lanes` patterns into `fsim`: PIs held 0,
   /// SE low / test-mode high, every scan cell set to the state the PRPGs
@@ -44,9 +56,12 @@ class PrpgPatternSource {
   void computeCellWords(int lanes);
 
   const BistReadyCore* core_;
+  size_t lane_words_;
   std::vector<bist::Prpg> prpgs_;
   std::vector<std::pair<GateId, bool>> fixed_;
-  std::vector<uint64_t> cell_words_;  // per gate id, current block
+  // Per-gate stimulus rows for the current block, gate-major with
+  // stride laneWords(): gate g's lanes at [g*W, g*W + W).
+  std::vector<uint64_t> cell_words_;
   std::vector<std::vector<uint8_t>> slice_;
 };
 

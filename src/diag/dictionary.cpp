@@ -22,6 +22,15 @@ void ResponseDictionary::recordMask(size_t fault, int64_t pattern_base,
         static_cast<size_t>(pattern_base / 64)] |= mask;
 }
 
+void ResponseDictionary::recordMask(size_t fault, int64_t pattern_base,
+                                    sim::LaneMask mask) {
+  const size_t base = static_cast<size_t>(pattern_base / 64);
+  uint64_t* row = bits_.data() + fault * words_per_fault_;
+  const size_t n = std::min(
+      mask.words(), words_per_fault_ > base ? words_per_fault_ - base : 0);
+  for (size_t wi = 0; wi < n; ++wi) row[base + wi] |= mask.word(wi);
+}
+
 bool ResponseDictionary::detects(size_t fault, int64_t pattern) const {
   const uint64_t word = bits_[fault * words_per_fault_ +
                               static_cast<size_t>(pattern / 64)];
@@ -75,7 +84,7 @@ class DictionaryRecorder final : public fault::DetectionObserver {
  public:
   explicit DictionaryRecorder(ResponseDictionary& dict) : dict_(&dict) {}
   void onDetectionMask(size_t fault_index, int64_t pattern_base,
-                       uint64_t detect_mask) override {
+                       sim::LaneMask detect_mask) override {
     dict_->recordMask(fault_index, pattern_base, detect_mask);
   }
 
@@ -90,7 +99,8 @@ ResponseDictionary buildResponseDictionary(const core::BistReadyCore& core,
                                            int64_t n_patterns,
                                            uint32_t threads, bool transition,
                                            DictionaryBuildStats* stats,
-                                           uint32_t min_faults_per_thread) {
+                                           uint32_t min_faults_per_thread,
+                                           uint32_t lane_words) {
   const auto t0 = std::chrono::steady_clock::now();
   ResponseDictionary dict(faults.size(), n_patterns);
   DictionaryRecorder recorder(dict);
@@ -99,6 +109,7 @@ ResponseDictionary buildResponseDictionary(const core::BistReadyCore& core,
   opts.threads = threads;
   opts.min_faults_per_thread = min_faults_per_thread;
   opts.drop_detected = false;  // complete rows, not first detections
+  opts.lane_words = lane_words;
   fault::FaultSimulator fsim(core.netlist, faults,
                              misrObservationSet(core.netlist), opts);
   fsim.markUnobservable();
@@ -113,10 +124,11 @@ ResponseDictionary buildResponseDictionary(const core::BistReadyCore& core,
     stages[core.netlist.gate(dff).domain.v].push_back(dff);
   }
 
-  core::PrpgPatternSource source(core);
-  for (int64_t base = 0; base < n_patterns; base += 64) {
+  core::PrpgPatternSource source(core, lane_words);
+  const int64_t block_lanes = static_cast<int64_t>(fsim.lanes());
+  for (int64_t base = 0; base < n_patterns; base += block_lanes) {
     const int lanes =
-        static_cast<int>(std::min<int64_t>(64, n_patterns - base));
+        static_cast<int>(std::min<int64_t>(block_lanes, n_patterns - base));
     source.loadBlock(fsim, lanes);
     if (transition) {
       fsim.simulateBlockTransition(base, lanes);

@@ -16,6 +16,7 @@
 
 #include "core/architect.hpp"
 #include "fault/fault.hpp"
+#include "sim/lane.hpp"
 
 namespace lbist::diag {
 
@@ -29,6 +30,11 @@ class ResponseDictionary {
   /// ORs a 64-lane detection mask into `fault`'s row (lane l = pattern
   /// pattern_base + l).
   void recordMask(size_t fault, int64_t pattern_base, uint64_t mask);
+
+  /// ORs a multi-word lane-block detection mask into `fault`'s row
+  /// (lane l = pattern pattern_base + l); words past the row end are
+  /// clamped, so a partial final block records safely.
+  void recordMask(size_t fault, int64_t pattern_base, sim::LaneMask mask);
 
   [[nodiscard]] bool detects(size_t fault, int64_t pattern) const;
 
@@ -71,15 +77,18 @@ struct DictionaryBuildStats {
 [[nodiscard]] std::vector<GateId> misrObservationSet(const Netlist& nl);
 
 /// Builds the full dictionary for `faults` over `n_patterns` PRPG-exact
-/// patterns with `threads` fault-simulation workers. Dropping is
-/// disabled so every row is complete; the recording stream comes from
-/// the simulator's serial merge, so the result is bit-identical for
-/// every thread count. Faults with no structural path to the MISR
-/// observation set are marked untestable in `faults` and left empty.
+/// patterns with `threads` fault-simulation workers, simulating
+/// `lane_words`-wide lane blocks (64 * lane_words patterns per pass).
+/// Dropping is disabled so every row is complete; the recording stream
+/// comes from the simulator's serial merge, so the result is
+/// bit-identical for every thread count AND every lane width (rows are
+/// full per-pattern bitmaps — block-boundary placement cannot show).
+/// Faults with no structural path to the MISR observation set are
+/// marked untestable in `faults` and left empty.
 [[nodiscard]] ResponseDictionary buildResponseDictionary(
     const core::BistReadyCore& core, fault::FaultList& faults,
     int64_t n_patterns, uint32_t threads = 1, bool transition = false,
     DictionaryBuildStats* stats = nullptr,
-    uint32_t min_faults_per_thread = 256);
+    uint32_t min_faults_per_thread = 256, uint32_t lane_words = 1);
 
 }  // namespace lbist::diag

@@ -3,9 +3,25 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <stdexcept>
 #include <thread>
 
 namespace lbist::fault {
+
+using sim::LaneWord;
+
+void validateFsimOptions(const FsimOptions& opts) {
+  if (!sim::isSupportedLaneWords(opts.lane_words)) {
+    throw std::invalid_argument(
+        "FsimOptions::lane_words must be 1, 4, or 8");
+  }
+  if (opts.n_detect == 0) {
+    throw std::invalid_argument("FsimOptions::n_detect must be >= 1");
+  }
+  if (opts.batch_blocks == 0) {
+    throw std::invalid_argument("FsimOptions::batch_blocks must be >= 1");
+  }
+}
 
 std::vector<GateId> defaultObservationSet(const Netlist& nl) {
   std::vector<GateId> obs;
@@ -28,12 +44,26 @@ std::vector<GateId> fullObservationSet(const Netlist& nl) {
   return obs;
 }
 
+// Width-specific worker scratch: the fault-effect overlay cells. Value
+// and stamps share one cell so an overlay read touches one contiguous
+// spot regardless of W.
+template <size_t W>
+struct FaultSimulator::ScratchW final : FaultSimulator::ScratchBase {
+  struct Cell {
+    LaneWord<W> fval;
+    uint32_t stamp = 0;   // fval valid when == serial
+    uint32_t queued = 0;  // gate scheduled when == serial
+  };
+  std::vector<Cell> ov;
+};
+
 FaultSimulator::FaultSimulator(const Netlist& nl, FaultList& faults,
                                std::vector<GateId> observed, FsimOptions opts)
     : nl_(&nl),
       faults_(&faults),
       opts_(opts),
-      good_(nl),
+      lane_words_((validateFsimOptions(opts), opts.lane_words)),
+      good_(nl, opts.lane_words),
       compiled_(&good_.compiled()),
       observed_(std::move(observed)) {
   is_observed_.assign(nl.numGates(), 0);
@@ -53,7 +83,7 @@ FaultSimulator::FaultSimulator(const Netlist& nl, FaultList& faults,
   const NetUses uses = buildNetUses(nl);
   single_use_ = uses.gate;
   single_slot_ = uses.slot;
-  obs_out_.assign(n_gates, 0);
+  obs_out_.assign(n_gates * lane_words_, 0);
   for (uint32_t g = 0; g < n_gates; ++g) {
     const bool stem =
         is_observed_[g] != 0 || uses.count[g] != 1 ||
@@ -68,6 +98,8 @@ FaultSimulator::FaultSimulator(const Netlist& nl, FaultList& faults,
 
   refreshActiveSet();
 }
+
+FaultSimulator::~FaultSimulator() = default;
 
 void FaultSimulator::prepareComputeSet() {
   constexpr uint32_t kNoSlot = 0xffffffffu;
@@ -109,20 +141,21 @@ void FaultSimulator::setThreads(uint32_t threads) {
   opts_.threads = threads;
 }
 
-unsigned FaultSimulator::resolveThreads(size_t n_active) const {
+unsigned FaultSimulator::resolveThreads(size_t n_work_units) const {
   unsigned t = opts_.threads != 0
                    ? opts_.threads
                    : std::max(1u, std::thread::hardware_concurrency());
   const size_t workload_cap = std::max<size_t>(
-      1, n_active / std::max<uint32_t>(1, opts_.min_faults_per_thread));
+      1, n_work_units / std::max<uint32_t>(1, opts_.min_faults_per_thread));
   return static_cast<unsigned>(
       std::min<size_t>(t, workload_cap));
 }
 
-void FaultSimulator::ensureWorkers(unsigned threads) {
+template <size_t W>
+void FaultSimulator::ensureWorkersW(unsigned threads) {
   while (scratch_.size() < threads) {
-    auto sc = std::make_unique<Scratch>();
-    sc->ov.assign(nl_->numGates(), OverlayCell{});
+    auto sc = std::make_unique<ScratchW<W>>();
+    sc->ov.assign(nl_->numGates(), typename ScratchW<W>::Cell{});
     sc->level_queue.resize(compiled_->maxLevel() + 1);
     sc->level_bits.assign(sc->level_queue.size() / 64 + 1, 0);
     scratch_.push_back(std::move(sc));
@@ -132,48 +165,55 @@ void FaultSimulator::ensureWorkers(unsigned threads) {
   }
 }
 
-uint64_t FaultSimulator::evalPinForced(
-    GateId id, uint8_t pin, uint64_t forced,
-    std::span<const uint64_t> good_vals) const {
+template <size_t W>
+LaneWord<W> FaultSimulator::evalPinForcedW(GateId id, uint8_t pin,
+                                           const LaneWord<W>& forced,
+                                           const uint64_t* good_vals) const {
   const uint32_t op = compiled_->opOf(id);
   assert(op != sim::CompiledNetlist::kNoOp &&
          "pin-forced eval on non-combinational gate");
-  return compiled_->evalOp(op, [&](size_t slot, uint32_t f) -> uint64_t {
-    return slot == pin ? forced : good_vals[f];
-  });
+  return compiled_->evalOpT<LaneWord<W>>(
+      op, [&](size_t slot, uint32_t f) -> LaneWord<W> {
+        return slot == pin ? forced
+                           : LaneWord<W>::load(good_vals + size_t{f} * W);
+      });
 }
 
-uint64_t FaultSimulator::evalPinForcedOverlay(
-    const Scratch& sc, GateId id, uint8_t pin, uint64_t forced,
-    std::span<const uint64_t> good_vals) const {
+template <size_t W>
+LaneWord<W> FaultSimulator::evalPinForcedOverlayW(
+    const ScratchW<W>& sc, GateId id, uint8_t pin, const LaneWord<W>& forced,
+    const uint64_t* good_vals) const {
   const uint32_t op = compiled_->opOf(id);
   assert(op != sim::CompiledNetlist::kNoOp &&
          "pin-forced eval on non-combinational gate");
-  return compiled_->evalOp(op, [&](size_t slot, uint32_t f) -> uint64_t {
-    if (slot == pin) return forced;
-    const OverlayCell& c = sc.ov[f];
-    return c.stamp == sc.serial ? c.fval : good_vals[f];
-  });
+  return compiled_->evalOpT<LaneWord<W>>(
+      op, [&](size_t slot, uint32_t f) -> LaneWord<W> {
+        if (slot == pin) return forced;
+        const auto& c = sc.ov[f];
+        return c.stamp == sc.serial
+                   ? c.fval
+                   : LaneWord<W>::load(good_vals + size_t{f} * W);
+      });
 }
 
-uint64_t FaultSimulator::propagateSeeds(Scratch& sc,
-                                        std::span<const Seed> seeds,
-                                        std::span<const uint64_t> good_vals,
-                                        const std::vector<uint8_t>& observed,
-                                        const Fault* forced,
-                                        bool record_touched,
-                                        uint64_t early_exit_mask) const {
+template <size_t W>
+LaneWord<W> FaultSimulator::propagateSeedsW(
+    ScratchW<W>& sc, std::span<const SeedW<W>> seeds,
+    const uint64_t* good_vals, const std::vector<uint8_t>& observed,
+    const Fault* forced, bool record_touched,
+    const LaneWord<W>& early_exit_mask) const {
+  using Cell = typename ScratchW<W>::Cell;
   const sim::CompiledNetlist& cn = *compiled_;
   const uint32_t serial = ++sc.serial;
-  OverlayCell* const ov = sc.ov.data();
-  const uint64_t* const good = good_vals.data();
+  Cell* const ov = sc.ov.data();
+  const uint64_t* const good = good_vals;
   uint64_t* const lbits = sc.level_bits.data();
   if (record_touched) sc.touched.clear();
-  uint64_t detect = 0;
+  LaneWord<W> detect;
 
   auto schedule_fanouts = [&](uint32_t g) {
     for (const sim::CompiledNetlist::FanoutEntry& e : cn.combFanout(g)) {
-      OverlayCell& c = ov[e.gate];
+      Cell& c = ov[e.gate];
       if (c.queued == serial) continue;
       c.queued = serial;
       sc.level_queue[e.level].push_back(e.gate);
@@ -181,20 +221,20 @@ uint64_t FaultSimulator::propagateSeeds(Scratch& sc,
     }
   };
 
-  for (const Seed& s : seeds) {
-    if (s.diff == 0) continue;
-    OverlayCell& c = ov[s.gate.v];
-    c.fval = good[s.gate.v] ^ s.diff;
+  for (const SeedW<W>& s : seeds) {
+    if (!s.diff.any()) continue;
+    Cell& c = ov[s.gate.v];
+    c.fval = LaneWord<W>::load(good + size_t{s.gate.v} * W) ^ s.diff;
     c.stamp = serial;
     if (record_touched) sc.touched.push_back(s.gate);
     if (observed[s.gate.v] != 0) detect |= s.diff;
     schedule_fanouts(s.gate.v);
   }
 
-  const uint64_t forced_word =
+  const LaneWord<W> forced_word =
       forced != nullptr && forced->type == FaultType::kStuckAt1
-          ? ~uint64_t{0}
-          : uint64_t{0};
+          ? LaneWord<W>::ones()
+          : LaneWord<W>{};
   const uint32_t forced_gate =
       forced != nullptr ? forced->gate.v : sim::CompiledNetlist::kNoOp;
 
@@ -211,7 +251,8 @@ uint64_t FaultSimulator::propagateSeeds(Scratch& sc,
     }
   };
 
-  if (early_exit_mask != 0 && (detect & early_exit_mask) == early_exit_mask) {
+  const bool early = early_exit_mask.any();
+  if (early && detect.covers(early_exit_mask)) {
     // Every lane already detects at the seeds.
     clear_schedule(0);
     return detect;
@@ -229,30 +270,32 @@ uint64_t FaultSimulator::propagateSeeds(Scratch& sc,
       auto& bucket = sc.level_queue[l];
       for (size_t i = 0; i < bucket.size(); ++i) {
         const uint32_t g = bucket[i];
-        uint64_t newval;
+        LaneWord<W> newval;
         if (g != forced_gate) [[likely]] {
-          newval = cn.evalOp(cn.opOf(GateId{g}),
-                             [&](size_t, uint32_t f) -> uint64_t {
-                               const OverlayCell& c = ov[f];
-                               return c.stamp == serial ? c.fval : good[f];
-                             });
+          newval = cn.evalOpT<LaneWord<W>>(
+              cn.opOf(GateId{g}), [&](size_t, uint32_t f) -> LaneWord<W> {
+                const Cell& c = ov[f];
+                return c.stamp == serial
+                           ? c.fval
+                           : LaneWord<W>::load(good + size_t{f} * W);
+              });
         } else {
           // A seed's cone feeds the fault site: keep the fault applied.
           newval = forced->pin == kOutputPin
                        ? forced_word
-                       : evalPinForcedOverlay(sc, GateId{g}, forced->pin,
-                                              forced_word, good_vals);
+                       : evalPinForcedOverlayW<W>(sc, GateId{g}, forced->pin,
+                                                  forced_word, good_vals);
         }
-        OverlayCell& c = ov[g];
+        Cell& c = ov[g];
         c.fval = newval;
         c.stamp = serial;
-        const uint64_t d = newval ^ good[g];
-        if (d == 0) continue;
+        const LaneWord<W> d =
+            newval ^ LaneWord<W>::load(good + size_t{g} * W);
+        if (!d.any()) continue;
         if (record_touched) sc.touched.push_back(GateId{g});
         if (observed[g] != 0) {
           detect |= d;
-          if (early_exit_mask != 0 &&
-              (detect & early_exit_mask) == early_exit_mask) {
+          if (early && detect.covers(early_exit_mask)) {
             // The mask is saturated: nothing downstream can change the
             // result. Clear the outstanding schedule and stop.
             bucket.clear();
@@ -268,39 +311,48 @@ uint64_t FaultSimulator::propagateSeeds(Scratch& sc,
   return detect;
 }
 
-FaultSimulator::InjectResult FaultSimulator::injectStuckAt(
-    const Fault& f, uint64_t lane_mask,
-    std::span<const uint64_t> good_vals) const {
-  InjectResult res;
+template <size_t W>
+FaultSimulator::InjectResultW<W> FaultSimulator::injectStuckAtW(
+    const Fault& f, const LaneWord<W>& lane_mask,
+    const uint64_t* good_vals) const {
+  InjectResultW<W> res;
   const Gate& g = nl_->gate(f.gate);
-  const uint64_t forced =
-      f.type == FaultType::kStuckAt1 ? ~uint64_t{0} : uint64_t{0};
+  const LaneWord<W> forced = f.type == FaultType::kStuckAt1
+                                 ? LaneWord<W>::ones()
+                                 : LaneWord<W>{};
   if (f.pin == kOutputPin) {
-    res.diff = (good_vals[f.gate.v] ^ forced) & lane_mask;
+    res.diff = (LaneWord<W>::load(good_vals + size_t{f.gate.v} * W) ^
+                forced) &
+               lane_mask;
     return res;
   }
   if (g.kind == CellKind::kDff) {
     // Fault between the D net and the flip-flop: the captured value is
     // wrong wherever the net value differs from the forced value; it is
     // visible iff the cell is observed by scan unload.
-    const uint64_t pin_good = good_vals[g.fanins[0].v];
+    const LaneWord<W> pin_good =
+        LaneWord<W>::load(good_vals + size_t{g.fanins[0].v} * W);
     res.direct_detect = (g.flags & kFlagScanCell) != 0;
     res.direct_mask = (pin_good ^ forced) & lane_mask;
     return res;
   }
-  const uint64_t faulty_out = evalPinForced(f.gate, f.pin, forced, good_vals);
-  res.diff = (faulty_out ^ good_vals[f.gate.v]) & lane_mask;
+  const LaneWord<W> faulty_out =
+      evalPinForcedW<W>(f.gate, f.pin, forced, good_vals);
+  res.diff = (faulty_out ^
+              LaneWord<W>::load(good_vals + size_t{f.gate.v} * W)) &
+             lane_mask;
   return res;
 }
 
-FaultSimulator::InjectResult FaultSimulator::injectTransition(
-    const Fault& f, uint64_t lane_mask) const {
-  InjectResult res;
+template <size_t W>
+FaultSimulator::InjectResultW<W> FaultSimulator::injectTransitionW(
+    const Fault& f, const LaneWord<W>& lane_mask, const uint64_t* good_vals,
+    const uint64_t* launch_vals) const {
+  InjectResultW<W> res;
   const Gate& g = nl_->gate(f.gate);
-  const auto good_vals = good_.rawValues();
   auto activation = [&](GateId net) {
-    const uint64_t v1 = launch_values_[net.v];
-    const uint64_t v2 = good_vals[net.v];
+    const LaneWord<W> v1 = LaneWord<W>::load(launch_vals + size_t{net.v} * W);
+    const LaneWord<W> v2 = LaneWord<W>::load(good_vals + size_t{net.v} * W);
     return (f.type == FaultType::kSlowToRise ? (~v1 & v2) : (v1 & ~v2)) &
            lane_mask;
   };
@@ -311,73 +363,82 @@ FaultSimulator::InjectResult FaultSimulator::injectTransition(
     return res;
   }
   const GateId src = g.fanins[f.pin];
-  const uint64_t act = activation(src);
+  const LaneWord<W> act = activation(src);
   if (g.kind == CellKind::kDff) {
     res.direct_detect = (g.flags & kFlagScanCell) != 0;
     res.direct_mask = act;
     return res;
   }
-  if (act == 0) return res;
-  const uint64_t held = good_vals[src.v] ^ act;  // launch value where active
-  const uint64_t faulty_out =
-      evalPinForced(f.gate, f.pin, held, good_vals);
-  res.diff = (faulty_out ^ good_vals[f.gate.v]) & lane_mask;
+  if (!act.any()) return res;
+  // Launch value where active.
+  const LaneWord<W> held =
+      LaneWord<W>::load(good_vals + size_t{src.v} * W) ^ act;
+  const LaneWord<W> faulty_out =
+      evalPinForcedW<W>(f.gate, f.pin, held, good_vals);
+  res.diff = (faulty_out ^
+              LaneWord<W>::load(good_vals + size_t{f.gate.v} * W)) &
+             lane_mask;
   return res;
 }
 
-void FaultSimulator::computeObservability(uint64_t lane_mask,
-                                          unsigned n_threads) {
+template <size_t W>
+void FaultSimulator::computeObservabilityW(const LaneWord<W>& lane_mask,
+                                           unsigned n_threads) {
   constexpr uint32_t kStemMark = 0xffffffffu;
-  const auto good_vals = good_.rawValues();
-  const uint64_t* const good = good_vals.data();
+  const uint64_t* const good = good_.rawValues().data();
   const sim::CompiledNetlist& cn = *compiled_;
 
   // Phase A — one full-lane diff propagation per stem. Lane independence
   // of word-parallel evaluation makes the result exact: lane l of the
-  // detect word is precisely "a flip of this stem in lane l reaches the
+  // detect block is precisely "a flip of this stem in lane l reaches the
   // observation set".
   const size_t n_stems = stems_.size();
-  auto stem_range = [&](Scratch& sc, size_t lo, size_t hi) {
+  auto stem_range = [&](ScratchW<W>& sc, size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       const uint32_t s = stems_[i];
-      const Seed seed{GateId{s}, lane_mask};
-      obs_out_[s] =
-          propagateSeeds(sc, {&seed, 1}, good_vals, is_observed_,
+      const SeedW<W> seed{GateId{s}, lane_mask};
+      propagateSeedsW<W>(sc, {&seed, 1}, good, is_observed_,
                          /*forced=*/nullptr, /*record_touched=*/false,
-                         /*early_exit_mask=*/lane_mask);
+                         /*early_exit_mask=*/lane_mask)
+          .store(obs_out_.data() + size_t{s} * W);
     }
   };
   if (n_threads <= 1) {
-    stem_range(*scratch_[0], 0, n_stems);
+    stem_range(static_cast<ScratchW<W>&>(*scratch_[0]), 0, n_stems);
   } else {
     pool_->run(n_threads, [&](unsigned shard) {
       const size_t lo = n_stems * shard / n_threads;
       const size_t hi = n_stems * (shard + 1) / n_threads;
-      stem_range(*scratch_[shard], lo, hi);
+      stem_range(static_cast<ScratchW<W>&>(*scratch_[shard]), lo, hi);
     });
   }
 
   // Phase B — reverse sensitization pass over the fanout-free chains:
   // every non-stem output folds its single consuming gate's pass mask
-  // into the consumer's observability.
+  // into the consumer's observability. Reverse op order is reverse-
+  // topological (the stream is level-major and a chain's consumer sits
+  // at a strictly higher level), which is all this pass needs.
+  auto fold_chain = [&](uint32_t g) {
+    const uint32_t use = single_use_[g];
+    const LaneWord<W> pm =
+        cn.passMaskW<W>(cn.opOf(GateId{use}), single_slot_[g], good);
+    (pm & LaneWord<W>::load(obs_out_.data() + size_t{use} * W))
+        .store(obs_out_.data() + size_t{g} * W);
+  };
   for (size_t opi = cn.numOps(); opi-- > 0;) {
     const uint32_t g = cn.opGate(static_cast<uint32_t>(opi));
-    const uint32_t use = single_use_[g];
-    if (use == kStemMark) continue;
-    obs_out_[g] = cn.passMask(cn.opOf(GateId{use}), single_slot_[g], good) &
-                  obs_out_[use];
+    if (single_use_[g] == kStemMark) continue;
+    fold_chain(g);
   }
-  for (const uint32_t g : nonstem_sources_) {
-    const uint32_t use = single_use_[g];
-    obs_out_[g] = cn.passMask(cn.opOf(GateId{use}), single_slot_[g], good) &
-                  obs_out_[use];
-  }
+  for (const uint32_t g : nonstem_sources_) fold_chain(g);
 }
 
-size_t FaultSimulator::simulateActiveFaults(int64_t pattern_base,
-                                            int n_patterns, bool transition) {
-  const uint64_t lane_mask =
-      n_patterns >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n_patterns) - 1);
+template <size_t W>
+size_t FaultSimulator::simulateActiveFaultsW(int64_t pattern_base,
+                                             int n_patterns,
+                                             bool transition) {
+  const LaneWord<W> lane_mask =
+      LaneWord<W>::firstLanes(static_cast<size_t>(n_patterns));
   if (active_.empty()) return 0;
 
   // With folding, only one member per equivalence class is propagated;
@@ -385,7 +446,7 @@ size_t FaultSimulator::simulateActiveFaults(int64_t pattern_base,
   prepareComputeSet();
   const size_t n_compute = compute_faults_.size();
   const unsigned n_threads = resolveThreads(n_compute);
-  ensureWorkers(n_threads);
+  ensureWorkersW<W>(n_threads);
 
   const bool capture_reach = reach_observer_ != nullptr;
   // With one worker the compute loop already visits faults in merge order,
@@ -394,7 +455,7 @@ size_t FaultSimulator::simulateActiveFaults(int64_t pattern_base,
   // observers disable folding, so compute position == active position.)
   const bool inline_observer = capture_reach && n_threads <= 1;
   const bool buffer_reach = capture_reach && !inline_observer;
-  block_detect_.assign(n_compute, 0);
+  block_detect_.assign(n_compute * W, 0);
   block_had_diff_.assign(n_compute, 0);
   if (buffer_reach) block_touched_.resize(n_compute);
 
@@ -416,20 +477,24 @@ size_t FaultSimulator::simulateActiveFaults(int64_t pattern_base,
   }
   if (capture_reach) use_cpt = false;
 
-  const auto good_vals = good_.rawValues();
+  const uint64_t* const good_vals = good_.rawValues().data();
+  const uint64_t* const launch_vals = launch_values_.data();
   if (use_cpt) {
-    computeObservability(lane_mask, n_threads);
-    // Phase C — per-fault mask assembly from the observability words:
+    computeObservabilityW<W>(lane_mask, n_threads);
+    // Phase C — per-fault mask assembly from the observability rows:
     // inject_diff & obs_of_out(site), plus the direct capture-pin term.
     auto assemble_range = [&](size_t lo, size_t hi) {
       for (size_t ci = lo; ci < hi; ++ci) {
         const Fault& f = faults_->record(compute_faults_[ci]).fault;
-        const InjectResult inj =
-            transition ? injectTransition(f, lane_mask)
-                       : injectStuckAt(f, lane_mask, good_vals);
-        uint64_t detect = inj.direct_detect ? inj.direct_mask : 0;
-        detect |= inj.diff & obs_out_[f.gate.v];
-        block_detect_[ci] = detect;
+        const InjectResultW<W> inj =
+            transition
+                ? injectTransitionW<W>(f, lane_mask, good_vals, launch_vals)
+                : injectStuckAtW<W>(f, lane_mask, good_vals);
+        LaneWord<W> detect = inj.direct_detect ? inj.direct_mask
+                                               : LaneWord<W>{};
+        detect |= inj.diff &
+                  LaneWord<W>::load(obs_out_.data() + size_t{f.gate.v} * W);
+        detect.store(block_detect_.data() + ci * W);
       }
     };
     if (n_threads <= 1) {
@@ -446,22 +511,24 @@ size_t FaultSimulator::simulateActiveFaults(int64_t pattern_base,
   // Phase 1 — compute: workers read the shared good machine and fault
   // records, write only their own scratch and their slice of the
   // position-indexed result buffers. No shared mutable state, no atomics.
-  auto compute_range = [&](Scratch& sc, size_t lo, size_t hi) {
+  auto compute_range = [&](ScratchW<W>& sc, size_t lo, size_t hi) {
     for (size_t ci = lo; ci < hi; ++ci) {
       const Fault& f = faults_->record(compute_faults_[ci]).fault;
-      const InjectResult inj =
-          transition ? injectTransition(f, lane_mask)
-                     : injectStuckAt(f, lane_mask, good_vals);
-      uint64_t detect = inj.direct_detect ? inj.direct_mask : 0;
-      if (inj.diff != 0) {
-        const Seed seed{f.gate, inj.diff};
+      const InjectResultW<W> inj =
+          transition
+              ? injectTransitionW<W>(f, lane_mask, good_vals, launch_vals)
+              : injectStuckAtW<W>(f, lane_mask, good_vals);
+      LaneWord<W> detect = inj.direct_detect ? inj.direct_mask
+                                             : LaneWord<W>{};
+      if (inj.diff.any()) {
+        const SeedW<W> seed{f.gate, inj.diff};
         // Every downstream diff stays within the seed's activated lanes,
         // so the wheel may stop once all of them detect. Reach observers
         // need the complete cone; they disable the shortcut.
-        detect |= propagateSeeds(sc, {&seed, 1}, good_vals, is_observed_,
-                                 /*forced=*/nullptr,
-                                 /*record_touched=*/capture_reach,
-                                 capture_reach ? 0 : inj.diff);
+        detect |= propagateSeedsW<W>(
+            sc, {&seed, 1}, good_vals, is_observed_,
+            /*forced=*/nullptr, /*record_touched=*/capture_reach,
+            capture_reach ? LaneWord<W>{} : inj.diff);
         block_had_diff_[ci] = 1;
         if (inline_observer) {
           reach_observer_->onFaultEffects(compute_faults_[ci], sc.touched);
@@ -469,16 +536,16 @@ size_t FaultSimulator::simulateActiveFaults(int64_t pattern_base,
           block_touched_[ci].assign(sc.touched.begin(), sc.touched.end());
         }
       }
-      block_detect_[ci] = detect;
+      detect.store(block_detect_.data() + ci * W);
     }
   };
   if (n_threads <= 1) {
-    compute_range(*scratch_[0], 0, n_compute);
+    compute_range(static_cast<ScratchW<W>&>(*scratch_[0]), 0, n_compute);
   } else {
     pool_->run(n_threads, [&](unsigned shard) {
       const size_t lo = n_compute * shard / n_threads;
       const size_t hi = n_compute * (shard + 1) / n_threads;
-      compute_range(*scratch_[shard], lo, hi);
+      compute_range(static_cast<ScratchW<W>&>(*scratch_[shard]), lo, hi);
     });
   }
 
@@ -490,7 +557,9 @@ size_t FaultSimulator::mergeBlock(int64_t pattern_base, bool buffer_reach) {
   // bookkeeping, observer callbacks, and n-detect dropping are
   // therefore identical for every thread count and shard layout — and,
   // because class members corrupt the circuit identically, for folding
-  // on or off (merge_slot_ hands every member its class's mask).
+  // on or off (merge_slot_ hands every member its class's mask). Width-
+  // agnostic: rows of block_detect_ are lane_words_ words wide.
+  const size_t w = lane_words_;
   const size_t n_active = active_.size();
   size_t newly_detected = 0;
   size_t out = 0;
@@ -499,20 +568,21 @@ size_t FaultSimulator::mergeBlock(int64_t pattern_base, bool buffer_reach) {
     if (buffer_reach && block_had_diff_[merge_slot_[ai]] != 0) {
       reach_observer_->onFaultEffects(fi, block_touched_[merge_slot_[ai]]);
     }
-    const uint64_t detect = block_detect_[merge_slot_[ai]];
-    if (detect != 0 && detection_observer_ != nullptr) {
+    const sim::LaneMask detect(
+        block_detect_.data() + size_t{merge_slot_[ai]} * w, w);
+    const bool hit = detect.any();
+    if (hit && detection_observer_ != nullptr) {
       detection_observer_->onDetectionMask(fi, pattern_base, detect);
     }
-    if (detect != 0) {
+    if (hit) {
       FaultRecord& rec = faults_->record(fi);
       const bool was_undetected = rec.status == FaultStatus::kUndetected;
       if (was_undetected) {
-        faults_->recordDetection(fi, pattern_base + std::countr_zero(detect));
+        faults_->recordDetection(fi, pattern_base + detect.firstLane());
         ++newly_detected;
-        rec.detect_count +=
-            static_cast<uint32_t>(std::popcount(detect)) - 1;
+        rec.detect_count += static_cast<uint32_t>(detect.popcount()) - 1;
       } else {
-        rec.detect_count += static_cast<uint32_t>(std::popcount(detect));
+        rec.detect_count += static_cast<uint32_t>(detect.popcount());
       }
       if (opts_.drop_detected && rec.detect_count >= opts_.n_detect) {
         continue;  // dropped: stable-compact the survivors
@@ -524,11 +594,12 @@ size_t FaultSimulator::mergeBlock(int64_t pattern_base, bool buffer_reach) {
   return newly_detected;
 }
 
-size_t FaultSimulator::simulateBlockStuckAtStaged(
+template <size_t W>
+size_t FaultSimulator::simulateStagedW(
     int64_t pattern_base, int n_patterns,
     std::span<const std::vector<GateId>> stages) {
-  const uint64_t lane_mask =
-      n_patterns >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n_patterns) - 1);
+  const LaneWord<W> lane_mask =
+      LaneWord<W>::firstLanes(static_cast<size_t>(n_patterns));
   const size_t n_active = active_.size();
   const size_t n_stages = stages.size();
   if (n_active == 0 || n_stages == 0) return 0;
@@ -540,7 +611,8 @@ size_t FaultSimulator::simulateBlockStuckAtStaged(
   frame_vals_[0].assign(good_.rawValues().begin(), good_.rawValues().end());
   for (size_t j = 0; j + 1 < n_stages; ++j) {
     for (GateId ff : stages[j]) {
-      good_.setSource(ff, frame_vals_[j][nl_->gate(ff).fanins[0].v]);
+      good_.setSourceRow(
+          ff, frame_vals_[j].data() + size_t{nl_->gate(ff).fanins[0].v} * W);
     }
     good_.eval();
     frame_vals_[j + 1].assign(good_.rawValues().begin(),
@@ -562,38 +634,40 @@ size_t FaultSimulator::simulateBlockStuckAtStaged(
   prepareComputeSet();
   const size_t n_compute = compute_faults_.size();
   const unsigned n_threads = resolveThreads(n_compute);
-  ensureWorkers(n_threads);
-  block_detect_.assign(n_compute, 0);
+  ensureWorkersW<W>(n_threads);
+  block_detect_.assign(n_compute * W, 0);
 
-  auto compute_range = [&](Scratch& sc, size_t lo, size_t hi) {
-    std::vector<Seed> seeds;
-    std::vector<Seed> held;  // corrupted captured values, held to window end
+  auto compute_range = [&](ScratchW<W>& sc, size_t lo, size_t hi) {
+    std::vector<SeedW<W>> seeds;
+    std::vector<SeedW<W>> held;  // corrupted captures, held to window end
     for (size_t ci = lo; ci < hi; ++ci) {
       const Fault& f = faults_->record(compute_faults_[ci]).fault;
       const Gate& g = nl_->gate(f.gate);
       const bool dff_pin = f.pin != kOutputPin && g.kind == CellKind::kDff;
-      const uint64_t forced_word =
-          f.type == FaultType::kStuckAt1 ? ~uint64_t{0} : uint64_t{0};
+      const LaneWord<W> forced_word = f.type == FaultType::kStuckAt1
+                                          ? LaneWord<W>::ones()
+                                          : LaneWord<W>{};
       held.clear();
-      uint64_t detect = 0;
+      LaneWord<W> detect;
 
       for (size_t j = 0; j < n_stages; ++j) {
+        const uint64_t* const frame = frame_vals_[j].data();
         seeds.assign(held.begin(), held.end());
         if (!dff_pin) {
           // The stuck line is active in every frame; re-inject against
           // this frame's good values.
-          const InjectResult inj =
-              injectStuckAt(f, lane_mask, frame_vals_[j]);
-          if (inj.diff != 0) seeds.push_back({f.gate, inj.diff});
+          const InjectResultW<W> inj =
+              injectStuckAtW<W>(f, lane_mask, frame);
+          if (inj.diff.any()) seeds.push_back({f.gate, inj.diff});
         }
         const bool propagated = !seeds.empty();
         if (propagated) {
           // No early exit: the captured-diff collection below reads the
           // overlay cells this propagation writes.
-          detect |= propagateSeeds(sc, seeds, frame_vals_[j],
-                                   stage_observed_[j], dff_pin ? nullptr : &f,
-                                   /*record_touched=*/false,
-                                   /*early_exit_mask=*/0) &
+          detect |= propagateSeedsW<W>(sc, seeds, frame, stage_observed_[j],
+                                       dff_pin ? nullptr : &f,
+                                       /*record_touched=*/false,
+                                       /*early_exit_mask=*/LaneWord<W>{}) &
                     lane_mask;
         }
 
@@ -606,54 +680,371 @@ size_t FaultSimulator::simulateBlockStuckAtStaged(
             // captured diff for it would be wrong.
             if (!dff_pin && ff == f.gate) continue;
             const GateId driver = nl_->gate(ff).fanins[0];
-            uint64_t dd = 0;
-            const OverlayCell& oc = sc.ov[driver.v];
+            LaneWord<W> dd;
+            const auto& oc = sc.ov[driver.v];
             if (propagated && oc.stamp == sc.serial) {
-              dd = (oc.fval ^ frame_vals_[j][driver.v]) & lane_mask;
+              dd = (oc.fval ^
+                    LaneWord<W>::load(frame + size_t{driver.v} * W)) &
+                   lane_mask;
             }
             if (dff_pin && ff == f.gate) {
               // The faulted pin captures the forced value regardless of
               // the net driving it; visible at its own scan unload.
-              dd = (frame_vals_[j][driver.v] ^ forced_word) & lane_mask;
+              dd = (LaneWord<W>::load(frame + size_t{driver.v} * W) ^
+                    forced_word) &
+                   lane_mask;
               if ((nl_->gate(ff).flags & kFlagScanCell) != 0) detect |= dd;
             }
-            if (dd != 0) held.push_back({ff, dd});
+            if (dd.any()) held.push_back({ff, dd});
           }
         }
       }
-      block_detect_[ci] = detect;
+      detect.store(block_detect_.data() + ci * W);
     }
   };
   if (n_threads <= 1) {
-    compute_range(*scratch_[0], 0, n_compute);
+    compute_range(static_cast<ScratchW<W>&>(*scratch_[0]), 0, n_compute);
   } else {
     pool_->run(n_threads, [&](unsigned shard) {
       const size_t lo = n_compute * shard / n_threads;
       const size_t hi = n_compute * (shard + 1) / n_threads;
-      compute_range(*scratch_[shard], lo, hi);
+      compute_range(static_cast<ScratchW<W>&>(*scratch_[shard]), lo, hi);
     });
   }
 
   return mergeBlock(pattern_base, /*buffer_reach=*/false);
 }
 
+template <size_t W>
+size_t FaultSimulator::simulateBatchW(int64_t pattern_base, size_t n_blocks,
+                                      const BlockLoader& load,
+                                      bool transition) {
+  // Fallbacks that keep the loader stream advancing: reach observers
+  // need per-block cones, and the stem-CPT engine keeps its per-block
+  // observability passes (they depend on each block's good frame, so a
+  // batch has nothing to amortize for it). Batching amortizes the
+  // per-block thread-pool shard/merge dispatch, so a single requested
+  // worker has nothing to amortize either — it would only pay the
+  // good-frame snapshot copies. kAuto additionally re-checks the
+  // density heuristic: while the live set is dense enough that the
+  // sequential loop would pick stem-CPT, batching the per-fault engine
+  // would be a large slowdown, not a win. Every route produces the same
+  // masks; only the schedule differs.
+  const unsigned requested_threads =
+      opts_.threads != 0 ? opts_.threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  bool dense_auto = false;
+  if (opts_.engine == BlockEngine::kAuto && reach_observer_ == nullptr &&
+      !active_.empty()) {
+    prepareComputeSet();
+    dense_auto = compute_faults_.size() > 2 * stems_.size();
+  }
+  if (reach_observer_ != nullptr || opts_.engine == BlockEngine::kStemCpt ||
+      dense_auto || requested_threads <= 1 || n_blocks <= 1) {
+    size_t newly = 0;
+    for (size_t b = 0; b < n_blocks; ++b) {
+      const int lanes_b = load(b, good_);
+      if (lanes_b <= 0) break;
+      const int64_t base =
+          pattern_base + static_cast<int64_t>(b) * static_cast<int64_t>(W * 64);
+      newly += transition ? simulateBlockTransition(base, lanes_b)
+                          : simulateBlockStuckAt(base, lanes_b);
+    }
+    return newly;
+  }
+
+  // Snapshot every block's good-machine frame (and launch frame for
+  // transition) up front; the loaders run even when no fault is live so
+  // stateful pattern sources stay in step with the pattern numbering.
+  batch_frames_.resize(n_blocks);
+  if (transition) batch_launch_.resize(n_blocks);
+  batch_block_lanes_.assign(n_blocks, 0);
+  size_t used_blocks = 0;
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const int lanes_b = load(b, good_);
+    if (lanes_b <= 0) break;
+    batch_block_lanes_[b] = lanes_b;
+    good_.eval();
+    if (transition) {
+      batch_launch_[b].assign(good_.rawValues().begin(),
+                              good_.rawValues().end());
+      // Broadside follow-on capture: every DFF loads its D value, PIs
+      // held.
+      for (GateId dff : nl_->dffs()) {
+        good_.setSourceRow(
+            dff,
+            batch_launch_[b].data() + size_t{nl_->gate(dff).fanins[0].v} * W);
+      }
+      good_.eval();
+    }
+    batch_frames_[b].assign(good_.rawValues().begin(),
+                            good_.rawValues().end());
+    ++used_blocks;
+  }
+  if (used_blocks == 0 || active_.empty()) return 0;
+
+  prepareComputeSet();
+  const size_t n_compute = compute_faults_.size();
+  const unsigned n_threads = resolveThreads(n_compute * used_blocks);
+  ensureWorkersW<W>(n_threads);
+
+  batch_hits_.resize(std::max<size_t>(batch_hits_.size(), n_threads));
+  for (unsigned t = 0; t < n_threads; ++t) {
+    batch_hits_[t].resize(
+        std::max<size_t>(batch_hits_[t].size(), used_blocks));
+    for (HitQueue& q : batch_hits_[t]) {
+      q.slots.clear();
+      q.rows.clear();
+    }
+  }
+
+  std::vector<LaneWord<W>> block_masks(used_blocks);
+  for (size_t b = 0; b < used_blocks; ++b) {
+    block_masks[b] =
+        LaneWord<W>::firstLanes(static_cast<size_t>(batch_block_lanes_[b]));
+  }
+
+  // With dropping on, a fault detected enough times by block b leaves
+  // the active set before block b+1 in the sequential schedule, so its
+  // later-block masks are never observed. Precompute, per compute slot,
+  // how many more lane detections retire every active member of the
+  // slot's class; workers stop walking blocks for a slot once its
+  // accumulated mask popcounts reach that need. reduceBatch applies the
+  // same arithmetic serially, so the skipped work is exactly the work
+  // the per-block loop would also have skipped — results are unchanged.
+  if (opts_.drop_detected) {
+    batch_slot_need_.assign(n_compute, 0);
+    for (size_t ai = 0; ai < active_.size(); ++ai) {
+      const FaultRecord& rec = faults_->record(active_[ai]);
+      const uint32_t need = opts_.n_detect > rec.detect_count
+                                ? opts_.n_detect - rec.detect_count
+                                : 1;
+      uint32_t& slot_need = batch_slot_need_[merge_slot_[ai]];
+      slot_need = std::max(slot_need, need);
+    }
+  } else {
+    batch_slot_need_.assign(n_compute, 0);
+  }
+
+  // One dispatch for the whole batch: each worker walks its fault shard
+  // with blocks inner (the fault's cone structure stays hot in cache)
+  // and appends non-empty masks to its own per-block hit queue.
+  auto compute_range = [&](unsigned shard, ScratchW<W>& sc, size_t lo,
+                           size_t hi) {
+    for (size_t ci = lo; ci < hi; ++ci) {
+      const Fault& f = faults_->record(compute_faults_[ci]).fault;
+      const uint32_t need = batch_slot_need_[ci];
+      uint32_t got = 0;
+      for (size_t b = 0; b < used_blocks; ++b) {
+        const uint64_t* const gv = batch_frames_[b].data();
+        const InjectResultW<W> inj =
+            transition
+                ? injectTransitionW<W>(f, block_masks[b], gv,
+                                       batch_launch_[b].data())
+                : injectStuckAtW<W>(f, block_masks[b], gv);
+        LaneWord<W> detect = inj.direct_detect ? inj.direct_mask
+                                               : LaneWord<W>{};
+        if (inj.diff.any()) {
+          const SeedW<W> seed{f.gate, inj.diff};
+          detect |= propagateSeedsW<W>(sc, {&seed, 1}, gv, is_observed_,
+                                       /*forced=*/nullptr,
+                                       /*record_touched=*/false, inj.diff);
+        }
+        if (detect.any()) {
+          HitQueue& q = batch_hits_[shard][b];
+          q.slots.push_back(static_cast<uint32_t>(ci));
+          const size_t off = q.rows.size();
+          q.rows.resize(off + W);
+          detect.store(q.rows.data() + off);
+          if (need != 0) {
+            got += static_cast<uint32_t>(detect.popcount());
+            // The sequential loop drops this class before the next
+            // block; its remaining masks would be discarded unseen.
+            if (got >= need) break;
+          }
+        }
+      }
+    }
+  };
+  if (n_threads <= 1) {
+    compute_range(0, static_cast<ScratchW<W>&>(*scratch_[0]), 0, n_compute);
+  } else {
+    pool_->run(n_threads, [&](unsigned shard) {
+      const size_t lo = n_compute * shard / n_threads;
+      const size_t hi = n_compute * (shard + 1) / n_threads;
+      compute_range(shard, static_cast<ScratchW<W>&>(*scratch_[shard]), lo,
+                    hi);
+    });
+  }
+
+  return reduceBatch(pattern_base, used_blocks, n_threads);
+}
+
+size_t FaultSimulator::reduceBatch(int64_t pattern_base, size_t n_blocks,
+                                   unsigned n_threads) {
+  // The batch counterpart of mergeBlock: one serial pass per block, in
+  // block order and fault-list order within a block, so the bookkeeping
+  // and observer stream are bit-identical to the sequential per-block
+  // loop. A fault dropped by an earlier block's pass is skipped in later
+  // blocks' passes — exactly as it would have left the active set
+  // between sequential blocks. block_detect_ doubles as an epoch-stamped
+  // slot-row table so hit rows land in O(hits), not O(slots), per block.
+  const size_t w = lane_words_;
+  const size_t n_compute = compute_faults_.size();
+  const size_t n_active = active_.size();
+  block_detect_.resize(n_compute * w);
+  if (batch_slot_stamp_.size() < n_compute) {
+    batch_slot_stamp_.resize(n_compute, 0);
+  }
+  batch_dropped_.assign(n_active, 0);
+  size_t newly_detected = 0;
+  bool any_dropped = false;
+
+  for (size_t b = 0; b < n_blocks; ++b) {
+    if (++batch_epoch_ == 0) {
+      // Stamp wraparound: invalidate every stale stamp once per 2^32
+      // blocks rather than carrying wider stamps on the hot path.
+      std::fill(batch_slot_stamp_.begin(), batch_slot_stamp_.end(), 0u);
+      batch_epoch_ = 1;
+    }
+    const uint32_t epoch = batch_epoch_;
+    for (unsigned t = 0; t < n_threads; ++t) {
+      const HitQueue& q = batch_hits_[t][b];
+      for (size_t i = 0; i < q.slots.size(); ++i) {
+        const uint32_t slot = q.slots[i];
+        std::copy_n(q.rows.data() + i * w, w,
+                    block_detect_.data() + size_t{slot} * w);
+        batch_slot_stamp_[slot] = epoch;
+      }
+    }
+
+    const int64_t base =
+        pattern_base + static_cast<int64_t>(b) * static_cast<int64_t>(w * 64);
+    for (size_t ai = 0; ai < n_active; ++ai) {
+      if (batch_dropped_[ai] != 0) continue;
+      const uint32_t slot = merge_slot_[ai];
+      if (batch_slot_stamp_[slot] != epoch) continue;  // no detection
+      const size_t fi = active_[ai];
+      const sim::LaneMask detect(block_detect_.data() + size_t{slot} * w, w);
+      if (detection_observer_ != nullptr) {
+        detection_observer_->onDetectionMask(fi, base, detect);
+      }
+      FaultRecord& rec = faults_->record(fi);
+      const bool was_undetected = rec.status == FaultStatus::kUndetected;
+      if (was_undetected) {
+        faults_->recordDetection(fi, base + detect.firstLane());
+        ++newly_detected;
+        rec.detect_count += static_cast<uint32_t>(detect.popcount()) - 1;
+      } else {
+        rec.detect_count += static_cast<uint32_t>(detect.popcount());
+      }
+      if (opts_.drop_detected && rec.detect_count >= opts_.n_detect) {
+        batch_dropped_[ai] = 1;
+        any_dropped = true;
+      }
+    }
+  }
+
+  if (any_dropped) {
+    size_t out = 0;
+    for (size_t ai = 0; ai < n_active; ++ai) {
+      if (batch_dropped_[ai] == 0) active_[out++] = active_[ai];
+    }
+    active_.resize(out);
+  }
+  return newly_detected;
+}
+
 size_t FaultSimulator::simulateBlockStuckAt(int64_t pattern_base,
                                             int n_patterns) {
+  if (n_patterns < 0) n_patterns = static_cast<int>(lanes());
   good_.eval();
-  return simulateActiveFaults(pattern_base, n_patterns, /*transition=*/false);
+  switch (lane_words_) {
+    case 1:
+      return simulateActiveFaultsW<1>(pattern_base, n_patterns, false);
+    case 4:
+      return simulateActiveFaultsW<4>(pattern_base, n_patterns, false);
+    case 8:
+      return simulateActiveFaultsW<8>(pattern_base, n_patterns, false);
+    default:
+      assert(false && "unsupported lane width");
+      return 0;
+  }
 }
 
 size_t FaultSimulator::simulateBlockTransition(int64_t pattern_base,
                                                int n_patterns) {
+  if (n_patterns < 0) n_patterns = static_cast<int>(lanes());
   // Launch cycle from the currently loaded sources.
   good_.eval();
   launch_values_.assign(good_.rawValues().begin(), good_.rawValues().end());
   // Broadside follow-on capture: every DFF loads its D value, PIs held.
   for (GateId dff : nl_->dffs()) {
-    good_.setSource(dff, launch_values_[nl_->gate(dff).fanins[0].v]);
+    good_.setSourceRow(
+        dff,
+        launch_values_.data() + size_t{nl_->gate(dff).fanins[0].v} *
+                                    lane_words_);
   }
   good_.eval();
-  return simulateActiveFaults(pattern_base, n_patterns, /*transition=*/true);
+  switch (lane_words_) {
+    case 1:
+      return simulateActiveFaultsW<1>(pattern_base, n_patterns, true);
+    case 4:
+      return simulateActiveFaultsW<4>(pattern_base, n_patterns, true);
+    case 8:
+      return simulateActiveFaultsW<8>(pattern_base, n_patterns, true);
+    default:
+      assert(false && "unsupported lane width");
+      return 0;
+  }
+}
+
+size_t FaultSimulator::simulateBlockStuckAtStaged(
+    int64_t pattern_base, int n_patterns,
+    std::span<const std::vector<GateId>> stages) {
+  switch (lane_words_) {
+    case 1:
+      return simulateStagedW<1>(pattern_base, n_patterns, stages);
+    case 4:
+      return simulateStagedW<4>(pattern_base, n_patterns, stages);
+    case 8:
+      return simulateStagedW<8>(pattern_base, n_patterns, stages);
+    default:
+      assert(false && "unsupported lane width");
+      return 0;
+  }
+}
+
+size_t FaultSimulator::simulateBatchStuckAt(int64_t pattern_base,
+                                            size_t n_blocks,
+                                            const BlockLoader& load) {
+  switch (lane_words_) {
+    case 1:
+      return simulateBatchW<1>(pattern_base, n_blocks, load, false);
+    case 4:
+      return simulateBatchW<4>(pattern_base, n_blocks, load, false);
+    case 8:
+      return simulateBatchW<8>(pattern_base, n_blocks, load, false);
+    default:
+      assert(false && "unsupported lane width");
+      return 0;
+  }
+}
+
+size_t FaultSimulator::simulateBatchTransition(int64_t pattern_base,
+                                               size_t n_blocks,
+                                               const BlockLoader& load) {
+  switch (lane_words_) {
+    case 1:
+      return simulateBatchW<1>(pattern_base, n_blocks, load, true);
+    case 4:
+      return simulateBatchW<4>(pattern_base, n_blocks, load, true);
+    case 8:
+      return simulateBatchW<8>(pattern_base, n_blocks, load, true);
+    default:
+      assert(false && "unsupported lane width");
+      return 0;
+  }
 }
 
 size_t FaultSimulator::markUnobservable() {

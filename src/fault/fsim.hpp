@@ -1,8 +1,10 @@
 // Parallel-pattern single-fault-propagation (PPSFP) fault simulator.
 //
-// One call simulates up to 64 patterns: a good-machine pass, then for
+// One call simulates a block of up to 64 * lane_words patterns (the lane
+// fabric of sim/lane.hpp: every bit lane of a LaneWord<W> block is an
+// independent pattern, W in {1, 4, 8}): a good-machine pass, then for
 // every live fault an injection plus level-ordered event-driven
-// propagation of the faulty/good difference word through the fault's
+// propagation of the faulty/good difference block through the fault's
 // output cone, accumulating detection masks at the observation set
 // (primary outputs, scan-cell capture pins, DFT observation points).
 //
@@ -12,9 +14,19 @@
 //    the launch cycle is the first capture pulse; a site that transitions
 //    between the two captures is forced to hold its launch value in the
 //    second capture, modelling a gross delay defect at functional speed.
+//
+// Dispatch granularity: the per-block entry points shard one block's
+// faults across the worker pool; the batch entry points snapshot several
+// blocks' good-machine frames first and shard faults x blocks in a
+// single pool dispatch, so the per-dispatch shard/merge cost is
+// amortized over the whole batch. Workers append (slot, mask-row) hits
+// to per-thread per-block queues; a single serial reduction drains them
+// in block order and fault-list order, so results stay bit-identical to
+// the sequential per-block loop for every thread count.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -22,6 +34,7 @@
 #include "core/thread_pool.hpp"
 #include "fault/collapse.hpp"
 #include "fault/fault.hpp"
+#include "sim/lane.hpp"
 #include "sim/sim2v.hpp"
 
 namespace lbist::fault {
@@ -48,9 +61,11 @@ class DetectionObserver {
  public:
   virtual ~DetectionObserver() = default;
   /// Lane l of `detect_mask` set means fault `fault_index` is detected by
-  /// pattern `pattern_base + l` at the observation set.
+  /// pattern `pattern_base + l` at the observation set. The mask view is
+  /// laneWords() words wide and borrows the engine's buffer — valid only
+  /// for the duration of the call.
   virtual void onDetectionMask(size_t fault_index, int64_t pattern_base,
-                               uint64_t detect_mask) = 0;
+                               sim::LaneMask detect_mask) = 0;
 };
 
 /// Per-block detection engine. Both produce bit-identical masks; they
@@ -70,14 +85,17 @@ enum class BlockEngine : uint8_t {
   kStemCpt,
 };
 
-/// Engine configuration. Caveat for aggregate initialization (e.g. the
-/// seed-era `FsimOptions{1, false}` spelling): every field not listed
-/// keeps its default, so such callers get collapse = on and the auto
-/// block engine. Both are exact — results are bit-identical either way
-/// — but profiles change; spell out `.collapse` / `.engine` to pin the
-/// work distribution.
+/// Engine configuration. Every field carries an explicit default below,
+/// so aggregate initialization (e.g. the seed-era `FsimOptions{1, false}`
+/// spelling) leaves the unnamed tail at those defaults — such callers get
+/// collapse = on, the auto block engine, and 64-lane blocks. All of those
+/// are exact — results are bit-identical either way — but profiles
+/// change; spell out `.collapse` / `.engine` / `.lane_words` to pin the
+/// work distribution. Field validity (supported lane width, non-zero
+/// n-detect/batch) is checked centrally by validateFsimOptions, which
+/// the simulator constructor calls.
 struct FsimOptions {
-  /// Drop a fault after this many detections.
+  /// Drop a fault after this many detections. Must be >= 1.
   uint32_t n_detect = 1;
   /// When false, detected faults stay in the simulated set (response
   /// dictionaries and compaction analyses need complete masks).
@@ -105,7 +123,28 @@ struct FsimOptions {
   /// per-fault cones). Tests pin kPerFault / kStemCpt to differential-
   /// check the two engines against each other.
   BlockEngine engine = BlockEngine::kAuto;
+  /// Lane-block width in 64-bit words: each simulated block carries
+  /// 64 * lane_words patterns (sim/lane.hpp; one of 1, 4, 8). Fixed for
+  /// the simulator's lifetime. At a given width, results are invariant
+  /// across threads/engines/batching; across widths, no-drop mask rows,
+  /// coverage, and first-detect patterns are invariant, but detect
+  /// counts at drop time may differ (a wider block merges more patterns
+  /// at once before the drop decision).
+  uint32_t lane_words = 1;
+  /// Lane blocks the batch entry points snapshot per pool dispatch.
+  /// Purely a work-granularity knob for callers sizing their batches
+  /// (core::CoverageFlow, benches read it); results are bit-identical
+  /// for every value. Must be >= 1.
+  uint32_t batch_blocks = 8;
 };
+
+/// Central FsimOptions validity check: throws std::invalid_argument on
+/// an unsupported lane width, n_detect == 0, or batch_blocks == 0. The
+/// engine/collapse/observer interplay needs no rejection — every
+/// combination is mask-exact — but the resolution rules live in one
+/// place each: prepareComputeSet (folding) and the per-block engine
+/// selection in the simulate paths.
+void validateFsimOptions(const FsimOptions& opts);
 
 class FaultSimulator {
  public:
@@ -121,13 +160,32 @@ class FaultSimulator {
   FaultSimulator(FaultSimulator&&) = delete;
   FaultSimulator& operator=(FaultSimulator&&) = delete;
 
-  /// Source setting for the current block (PIs and DFF outputs).
-  void setSource(GateId id, uint64_t w) { good_.setSource(id, w); }
+  ~FaultSimulator();
 
-  /// Stuck-at block: patterns are lanes [0, n_patterns). Returns the
-  /// number of newly detected faults. Pattern indices recorded into the
-  /// fault list are pattern_base + lane.
-  size_t simulateBlockStuckAt(int64_t pattern_base, int n_patterns = 64);
+  /// Lane-block width in 64-bit words (FsimOptions::lane_words).
+  [[nodiscard]] size_t laneWords() const { return lane_words_; }
+  /// Patterns per simulated block (64 * laneWords()).
+  [[nodiscard]] size_t lanes() const { return lane_words_ * 64; }
+
+  /// Broadcast source setting for the current block (PIs and DFF
+  /// outputs): one 64-bit word replicated across the block — the right
+  /// semantic for pins constant across lanes. Per-pattern stimulus
+  /// beyond 64 lanes goes through setSourceRow/setSourceWord.
+  void setSource(GateId id, uint64_t w) { good_.setSource(id, w); }
+  /// Sets word `wi` of a source gate's lane block.
+  void setSourceWord(GateId id, size_t wi, uint64_t w) {
+    good_.setSourceWord(id, wi, w);
+  }
+  /// Copies a full laneWords()-wide row into a source gate's block.
+  void setSourceRow(GateId id, const uint64_t* row) {
+    good_.setSourceRow(id, row);
+  }
+
+  /// Stuck-at block: patterns are lanes [0, n_patterns) of the current
+  /// sources, n_patterns <= lanes(). Returns the number of newly
+  /// detected faults. Pattern indices recorded into the fault list are
+  /// pattern_base + lane.
+  size_t simulateBlockStuckAt(int64_t pattern_base, int n_patterns = -1);
 
   /// Ordered-capture stuck-at block, modeling the session's staggered
   /// capture window: stages[j] lists every DFF clocked by capture pulse
@@ -147,7 +205,34 @@ class FaultSimulator {
   /// Transition block (LOC broadside): sources currently loaded are the
   /// *launch* state; the engine computes the follow-on capture cycle
   /// itself (PIs held). Returns newly detected faults.
-  size_t simulateBlockTransition(int64_t pattern_base, int n_patterns = 64);
+  size_t simulateBlockTransition(int64_t pattern_base, int n_patterns = -1);
+
+  /// Fills block `block`'s sources into `sim` and returns the number of
+  /// pattern lanes it loaded (1..lanes(); the final block of a run may
+  /// be partial). Batch entry points call it once per block up front.
+  using BlockLoader = std::function<int(size_t block, sim::Simulator2v& sim)>;
+
+  /// Batched stuck-at simulation: snapshots `n_blocks` good-machine
+  /// frames via `load`, then computes every live fault against every
+  /// block in one pool dispatch — per-thread per-block hit queues, one
+  /// serial in-order reduction — so shard/merge overhead is paid once
+  /// per batch instead of once per block. Pattern indices are
+  /// pattern_base + block * lanes() + lane. Bit-identical to calling
+  /// simulateBlockStuckAt per block (a fault dropped by an earlier
+  /// block's reduction is skipped in later blocks' reductions, exactly
+  /// as it would have left the active set). Batches run the per-fault
+  /// engine; with a reach observer attached or BlockEngine::kStemCpt
+  /// pinned, this falls back to the sequential per-block loop (masks are
+  /// engine-exact, so results are unchanged either way). Returns total
+  /// newly detected faults.
+  size_t simulateBatchStuckAt(int64_t pattern_base, size_t n_blocks,
+                              const BlockLoader& load);
+
+  /// Batched transition (LOC broadside) simulation; see
+  /// simulateBatchStuckAt. `load` fills each block's *launch* sources;
+  /// the engine computes each block's capture cycle itself.
+  size_t simulateBatchTransition(int64_t pattern_base, size_t n_blocks,
+                                 const BlockLoader& load);
 
   /// Marks every live fault with no structural path to the observation
   /// set as untestable. Returns how many were marked.
@@ -205,96 +290,142 @@ class FaultSimulator {
   /// The observation set detection masks accumulate over.
   [[nodiscard]] std::span<const GateId> observed() const { return observed_; }
 
-  /// Good-machine next-state of a DFF in the *last* simulated cycle
-  /// (for harvesting captured responses in BIST emulation).
+  /// Good-machine next-state of a DFF in the *last* simulated cycle,
+  /// lanes 0..63 (for harvesting captured responses in BIST emulation).
   [[nodiscard]] uint64_t goodNextState(GateId dff) const {
     return good_.dffNextState(dff);
   }
+  /// Word `wi` of the good-machine next-state of a DFF.
+  [[nodiscard]] uint64_t goodNextStateWord(GateId dff, size_t wi) const {
+    return good_.dffNextStateWord(dff, wi);
+  }
 
  private:
-  struct InjectResult {
-    uint64_t diff = 0;       // faulty XOR good at the site output
+  /// Injection outcome for one fault against one good frame: the
+  /// faulty-XOR-good block at the site output plus the direct capture
+  /// term of DFF-pin faults.
+  template <size_t W>
+  struct InjectResultW {
+    sim::LaneWord<W> diff;
     bool direct_detect = false;  // site itself observed (e.g. DFF D pin)
-    uint64_t direct_mask = 0;
+    sim::LaneWord<W> direct_mask;
   };
 
   /// A fault-effect source for one propagation frame: `gate`'s value
   /// differs from the frame's good machine in the `diff` lanes.
-  struct Seed {
+  template <size_t W>
+  struct SeedW {
     GateId gate;
-    uint64_t diff = 0;
+    sim::LaneWord<W> diff;
   };
 
-  /// Per-gate fault-effect overlay cell, epoch-stamped per fault. Value
-  /// and stamps share one 16-byte cell so an overlay read costs a single
-  /// cache line.
-  struct OverlayCell {
-    uint64_t fval = 0;
-    uint32_t stamp = 0;   // fval valid when == Scratch::serial
-    uint32_t queued = 0;  // gate scheduled when == Scratch::serial
-  };
-
-  /// Per-worker propagation state: the fault-effect overlay and the
-  /// level-bucketed event queue, plus the touched-gate log. Cones are
-  /// usually tiny but can span hundreds of levels (carry chains), so a
-  /// bitmap of non-empty levels lets the wheel skip empty buckets 64 at
-  /// a time instead of walking them.
-  struct Scratch {
-    std::vector<OverlayCell> ov;
+  /// Width-independent per-worker propagation state: the level-bucketed
+  /// event queue plus the touched-gate log. Cones are usually tiny but
+  /// can span hundreds of levels (carry chains), so a bitmap of
+  /// non-empty levels lets the wheel skip empty buckets 64 at a time
+  /// instead of walking them. The width-specific fault-effect overlay
+  /// lives in the ScratchW<W> subclass (fsim.cpp).
+  struct ScratchBase {
+    virtual ~ScratchBase() = default;
     uint32_t serial = 0;
     std::vector<std::vector<uint32_t>> level_queue;
     std::vector<uint64_t> level_bits;  // bit l: level_queue[l] non-empty
     std::vector<GateId> touched;
   };
+  template <size_t W>
+  struct ScratchW;
 
-  InjectResult injectStuckAt(const Fault& f, uint64_t lane_mask,
-                             std::span<const uint64_t> good_vals) const;
-  InjectResult injectTransition(const Fault& f, uint64_t lane_mask) const;
-  uint64_t evalPinForced(GateId id, uint8_t pin, uint64_t forced,
-                         std::span<const uint64_t> good_vals) const;
-  uint64_t evalPinForcedOverlay(const Scratch& sc, GateId id, uint8_t pin,
-                                uint64_t forced,
-                                std::span<const uint64_t> good_vals) const;
+  /// One worker's pending detections for one batch block: parallel
+  /// arrays of compute slots and their W-word mask rows, drained by the
+  /// serial batch reduction.
+  struct HitQueue {
+    std::vector<uint32_t> slots;
+    std::vector<uint64_t> rows;  // lane_words_ words per slot entry
+  };
+
+  template <size_t W>
+  InjectResultW<W> injectStuckAtW(const Fault& f,
+                                  const sim::LaneWord<W>& lane_mask,
+                                  const uint64_t* good_vals) const;
+  template <size_t W>
+  InjectResultW<W> injectTransitionW(const Fault& f,
+                                     const sim::LaneWord<W>& lane_mask,
+                                     const uint64_t* good_vals,
+                                     const uint64_t* launch_vals) const;
+  template <size_t W>
+  sim::LaneWord<W> evalPinForcedW(GateId id, uint8_t pin,
+                                  const sim::LaneWord<W>& forced,
+                                  const uint64_t* good_vals) const;
+  template <size_t W>
+  sim::LaneWord<W> evalPinForcedOverlayW(const ScratchW<W>& sc, GateId id,
+                                         uint8_t pin,
+                                         const sim::LaneWord<W>& forced,
+                                         const uint64_t* good_vals) const;
 
   /// Propagates the seeds' diffs through their cones against the
-  /// `good_vals` frame; returns the detection mask accumulated over
-  /// gates flagged in `observed`. Fills sc.touched only when
-  /// `record_touched` (reach observers) — the plain detection path skips
-  /// the log. When `forced` names a stuck-at fault, re-evaluations of
-  /// its gate keep the fault applied (needed when another seed's cone
-  /// feeds the fault site). A non-zero `early_exit_mask` lets the wheel
-  /// stop once every lane of it has detected — the return value cannot
-  /// change further; callers that read the overlay afterwards (staged
-  /// capture collection) or want the full reach cone must pass 0.
-  uint64_t propagateSeeds(Scratch& sc, std::span<const Seed> seeds,
-                          std::span<const uint64_t> good_vals,
-                          const std::vector<uint8_t>& observed,
-                          const Fault* forced, bool record_touched,
-                          uint64_t early_exit_mask) const;
+  /// `good_vals` frame (gate-major, stride W); returns the detection
+  /// block accumulated over gates flagged in `observed`. Fills
+  /// sc.touched only when `record_touched` (reach observers) — the plain
+  /// detection path skips the log. When `forced` names a stuck-at fault,
+  /// re-evaluations of its gate keep the fault applied (needed when
+  /// another seed's cone feeds the fault site). A non-zero
+  /// `early_exit_mask` lets the wheel stop once every lane of it has
+  /// detected — the return value cannot change further; callers that
+  /// read the overlay afterwards (staged capture collection) or want the
+  /// full reach cone must pass zero.
+  template <size_t W>
+  sim::LaneWord<W> propagateSeedsW(ScratchW<W>& sc,
+                                   std::span<const SeedW<W>> seeds,
+                                   const uint64_t* good_vals,
+                                   const std::vector<uint8_t>& observed,
+                                   const Fault* forced, bool record_touched,
+                                   const sim::LaneWord<W>& early_exit_mask)
+      const;
 
-  size_t simulateActiveFaults(int64_t pattern_base, int n_patterns,
-                              bool transition);
+  template <size_t W>
+  size_t simulateActiveFaultsW(int64_t pattern_base, int n_patterns,
+                               bool transition);
+  template <size_t W>
+  size_t simulateStagedW(int64_t pattern_base, int n_patterns,
+                         std::span<const std::vector<GateId>> stages);
+  template <size_t W>
+  size_t simulateBatchW(int64_t pattern_base, size_t n_blocks,
+                        const BlockLoader& load, bool transition);
 
   /// Builds the per-block compute set: with folding, the unique class
   /// representatives of the live faults (merge_slot_ maps each live
   /// fault to its class's compute slot); without, the live faults
-  /// themselves (identity mapping).
+  /// themselves (identity mapping). Representatives are canonical per
+  /// class (liveness-independent), which is what lets a batch reuse one
+  /// compute set across all its blocks.
   void prepareComputeSet();
 
   /// Stem-CPT phases A+B: full-lane stem propagation (sharded) and the
-  /// serial reverse sensitization pass, filling obs_out_.
-  void computeObservability(uint64_t lane_mask, unsigned n_threads);
+  /// serial reverse sensitization pass, filling obs_out_ (stride W).
+  template <size_t W>
+  void computeObservabilityW(const sim::LaneWord<W>& lane_mask,
+                             unsigned n_threads);
 
   /// Serial phase-2 merge over block_detect_: detection bookkeeping,
   /// observer callbacks, n-detect dropping — in fault-list order.
+  /// Width-agnostic: walks lane_words_-wide rows.
   size_t mergeBlock(int64_t pattern_base, bool buffer_reach);
 
-  [[nodiscard]] unsigned resolveThreads(size_t n_active) const;
-  void ensureWorkers(unsigned threads);
+  /// Serial batch reduction: drains the per-thread hit queues block by
+  /// block (fault-list order within a block) with the same bookkeeping
+  /// as mergeBlock; faults dropped by an earlier block are skipped in
+  /// later blocks. Compacts active_ once at the end.
+  size_t reduceBatch(int64_t pattern_base, size_t n_blocks,
+                     unsigned n_threads);
+
+  [[nodiscard]] unsigned resolveThreads(size_t n_work_units) const;
+  template <size_t W>
+  void ensureWorkersW(unsigned threads);
 
   const Netlist* nl_;
   FaultList* faults_;
   FsimOptions opts_;
+  size_t lane_words_;
   sim::Simulator2v good_;
   // Compiled tables (owned by good_): opcode stream, fanin CSR, and the
   // comb-fanout CSR with levels that the event wheel walks.
@@ -302,23 +433,24 @@ class FaultSimulator {
   std::vector<GateId> observed_;
   std::vector<uint8_t> is_observed_;
 
-  // Launch-cycle good values for transition simulation.
+  // Launch-cycle good values for transition simulation (stride W).
   std::vector<uint64_t> launch_values_;
 
-  // Staged capture: good-machine values per capture frame, and per-stage
-  // observation flags (D drivers of that stage's observed DFFs).
+  // Staged capture: good-machine values per capture frame (stride W),
+  // and per-stage observation flags (D drivers of that stage's observed
+  // DFFs).
   std::vector<std::vector<uint64_t>> frame_vals_;
   std::vector<std::vector<uint8_t>> stage_observed_;
 
   // One propagation scratch per worker (index 0 doubles as the serial
   // path's scratch), created on demand.
-  std::vector<std::unique_ptr<Scratch>> scratch_;
+  std::vector<std::unique_ptr<ScratchBase>> scratch_;
   std::unique_ptr<core::ThreadPool> pool_;
 
   // Stem-CPT tables: fanout-free chain links (the single consuming gate
   // and slot of every non-stem net), the stem list, and the per-block
-  // observability-of-output words (obs_out_[g]: lanes in which a flip of
-  // g's output is visible at the observation set).
+  // observability-of-output rows (obs_out_ stride W; row g: lanes in
+  // which a flip of g's output is visible at the observation set).
   std::vector<uint32_t> single_use_;   // consuming gate; kStemMark = stem
   std::vector<uint32_t> single_slot_;
   std::vector<uint32_t> stems_;
@@ -331,10 +463,29 @@ class FaultSimulator {
   std::vector<uint32_t> merge_slot_;    // active position -> compute slot
   std::vector<uint32_t> rep_slot_;      // per-fault slot scratch (kNoSlot)
 
-  // Per-block compute results, indexed by position in `compute_faults_`.
+  // Per-block compute results, indexed by position in `compute_faults_`
+  // (block_detect_ stride W). The batch reduction reuses block_detect_
+  // as its epoch-stamped slot-row table.
   std::vector<uint64_t> block_detect_;
   std::vector<uint8_t> block_had_diff_;
   std::vector<std::vector<GateId>> block_touched_;
+
+  // Batch state: per-block good frames (and launch frames for
+  // transition), per-block lane counts, the per-thread per-block hit
+  // queues, the epoch-stamped slot table, and the per-active-position
+  // dropped-in-this-batch flags.
+  std::vector<std::vector<uint64_t>> batch_frames_;
+  std::vector<std::vector<uint64_t>> batch_launch_;
+  std::vector<int> batch_block_lanes_;
+  std::vector<std::vector<HitQueue>> batch_hits_;  // [thread][block]
+  std::vector<uint32_t> batch_slot_stamp_;
+  uint32_t batch_epoch_ = 0;
+  std::vector<uint8_t> batch_dropped_;
+  // Per-compute-slot detections still needed before every active member
+  // of the slot's fault class is dropped (0 = never stop early). Lets
+  // workers skip the blocks a sequentially-dropped fault would never
+  // have been simulated on, without changing any reported mask.
+  std::vector<uint32_t> batch_slot_need_;
 
   std::vector<size_t> active_;
   ReachObserver* reach_observer_ = nullptr;

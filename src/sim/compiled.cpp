@@ -1,5 +1,6 @@
 #include "sim/compiled.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace lbist::sim {
@@ -42,17 +43,38 @@ CompiledNetlist::CompiledNetlist(const Netlist& nl, const Levelized& lev) {
   for (uint32_t g = 0; g < n_gates; ++g) level_[g] = lev.level(GateId{g});
   max_level_ = lev.maxLevel();
 
-  op_code_.reserve(comb.size());
-  op_gate_.reserve(comb.size());
-  fanin_off_.reserve(comb.size() + 1);
+  // Cache-layout pass: ops at the same level are independent, so the
+  // stream can be reordered freely within a level. Sort level-major
+  // (combOrder already is) and group by opcode within each level — the
+  // eval switch then runs in long same-branch bursts — and emit the
+  // fanin CSR in the final op order so the linear sweep walks it
+  // strictly sequentially.
+  std::vector<GateId> order(comb.begin(), comb.end());
+  std::stable_sort(order.begin(), order.end(), [&](GateId a, GateId b) {
+    if (level_[a.v] != level_[b.v]) return level_[a.v] < level_[b.v];
+    const OpCode ka = lowerKind(nl.gate(a).kind, nl.gate(a).fanins.size());
+    const OpCode kb = lowerKind(nl.gate(b).kind, nl.gate(b).fanins.size());
+    return static_cast<uint8_t>(ka) < static_cast<uint8_t>(kb);
+  });
+
+  op_code_.reserve(order.size());
+  op_gate_.reserve(order.size());
+  fanin_off_.reserve(order.size() + 1);
   fanin_off_.push_back(0);
-  for (GateId id : comb) {
+  level_op_off_.assign(size_t{max_level_} + 2, 0);
+  for (GateId id : order) {
     const Gate& g = nl.gate(id);
     op_of_[id.v] = static_cast<uint32_t>(op_code_.size());
     op_code_.push_back(lowerKind(g.kind, g.fanins.size()));
     op_gate_.push_back(id.v);
     for (GateId f : g.fanins) fanin_.push_back(f.v);
     fanin_off_.push_back(static_cast<uint32_t>(fanin_.size()));
+    level_op_off_[level_[id.v] + 1] =
+        static_cast<uint32_t>(op_code_.size());
+  }
+  // Fill levels with no ops so each [begin, end) range is well-formed.
+  for (size_t l = 1; l < level_op_off_.size(); ++l) {
+    level_op_off_[l] = std::max(level_op_off_[l], level_op_off_[l - 1]);
   }
 
   // Combinational-fanout CSR with target levels, from the comb-filtered
@@ -67,71 +89,12 @@ CompiledNetlist::CompiledNetlist(const Netlist& nl, const Levelized& lev) {
 }
 
 void CompiledNetlist::eval(uint64_t* v) const {
+  // One instantiation of the generic sweep; W = 1 compiles to exactly
+  // the scalar 64-lane kernel this function used to hand-write.
   const size_t n = op_code_.size();
-  const uint32_t* fan = fanin_.data();
   for (size_t i = 0; i < n; ++i) {
-    const uint32_t* f = fan + fanin_off_[i];
-    uint64_t r;
-    switch (op_code_[i]) {
-      case OpCode::kBuf:
-        r = v[f[0]];
-        break;
-      case OpCode::kNot:
-        r = ~v[f[0]];
-        break;
-      case OpCode::kMux2: {
-        const uint64_t s = v[f[2]];
-        r = (v[f[0]] & ~s) | (v[f[1]] & s);
-        break;
-      }
-      case OpCode::kAnd2:
-        r = v[f[0]] & v[f[1]];
-        break;
-      case OpCode::kNand2:
-        r = ~(v[f[0]] & v[f[1]]);
-        break;
-      case OpCode::kOr2:
-        r = v[f[0]] | v[f[1]];
-        break;
-      case OpCode::kNor2:
-        r = ~(v[f[0]] | v[f[1]]);
-        break;
-      case OpCode::kXor2:
-        r = v[f[0]] ^ v[f[1]];
-        break;
-      case OpCode::kXnor2:
-        r = ~(v[f[0]] ^ v[f[1]]);
-        break;
-      case OpCode::kAndN:
-      case OpCode::kNandN: {
-        uint64_t acc = v[f[0]];
-        const uint32_t cnt = fanin_off_[i + 1] - fanin_off_[i];
-        for (uint32_t k = 1; k < cnt; ++k) acc &= v[f[k]];
-        r = op_code_[i] == OpCode::kNandN ? ~acc : acc;
-        break;
-      }
-      case OpCode::kOrN:
-      case OpCode::kNorN: {
-        uint64_t acc = v[f[0]];
-        const uint32_t cnt = fanin_off_[i + 1] - fanin_off_[i];
-        for (uint32_t k = 1; k < cnt; ++k) acc |= v[f[k]];
-        r = op_code_[i] == OpCode::kNorN ? ~acc : acc;
-        break;
-      }
-      case OpCode::kXorN:
-      case OpCode::kXnorN: {
-        uint64_t acc = v[f[0]];
-        const uint32_t cnt = fanin_off_[i + 1] - fanin_off_[i];
-        for (uint32_t k = 1; k < cnt; ++k) acc ^= v[f[k]];
-        r = op_code_[i] == OpCode::kXnorN ? ~acc : acc;
-        break;
-      }
-      default:
-        r = 0;
-        assert(false && "unknown opcode");
-        break;
-    }
-    v[op_gate_[i]] = r;
+    v[op_gate_[i]] = evalOpT<uint64_t>(
+        static_cast<uint32_t>(i), [&](size_t, uint32_t g) { return v[g]; });
   }
 }
 

@@ -14,6 +14,21 @@
 //    check;
 //  * per-gate level and op-index tables for the overlay evaluators.
 //
+// Cache layout: the op stream is stored level-major (all of level 1,
+// then level 2, ...) and, within each level, grouped by opcode — ops at
+// one level are independent, so the reorder is free, the eval switch
+// runs in long same-branch bursts, and the fanin CSR (re-emitted in the
+// final op order) is walked strictly sequentially by the linear sweep.
+// levelOpsBegin/End expose the tiling to engines that want to walk one
+// level at a time.
+//
+// Lane widths: the evaluation kernels are templated over the lane word
+// (sim/lane.hpp). evalOpT/passMaskT take any bitwise-word type —
+// uint64_t for the classic 64-lane engines, LaneWord<W> for the widened
+// 256/512-lane blocks — and evalW<W> is the stride-W full pass over a
+// gate-major value array. The untyped uint64_t entry points forward to
+// the templates, so the two can never drift.
+//
 // The tables are immutable snapshots: like Levelized and FanoutMap they
 // are invalidated by any netlist edit and must be rebuilt.
 #pragma once
@@ -21,10 +36,12 @@
 #include <cassert>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "netlist/levelize.hpp"
 #include "netlist/netlist.hpp"
+#include "sim/lane.hpp"
 
 namespace lbist::sim {
 
@@ -86,8 +103,25 @@ class CompiledNetlist {
 
   /// Linear full-pass evaluation of every combinational gate in level
   /// order. `values` is the per-gate word array (size >= numGates()),
-  /// with source words already set by the caller.
+  /// with source words already set by the caller. Equivalent to
+  /// evalW<1>(values).
   void eval(uint64_t* values) const;
+
+  /// Stride-W full pass: `values` is gate-major with W words per gate
+  /// (gate g's lanes at [g*W, g*W + W)), size >= numGates()*W. One call
+  /// evaluates 64*W patterns; the per-op combine is a plain W-element
+  /// loop the compiler vectorizes.
+  template <size_t W>
+  void evalW(uint64_t* values) const {
+    const size_t n = op_code_.size();
+    for (size_t i = 0; i < n; ++i) {
+      const LaneWord<W> r = evalOpT<LaneWord<W>>(
+          static_cast<uint32_t>(i), [&](size_t, uint32_t g) {
+            return LaneWord<W>::load(values + size_t{g} * W);
+          });
+      r.store(values + size_t{op_gate_[i]} * W);
+    }
+  }
 
   /// Number of combinational ops in the stream.
   [[nodiscard]] size_t numOps() const { return op_code_.size(); }
@@ -111,19 +145,32 @@ class CompiledNetlist {
   /// Deepest combinational level (sizes event wheels).
   [[nodiscard]] uint32_t maxLevel() const { return max_level_; }
 
+  /// First op index of level `l` — the op stream is level-major, so the
+  /// half-open range [levelOpsBegin(l), levelOpsEnd(l)) is exactly the
+  /// ops at that level, grouped by opcode.
+  [[nodiscard]] uint32_t levelOpsBegin(uint32_t l) const {
+    return level_op_off_[l];
+  }
+  /// One past the last op index of level `l`.
+  [[nodiscard]] uint32_t levelOpsEnd(uint32_t l) const {
+    return level_op_off_[l + 1];
+  }
+
   /// Combinational fanout edges of a gate, with target levels.
   [[nodiscard]] std::span<const FanoutEntry> combFanout(uint32_t gate) const {
     return {fanout_.data() + fanout_off_[gate],
             fanout_.data() + fanout_off_[gate + 1]};
   }
 
-  /// Per-lane sensitization of op `op` with respect to fanin `slot`:
-  /// the lanes in which flipping that fanin flips the output, given the
-  /// fanin words in `values`. Single-bit diff propagation is linear, so
-  /// diff_out = diff_in & passMask — the identity the critical-path
-  /// assembly in the fault simulator is built on.
-  [[nodiscard]] uint64_t passMask(uint32_t op, size_t slot,
-                                  const uint64_t* values) const {
+  /// Per-lane sensitization of op `op` with respect to fanin `slot`,
+  /// generic over the lane word: the lanes in which flipping that fanin
+  /// flips the output, with fanin words supplied by `val(gate) -> WordT`.
+  /// Single-bit diff propagation is linear, so diff_out = diff_in &
+  /// passMask — the identity the critical-path assembly in the fault
+  /// simulator is built on.
+  template <typename WordT, typename ValFn>
+  [[nodiscard]] WordT passMaskT(uint32_t op, size_t slot,
+                                ValFn&& val) const {
     const uint32_t* f = fanin_.data() + fanin_off_[op];
     switch (op_code_[op]) {
       case OpCode::kBuf:
@@ -132,47 +179,65 @@ class CompiledNetlist {
       case OpCode::kXnor2:
       case OpCode::kXorN:
       case OpCode::kXnorN:
-        return ~uint64_t{0};
+        return ~WordT{};
       case OpCode::kMux2: {
-        if (slot == 2) return values[f[0]] ^ values[f[1]];
-        const uint64_t s = values[f[2]];
+        if (slot == 2) return val(f[0]) ^ val(f[1]);
+        const WordT s = val(f[2]);
         return slot == 0 ? ~s : s;
       }
       case OpCode::kAnd2:
       case OpCode::kNand2:
-        return values[f[1 - slot]];
+        return val(f[1 - slot]);
       case OpCode::kOr2:
       case OpCode::kNor2:
-        return ~values[f[1 - slot]];
+        return ~val(f[1 - slot]);
       case OpCode::kAndN:
       case OpCode::kNandN: {
-        uint64_t acc = ~uint64_t{0};
+        WordT acc = ~WordT{};
         const uint32_t n = fanin_off_[op + 1] - fanin_off_[op];
         for (uint32_t i = 0; i < n; ++i) {
-          if (i != slot) acc &= values[f[i]];
+          if (i != slot) acc &= val(f[i]);
         }
         return acc;
       }
       case OpCode::kOrN:
       case OpCode::kNorN: {
-        uint64_t acc = ~uint64_t{0};
+        WordT acc = ~WordT{};
         const uint32_t n = fanin_off_[op + 1] - fanin_off_[op];
         for (uint32_t i = 0; i < n; ++i) {
-          if (i != slot) acc &= ~values[f[i]];
+          if (i != slot) acc &= ~val(f[i]);
         }
         return acc;
       }
     }
     assert(false && "unknown opcode");
-    return 0;
+    return WordT{};
   }
 
-  /// Evaluates op `op` with fanin words supplied by `val(slot, gate)`.
-  /// This is the one gate-function switch every evaluation flavor shares:
-  /// the good machine reads the value array directly, the fault engines
+  /// 64-lane passMask over a stride-1 value array (the classic shape).
+  [[nodiscard]] uint64_t passMask(uint32_t op, size_t slot,
+                                  const uint64_t* values) const {
+    return passMaskT<uint64_t>(op, slot,
+                               [&](uint32_t g) { return values[g]; });
+  }
+
+  /// Stride-W passMask over a gate-major value array (W words per gate).
+  template <size_t W>
+  [[nodiscard]] LaneWord<W> passMaskW(uint32_t op, size_t slot,
+                                      const uint64_t* values) const {
+    return passMaskT<LaneWord<W>>(op, slot, [&](uint32_t g) {
+      return LaneWord<W>::load(values + size_t{g} * W);
+    });
+  }
+
+  /// Evaluates op `op` with fanin words supplied by `val(slot, gate) ->
+  /// WordT`, generic over the lane word (uint64_t or LaneWord<W>; any
+  /// type with &, |, ^, ~ and zero-init works). This is the one
+  /// gate-function switch every evaluation flavor shares: the good
+  /// machine reads the value array directly, the fault engines
   /// substitute overlay or pin-forced reads.
-  template <typename ValFn>
-  [[nodiscard]] uint64_t evalOp(uint32_t op, ValFn&& val) const {
+  template <typename WordT, typename ValFn>
+  [[nodiscard]] WordT evalOpT(uint32_t op, ValFn&& val) const {
     const uint32_t* f = fanin_.data() + fanin_off_[op];
     switch (op_code_[op]) {
       case OpCode::kBuf:
@@ -180,7 +245,7 @@ class CompiledNetlist {
       case OpCode::kNot:
         return ~val(0, f[0]);
       case OpCode::kMux2: {
-        const uint64_t s = val(2, f[2]);
+        const WordT s = val(2, f[2]);
         return (val(0, f[0]) & ~s) | (val(1, f[1]) & s);
       }
       case OpCode::kAnd2:
@@ -197,28 +262,34 @@ class CompiledNetlist {
         return ~(val(0, f[0]) ^ val(1, f[1]));
       case OpCode::kAndN:
       case OpCode::kNandN: {
-        uint64_t acc = ~uint64_t{0};
+        WordT acc = ~WordT{};
         const uint32_t n = fanin_off_[op + 1] - fanin_off_[op];
         for (uint32_t i = 0; i < n; ++i) acc &= val(i, f[i]);
         return op_code_[op] == OpCode::kNandN ? ~acc : acc;
       }
       case OpCode::kOrN:
       case OpCode::kNorN: {
-        uint64_t acc = 0;
+        WordT acc{};
         const uint32_t n = fanin_off_[op + 1] - fanin_off_[op];
         for (uint32_t i = 0; i < n; ++i) acc |= val(i, f[i]);
         return op_code_[op] == OpCode::kNorN ? ~acc : acc;
       }
       case OpCode::kXorN:
       case OpCode::kXnorN: {
-        uint64_t acc = 0;
+        WordT acc{};
         const uint32_t n = fanin_off_[op + 1] - fanin_off_[op];
         for (uint32_t i = 0; i < n; ++i) acc ^= val(i, f[i]);
         return op_code_[op] == OpCode::kXnorN ? ~acc : acc;
       }
     }
     assert(false && "unknown opcode");
-    return 0;
+    return WordT{};
+  }
+
+  /// 64-lane evalOpT (the classic engine entry point).
+  template <typename ValFn>
+  [[nodiscard]] uint64_t evalOp(uint32_t op, ValFn&& val) const {
+    return evalOpT<uint64_t>(op, std::forward<ValFn>(val));
   }
 
   /// Scalar three-valued evaluation of op `op` with fanin values supplied
@@ -293,6 +364,7 @@ class CompiledNetlist {
   std::vector<uint32_t> op_gate_;
   std::vector<uint32_t> fanin_off_;  // size numOps + 1
   std::vector<uint32_t> fanin_;
+  std::vector<uint32_t> level_op_off_;  // size maxLevel + 2
 
   // Per-gate tables.
   std::vector<uint32_t> op_of_;

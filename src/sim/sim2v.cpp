@@ -1,52 +1,74 @@
 #include "sim/sim2v.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace lbist::sim {
 
-Simulator2v::Simulator2v(const Netlist& nl)
-    : nl_(&nl), lev_(nl), compiled_(nl, lev_) {
-  values_.assign(nl.numGates(), 0);
+Simulator2v::Simulator2v(const Netlist& nl, size_t lane_words)
+    : nl_(&nl), lev_(nl), compiled_(nl, lev_), lane_words_(lane_words) {
+  if (!isSupportedLaneWords(lane_words)) {
+    throw std::invalid_argument("Simulator2v: unsupported lane_words");
+  }
+  values_.assign(nl.numGates() * lane_words_, 0);
   nl.forEachGate([&](GateId id, const Gate& g) {
-    if (g.kind == CellKind::kConst1) values_[id.v] = ~uint64_t{0};
+    if (g.kind == CellKind::kConst1) setSource(id, ~uint64_t{0});
   });
 }
 
-uint64_t Simulator2v::evalGate(GateId id) const {
+void Simulator2v::eval() {
+  switch (lane_words_) {
+    case 1:
+      compiled_.evalW<1>(values_.data());
+      break;
+    case 4:
+      compiled_.evalW<4>(values_.data());
+      break;
+    case 8:
+      compiled_.evalW<8>(values_.data());
+      break;
+    default:
+      assert(false && "unsupported lane width");
+  }
+}
+
+uint64_t Simulator2v::evalGate(GateId id, size_t wi) const {
   const Gate& g = nl_->gate(id);
+  const size_t w = lane_words_;
+  const auto val = [&](GateId f) { return values_[size_t{f.v} * w + wi]; };
   // Fast paths for the common arities avoid building a span.
   switch (g.kind) {
     case CellKind::kBuf:
-      return values_[g.fanins[0].v];
+      return val(g.fanins[0]);
     case CellKind::kNot:
-      return ~values_[g.fanins[0].v];
+      return ~val(g.fanins[0]);
     case CellKind::kMux2: {
-      const uint64_t d0 = values_[g.fanins[0].v];
-      const uint64_t d1 = values_[g.fanins[1].v];
-      const uint64_t s = values_[g.fanins[2].v];
+      const uint64_t d0 = val(g.fanins[0]);
+      const uint64_t d1 = val(g.fanins[1]);
+      const uint64_t s = val(g.fanins[2]);
       return (d0 & ~s) | (d1 & s);
     }
     case CellKind::kAnd:
     case CellKind::kNand: {
-      uint64_t acc = values_[g.fanins[0].v];
+      uint64_t acc = val(g.fanins[0]);
       for (size_t i = 1; i < g.fanins.size(); ++i) {
-        acc &= values_[g.fanins[i].v];
+        acc &= val(g.fanins[i]);
       }
       return g.kind == CellKind::kNand ? ~acc : acc;
     }
     case CellKind::kOr:
     case CellKind::kNor: {
-      uint64_t acc = values_[g.fanins[0].v];
+      uint64_t acc = val(g.fanins[0]);
       for (size_t i = 1; i < g.fanins.size(); ++i) {
-        acc |= values_[g.fanins[i].v];
+        acc |= val(g.fanins[i]);
       }
       return g.kind == CellKind::kNor ? ~acc : acc;
     }
     case CellKind::kXor:
     case CellKind::kXnor: {
-      uint64_t acc = values_[g.fanins[0].v];
+      uint64_t acc = val(g.fanins[0]);
       for (size_t i = 1; i < g.fanins.size(); ++i) {
-        acc ^= values_[g.fanins[i].v];
+        acc ^= val(g.fanins[i]);
       }
       return g.kind == CellKind::kXnor ? ~acc : acc;
     }
@@ -55,17 +77,19 @@ uint64_t Simulator2v::evalGate(GateId id) const {
     case CellKind::kConst1:
     case CellKind::kXSource:
     case CellKind::kDff:
-      // Sources hold the word set by setSource() (constants were fixed at
+      // Sources hold the words set by setSource() (constants were fixed at
       // construction); a full pass must not disturb them.
-      return values_[id.v];
+      return val(id);
   }
   assert(false && "unknown cell kind in evalGate");
-  return values_[id.v];
+  return val(id);
 }
 
 void Simulator2v::evalInterpreted() {
   for (GateId id : lev_.combOrder()) {
-    values_[id.v] = evalGate(id);
+    for (size_t wi = 0; wi < lane_words_; ++wi) {
+      values_[size_t{id.v} * lane_words_ + wi] = evalGate(id, wi);
+    }
   }
 }
 

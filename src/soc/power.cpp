@@ -1,5 +1,6 @@
 #include "soc/power.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "core/pattern_source.hpp"
@@ -12,29 +13,43 @@ PowerEstimate PowerModel::estimate(int64_t sample_patterns) const {
   if (sample_patterns <= 0) return est;
 
   const Netlist& nl = core_->netlist;
-  sim::Simulator2v sim(nl);
-  core::PrpgPatternSource source(*core_);
+  sim::Simulator2v sim(nl, lane_words_);
+  core::PrpgPatternSource source(*core_, lane_words_);
+  const int64_t block_lanes = static_cast<int64_t>(sim.lanes());
 
   uint64_t capture_toggles = 0;
   int64_t capture_transitions = 0;
   uint64_t shift_diffs = 0;
   int64_t shift_samples = 0;
 
-  for (int64_t base = 0; base < sample_patterns; base += 64) {
+  for (int64_t base = 0; base < sample_patterns; base += block_lanes) {
     const int lanes = static_cast<int>(
-        sample_patterns - base < 64 ? sample_patterns - base : 64);
+        std::min<int64_t>(block_lanes, sample_patterns - base));
     source.loadBlock(sim, lanes);
     sim.eval();
 
-    // Capture component: lane l of every value word is pattern base+l's
+    // Capture component: lane l of every value row is pattern base+l's
     // steady state, so adjacent-lane XOR popcounts are exactly the gate
-    // toggles between consecutive patterns' capture states.
+    // toggles between consecutive patterns' capture states. The pair
+    // straddling each 64-lane word boundary (lane 63 of word wi vs lane
+    // 0 of word wi+1) is counted explicitly so wide blocks miss nothing.
     if (lanes >= 2) {
-      const uint64_t adj_mask = (~uint64_t{0}) >> (64 - (lanes - 1));
       for (size_t g = 0; g < nl.numGates(); ++g) {
-        const uint64_t w = sim.value(GateId{static_cast<uint32_t>(g)});
-        capture_toggles += static_cast<uint64_t>(
-            std::popcount((w ^ (w >> 1)) & adj_mask));
+        const sim::LaneMask row =
+            sim.valueRow(GateId{static_cast<uint32_t>(g)});
+        for (size_t wi = 0; wi * 64 < static_cast<size_t>(lanes); ++wi) {
+          const uint64_t w = row.word(wi);
+          const int in_word = static_cast<int>(std::min<size_t>(
+              64, static_cast<size_t>(lanes) - wi * 64));
+          if (in_word >= 2) {
+            const uint64_t adj_mask = (~uint64_t{0}) >> (64 - (in_word - 1));
+            capture_toggles += static_cast<uint64_t>(
+                std::popcount((w ^ (w >> 1)) & adj_mask));
+          }
+          if (wi * 64 + 64 < static_cast<size_t>(lanes)) {
+            capture_toggles += ((w >> 63) ^ row.word(wi + 1)) & 1u;
+          }
+        }
       }
       capture_transitions += lanes - 1;
     }
@@ -45,12 +60,17 @@ PowerEstimate PowerModel::estimate(int64_t sample_patterns) const {
     // chain toggle count per shift TCK.
     for (const dft::ScanChain& chain : core_->scan.chains) {
       for (size_t c = 0; c + 1 < chain.cells.size(); ++c) {
-        const uint64_t a = sim.value(chain.cells[c]);
-        const uint64_t b = sim.value(chain.cells[c + 1]);
-        const uint64_t lane_mask =
-            lanes == 64 ? ~uint64_t{0} : (uint64_t{1} << lanes) - 1;
-        shift_diffs += static_cast<uint64_t>(
-            std::popcount((a ^ b) & lane_mask));
+        const sim::LaneMask a = sim.valueRow(chain.cells[c]);
+        const sim::LaneMask b = sim.valueRow(chain.cells[c + 1]);
+        for (size_t wi = 0; wi * 64 < static_cast<size_t>(lanes); ++wi) {
+          const int in_word = static_cast<int>(std::min<size_t>(
+              64, static_cast<size_t>(lanes) - wi * 64));
+          const uint64_t lane_mask =
+              in_word == 64 ? ~uint64_t{0}
+                            : (uint64_t{1} << in_word) - 1;
+          shift_diffs += static_cast<uint64_t>(
+              std::popcount((a.word(wi) ^ b.word(wi)) & lane_mask));
+        }
       }
     }
     shift_samples += lanes;

@@ -44,19 +44,27 @@ struct PowerEstimate {
 };
 
 /// Reusable estimator bound to one BIST-ready core. estimate() is a pure
-/// function of (core, sample_patterns): repeated calls and calls from
-/// different threads return identical numbers.
+/// function of (core, sample_patterns, lane_words): repeated calls and
+/// calls from different threads return identical numbers.
 class PowerModel {
  public:
-  /// Binds `core`; the caller keeps it alive.
-  explicit PowerModel(const core::BistReadyCore& core) : core_(&core) {}
+  /// Binds `core` (the caller keeps it alive) and fixes the lane-block
+  /// width used for sampling (one of sim::isSupportedLaneWords()).
+  /// Capture toggles are counted across word boundaries within a block,
+  /// but block-boundary pattern pairs are never sampled — so wider
+  /// blocks sample a few more consecutive-pattern pairs per run and the
+  /// means can differ in the last decimals across widths (an estimator
+  /// property, not a simulation difference).
+  explicit PowerModel(const core::BistReadyCore& core, size_t lane_words = 1)
+      : core_(&core), lane_words_(lane_words) {}
 
-  /// Samples `sample_patterns` PRPG patterns (rounded up to 64-pattern
-  /// blocks) through the compiled kernel and returns the activity split.
+  /// Samples `sample_patterns` PRPG patterns (in lane-block groups)
+  /// through the compiled kernel and returns the activity split.
   [[nodiscard]] PowerEstimate estimate(int64_t sample_patterns = 256) const;
 
  private:
   const core::BistReadyCore* core_;
+  size_t lane_words_;
 };
 
 }  // namespace lbist::soc

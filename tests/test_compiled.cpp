@@ -90,12 +90,15 @@ class MaskRecorder final : public fault::DetectionObserver {
   struct Event {
     size_t fault_index;
     int64_t pattern_base;
-    uint64_t detect_mask;
+    std::vector<uint64_t> detect_mask;
     friend bool operator==(const Event&, const Event&) = default;
   };
   void onDetectionMask(size_t fault_index, int64_t pattern_base,
-                       uint64_t detect_mask) override {
-    events.push_back({fault_index, pattern_base, detect_mask});
+                       sim::LaneMask detect_mask) override {
+    events.push_back(
+        {fault_index, pattern_base,
+         std::vector<uint64_t>(detect_mask.data(),
+                               detect_mask.data() + detect_mask.words())});
   }
   std::vector<Event> events;
 };
@@ -263,7 +266,7 @@ TEST(EngineDifferential, MasksMatchBruteForceResimulation) {
 
       std::vector<uint64_t> got(faults.size(), 0);
       for (const auto& e : recorder.events) {
-        got[e.fault_index] |= e.detect_mask;
+        got[e.fault_index] |= e.detect_mask.front();  // W = 1 here
       }
       for (size_t i = 0; i < faults.size(); ++i) {
         const fault::Fault& f = faults.record(i).fault;
