@@ -151,7 +151,9 @@ void writeJson(const char* path, const std::vector<AtpgRow>& rows) {
         interp_rate == 0.0 ? 0.0 : rate / interp_rate,
         i + 1 == rows.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  lbist::obs::writeCountersJson(f, "  ");
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path);
 }
@@ -159,9 +161,12 @@ void writeJson(const char* path, const std::vector<AtpgRow>& rows) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  lbist::obs::setMetricsEnabled(true);
+  lbist::bench::BenchObsArgs obs_args;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    obs_args.parse(argv[i]);
   }
 
   struct Workload {
@@ -215,5 +220,6 @@ int main(int argc, char** argv) {
     }
   }
   writeJson("BENCH_atpg.json", rows);
+  obs_args.finish();
   return 0;
 }

@@ -103,7 +103,10 @@ Row runOne(const std::string& name, const core::BistReadyCore& ready,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lbist::obs::setMetricsEnabled(true);
+  lbist::bench::BenchObsArgs obs_args;
+  for (int i = 1; i < argc; ++i) obs_args.parse(argv[i]);
   struct Workload {
     std::string name;
     size_t gates;
@@ -166,8 +169,11 @@ int main() {
         r.dictionary_seconds, r.total_seconds,
         i + 1 == rows.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  lbist::obs::writeCountersJson(f, "  ");
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote BENCH_diag.json\n");
+  obs_args.finish();
   return 0;
 }

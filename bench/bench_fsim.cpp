@@ -307,7 +307,9 @@ void writeSweepJson(const char* path) {
         r.fault_pattern_decisions / r.seconds, speedup,
         i + 1 == rows.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  lbist::obs::writeCountersJson(f, "  ");
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path);
 }
@@ -315,14 +317,20 @@ void writeSweepJson(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Counters are always recorded (the JSON carries a populated counters
+  // section per commit); tracing stays opt-in via --trace=FILE.
+  lbist::obs::setMetricsEnabled(true);
+  lbist::bench::BenchObsArgs obs_args;
   bool sweep_only = false;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = 1; i < argc;) {
     if (std::strcmp(argv[i], "--sweep-only") == 0) {
       sweep_only = true;
-      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
-      --argc;
-      break;
+    } else if (!obs_args.parse(argv[i])) {
+      ++i;
+      continue;
     }
+    for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+    --argc;
   }
   if (!sweep_only) {
     benchmark::Initialize(&argc, argv);
@@ -330,6 +338,11 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
   }
+  // Only the sweep contributes counters: the google-benchmark suites
+  // above rerun arbitrary iteration counts, which would make the totals
+  // meaningless for commit-over-commit diffing.
+  lbist::obs::resetAll();
   writeSweepJson("BENCH_fsim.json");
+  obs_args.finish();
   return 0;
 }

@@ -9,7 +9,15 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#include "obs/obs.hpp"
 
 #ifndef LBIST_GIT_SHA
 #define LBIST_GIT_SHA "unknown"
@@ -44,6 +52,55 @@ inline void writeJsonEscaped(std::FILE* f, const char* s) {
   }
 }
 
+/// CPUs this process may actually run on (the scheduler affinity mask),
+/// as opposed to hardware_concurrency's installed count. Containers and
+/// cgroup-pinned CI runners routinely expose 8 hardware threads while
+/// allowing 1 — the recurring source of misread thread-sweep rows.
+/// Falls back to hardware_concurrency when the mask is unreadable.
+inline unsigned effectiveCpuCount() {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int n = CPU_COUNT(&mask);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+#endif
+  return std::thread::hardware_concurrency();
+}
+
+/// Shared --trace=FILE / --metrics plumbing for the bench mains: parses
+/// the two flags (returning true when `arg` was consumed), enabling the
+/// obs instruments as a side effect — metrics always turn on when either
+/// flag is present so the BENCH JSON counters section is populated.
+struct BenchObsArgs {
+  std::string trace_path;
+
+  bool parse(const char* arg) {
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path = arg + 8;
+      obs::setTraceEnabled(true);
+      obs::setMetricsEnabled(true);
+      return true;
+    }
+    if (std::strcmp(arg, "--metrics") == 0) {
+      obs::setMetricsEnabled(true);
+      return true;
+    }
+    return false;
+  }
+
+  /// Writes trace.json when --trace was given; call once after the runs.
+  void finish() const {
+    if (trace_path.empty()) return;
+    if (obs::writeTraceJson(trace_path)) {
+      std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+    }
+  }
+};
+
 /// Writes the `"meta": {...},` object (with trailing comma) into an
 /// already-open JSON object. `extra_json`, when non-null, is inserted
 /// verbatim as additional members (no leading/trailing comma) — benches
@@ -59,6 +116,7 @@ inline void writeMetaJson(std::FILE* f, const char* extra_json = nullptr) {
   writeJsonEscaped(f, LBIST_CXX_FLAGS);
   std::fprintf(f, "\", \"hardware_concurrency\": %u",
                std::thread::hardware_concurrency());
+  std::fprintf(f, ", \"effective_cpus\": %u", effectiveCpuCount());
   if (extra_json != nullptr) std::fprintf(f, ", %s", extra_json);
   std::fprintf(f, "},\n");
 }

@@ -68,7 +68,9 @@ void writeJson(const char* path, const std::vector<SocRow>& rows) {
         r.bound_ratio, r.wall_seconds, r.failures,
         i + 1 == rows.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  lbist::obs::writeCountersJson(f, "  ");
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path);
 }
@@ -76,9 +78,12 @@ void writeJson(const char* path, const std::vector<SocRow>& rows) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  lbist::obs::setMetricsEnabled(true);
+  lbist::bench::BenchObsArgs obs_args;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    obs_args.parse(argv[i]);
   }
   const int64_t patterns = quick ? 16 : 32;
 
@@ -147,5 +152,6 @@ int main(int argc, char** argv) {
     }
   }
   writeJson("BENCH_soc.json", rows);
+  obs_args.finish();
   return 0;
 }

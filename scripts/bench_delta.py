@@ -9,6 +9,17 @@ code. The row key and the compared metric depend on the document's
 "bench" field (see BENCH_SPECS); the meta blocks are printed so
 apples-to-oranges comparisons (different host, compiler, or flags) are
 visible at a glance.
+
+Beyond the throughput rows, two observability columns are compared:
+
+* The embedded "counters" sections (the obs layer's deterministic work
+  counters) are diffed key by key — a throughput regression with
+  unchanged work counters points at the host, one with a work-counter
+  jump points at the code.
+* Thread-sweep rows whose "threads" exceeds the producing host's
+  meta.effective_cpus (the scheduler affinity mask, not installed CPUs)
+  are flagged: their wall-clock is oversubscription noise, not a
+  scaling measurement.
 """
 
 import json
@@ -48,6 +59,49 @@ def rows(doc, key_fields, metric):
     return out
 
 
+def flag_oversubscribed(label, doc):
+    """Warns about thread-sweep rows the producing host could not run."""
+    cpus = doc.get("meta", {}).get("effective_cpus")
+    if not isinstance(cpus, int) or cpus < 1:
+        return
+    bad = sorted(
+        {
+            r["threads"]
+            for r in doc.get("runs", [])
+            if isinstance(r.get("threads"), int) and r["threads"] > cpus
+        }
+    )
+    if bad:
+        print(
+            f"bench_delta: WARNING: {label} rows with threads {bad} exceed "
+            f"the host's {cpus} effective CPU(s) — wall-clock for those "
+            f"rows measures oversubscription, not scaling"
+        )
+
+
+def diff_counters(old, new):
+    """Prints the per-counter delta of the embedded obs sections."""
+    old_c = old.get("counters") or {}
+    new_c = new.get("counters") or {}
+    if not old_c and not new_c:
+        return
+    names = sorted(set(old_c) | set(new_c))
+    key_w = max(24, max(len(n) for n in names))
+    print(f"\n{'counter':<{key_w}} {'old':>16} {'new':>16} {'delta':>8}")
+    for name in names:
+        o, n = old_c.get(name), new_c.get(name)
+        if o is None or n is None:
+            print(
+                f"{name:<{key_w}} "
+                f"{'-' if o is None else o:>16} "
+                f"{'-' if n is None else n:>16} "
+                f"{'(new)' if o is None else '(gone)':>8}"
+            )
+            continue
+        delta = (n / o - 1.0) * 100.0 if o else float("nan")
+        print(f"{name:<{key_w}} {o:>16} {n:>16} {delta:>+7.1f}%")
+
+
 def main() -> int:
     if len(sys.argv) != 3:
         print(__doc__.strip())
@@ -74,11 +128,14 @@ def main() -> int:
 
     print(f"old meta: {old.get('meta')}")
     print(f"new meta: {new.get('meta')}")
+    flag_oversubscribed("old", old)
+    flag_oversubscribed("new", new)
     old_rows = rows(old, key_fields, metric)
     new_rows = rows(new, key_fields, metric)
     common = sorted(set(old_rows) & set(new_rows), key=str)
     if not common:
         print(f"bench_delta: no common {key_fields} rows")
+        diff_counters(old, new)
         return 0
 
     key_w = max(24, max(len(" ".join(map(str, k))) for k in common))
@@ -98,6 +155,7 @@ def main() -> int:
             f"{label:<{key_w}} {old_v:>16.4f} {new_v:>16.4f} "
             f"{delta:>+7.1f}%{flag}"
         )
+    diff_counters(old, new)
     return 0
 
 

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validator for the obs trace writer's Chrome trace-event JSON.
+
+Usage: check_trace.py TRACE.json [TRACE.json ...]
+
+Checks, per file, the invariants src/obs/obs.cpp's writeTraceJson
+guarantees (and that Perfetto / chrome://tracing rely on to render the
+tracks correctly):
+
+1. The file is well-formed JSON with a "traceEvents" list, and every
+   event carries the keys its phase requires ("M" metadata: name/pid;
+   "X" complete: name/pid/tid plus numeric non-negative ts/dur).
+2. Per track (tid), "X" events appear in begin-ascending order with
+   longer spans first on ties — the writer's sort contract.
+3. Per track, spans nest properly: a span that starts inside another
+   must also end inside it (RAII scopes cannot partially overlap).
+
+Exit status is non-zero when any check fails, so CI can require it.
+"""
+
+import json
+import sys
+
+# Float slack for the writer's %.3f microsecond timestamps.
+EPS_US = 0.002
+
+
+def check_events(events):
+    problems = []
+    tracks = {}  # tid -> [(ts, dur)]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            problems.append(f"event {i}: not an object with a 'ph' key")
+            continue
+        ph = ev["ph"]
+        if ph == "M":
+            if "name" not in ev or "pid" not in ev:
+                problems.append(f"event {i}: metadata without name/pid")
+            continue
+        if ph != "X":
+            problems.append(f"event {i}: unexpected phase '{ph}'")
+            continue
+        missing = [k for k in ("name", "pid", "tid", "ts", "dur")
+                   if k not in ev]
+        if missing:
+            problems.append(f"event {i}: 'X' missing {missing}")
+            continue
+        ts, dur = ev["ts"], ev["dur"]
+        if not all(isinstance(v, (int, float)) for v in (ts, dur)):
+            problems.append(f"event {i}: non-numeric ts/dur")
+            continue
+        if ts < 0 or dur < 0:
+            problems.append(f"event {i}: negative ts/dur ({ts}, {dur})")
+            continue
+        tracks.setdefault(ev["tid"], []).append((ts, dur, ev["name"], i))
+
+    for tid, spans in sorted(tracks.items()):
+        prev = None
+        stack = []  # (end_ts, name) of still-open enclosing spans
+        for ts, dur, name, i in spans:
+            if prev is not None:
+                pts, pdur = prev
+                ordered = ts > pts + EPS_US or (
+                    abs(ts - pts) <= EPS_US and dur <= pdur + EPS_US
+                )
+                if not ordered:
+                    problems.append(
+                        f"tid {tid} event {i} ('{name}'): out of order — "
+                        f"tracks must be (ts asc, dur desc) sorted"
+                    )
+            prev = (ts, dur)
+            while stack and ts >= stack[-1][0] - EPS_US:
+                stack.pop()
+            if stack and ts + dur > stack[-1][0] + EPS_US:
+                problems.append(
+                    f"tid {tid} event {i} ('{name}'): span "
+                    f"[{ts}, {ts + dur}] partially overlaps enclosing "
+                    f"'{stack[-1][1]}' ending at {stack[-1][0]}"
+                )
+            stack.append((ts + dur, name))
+    return problems
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"cannot parse: {e}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["no 'traceEvents' list"]
+    if not any(isinstance(e, dict) and e.get("ph") == "X" for e in events):
+        return ["no 'X' span events — an empty trace is a broken trace"]
+    return check_events(events)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip())
+        return 2
+    failed = False
+    for path in sys.argv[1:]:
+        problems = check_file(path)
+        for p in problems:
+            print(f"{path}: {p}")
+        if problems:
+            failed = True
+        else:
+            print(f"check_trace: {path} ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

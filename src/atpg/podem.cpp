@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace lbist::atpg {
 
 namespace {
@@ -161,6 +163,7 @@ void Podem::propagateFrom(uint32_t start) {
           cn_.evalOp3(op, [&](size_t, uint32_t src) { return gval_[src]; });
       const uint8_t nf = evalFaulty3(op);
       if (ng == gval_[g] && nf == fval_[g]) continue;
+      ++implications_used_;
       trail_.push_back({g, gval_[g], fval_[g]});
       gval_[g] = ng;
       fval_[g] = nf;
@@ -511,8 +514,31 @@ std::pair<GateId, uint8_t> Podem::backtrace(GateId net, uint8_t v) {
 }
 
 AtpgStatus Podem::generate(const fault::Fault& f, TestCube& out) {
+  OBS_SPAN("atpg.target");
+  const AtpgStatus status = generateImpl(f, out);
+  OBS_COUNT("atpg.targets", 1);
+  OBS_COUNT("atpg.backtracks", backtracks_used_);
+  OBS_COUNT("atpg.implications", implications_used_);
+  OBS_COUNT("atpg.restarts", restarts_used_);
+  switch (status) {
+    case AtpgStatus::kDetected:
+      OBS_COUNT("atpg.cubes", 1);
+      break;
+    case AtpgStatus::kUntestable:
+      OBS_COUNT("atpg.untestable", 1);
+      break;
+    case AtpgStatus::kAborted:
+      OBS_COUNT("atpg.aborts", 1);
+      break;
+  }
+  return status;
+}
+
+AtpgStatus Podem::generateImpl(const fault::Fault& f, TestCube& out) {
   fault_ = f;
   backtracks_used_ = 0;
+  implications_used_ = 0;
+  restarts_used_ = 0;
   faulty_const_ =
       f.type == fault::FaultType::kStuckAt1 ? kV1 : kV0;
 
@@ -555,6 +581,7 @@ AtpgStatus Podem::generate(const fault::Fault& f, TestCube& out) {
   // solution spaces.
   AtpgStatus last = AtpgStatus::kAborted;
   for (int attempt = 0; attempt <= opts_.restarts; ++attempt) {
+    if (attempt > 0) ++restarts_used_;
     salt_ = attempt == 0
                 ? 0
                 : (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(attempt));

@@ -154,6 +154,7 @@ class Podem final : public PodemEngine {
       GateId net);
   [[nodiscard]] std::pair<GateId, uint8_t> backtrace(GateId net, uint8_t v);
   [[nodiscard]] AtpgStatus searchOnce(bool direct, TestCube& out);
+  [[nodiscard]] AtpgStatus generateImpl(const fault::Fault& f, TestCube& out);
   [[nodiscard]] bool saltBit(GateId g) const;
 
   const Netlist* nl_;
@@ -201,6 +202,11 @@ class Podem final : public PodemEngine {
   uint32_t serial_ = 0;
 
   size_t backtracks_used_ = 0;
+  // Per-target observability tallies (obs counters, result-neutral):
+  // implied value writes and salted restart attempts consumed by the
+  // last generate() call.
+  uint64_t implications_used_ = 0;
+  uint64_t restarts_used_ = 0;
   uint64_t salt_ = 0;
   BlockReason block_reason_ = BlockReason::kNone;
 };

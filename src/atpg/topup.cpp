@@ -11,6 +11,7 @@
 
 #include "atpg/podem_interp.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace lbist::atpg {
 
@@ -105,6 +106,7 @@ void reverseCompact(const Netlist& nl, const fault::FaultList& faults,
   }
   const size_t n_pat = result.patterns.size();
   if (topup_faults.empty() || n_pat <= 1) return;
+  OBS_SPAN("atpg.reverse_compact");
 
   const size_t n_blocks = (n_pat + 63) / 64;
   std::vector<std::vector<uint64_t>> rows(
@@ -189,6 +191,7 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
                      const std::vector<GateId>& assignable,
                      const std::vector<std::pair<GateId, bool>>& fixed_sources,
                      const TopUpConfig& cfg) {
+  OBS_SPAN("atpg.topup");
   TopUpResult result;
   const unsigned n_threads =
       cfg.threads != 0
@@ -237,6 +240,7 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
     if (cfg.max_patterns != 0 && result.patterns.size() >= cfg.max_patterns) {
       break;
     }
+    OBS_SPAN("atpg.round");
     // --- pick the round's targets serially, in fault-list order ----------
     targets.clear();
     for (size_t fi = 0; fi < faults.size() && targets.size() < kBatchTargets;
@@ -314,6 +318,8 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
       }
     }
     if (batch.empty()) continue;  // round produced only aborts/proofs
+    OBS_COUNT("atpg.rounds", 1);
+    OBS_COUNT("atpg.patterns", batch.size());
 
     // --- fill, store, and fault-simulate the batch ------------------------
     std::vector<uint64_t> lane_words(assignable.size(), 0);

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "sim/lane.hpp"
 
 namespace lbist::core {
@@ -27,6 +28,9 @@ PrpgPatternSource::PrpgPatternSource(const BistReadyCore& core,
 
 void PrpgPatternSource::computeCellWords(int lanes) {
   assert(lanes >= 0 && static_cast<size_t>(lanes) <= this->lanes());
+  OBS_SPAN("prpg.block_load");
+  OBS_COUNT("prpg.block_loads", 1);
+  OBS_COUNT("prpg.patterns", static_cast<uint64_t>(lanes));
   const int shift_cycles = core_->shiftCyclesPerPattern();
 
   std::fill(cell_words_.begin(), cell_words_.end(), 0);

@@ -1,6 +1,9 @@
 #include "core/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace lbist::core {
 
@@ -8,7 +11,12 @@ ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(threads - 1);
   for (unsigned i = 0; i + 1 < threads; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+    // Label each worker's trace track up front (the caller thread is
+    // worker 0); a one-time shard registration, free thereafter.
+    workers_.emplace_back([this, i] {
+      obs::setThreadName("pool-worker-" + std::to_string(i + 1));
+      workerLoop();
+    });
   }
 }
 

@@ -41,6 +41,7 @@
 
 namespace lbist::diag {
 
+/// Knobs for the three-stage diagnosis flow (see file comment).
 struct DiagnosisOptions {
   /// Diagnostic session length. Shorter than a production run: the goal
   /// is resolution per CPU second, not coverage.
@@ -86,10 +87,12 @@ struct Syndrome {
   /// Empty = unknown (single-signature testers).
   std::vector<uint8_t> failing_domains;
 
+  /// Checkpoint count incl. the final signature (dirty_windows size).
   [[nodiscard]] size_t numWindows() const {
     return static_cast<size_t>(
         signature_interval > 0 ? patterns / signature_interval + 1 : 1);
   }
+  /// True when at least one window injected new MISR errors.
   [[nodiscard]] bool anyDirty() const;
 };
 
@@ -100,6 +103,7 @@ struct Syndrome {
 [[nodiscard]] int64_t windowOfPattern(int64_t pattern, int64_t interval,
                                       size_t num_windows);
 
+/// One ranked fault-site hypothesis in a Diagnosis.
 struct Candidate {
   size_t fault_index = 0;
   fault::Fault fault;
@@ -110,6 +114,8 @@ struct Candidate {
   bool confirmed = false;  // session replay reproduced the trace
 };
 
+/// Full diagnosis outcome: syndrome, ranked candidates, and the cost /
+/// resolution statistics the diag bench tracks.
 struct Diagnosis {
   /// False when the die passed (signatures matched) — no candidates.
   bool failed = false;
@@ -125,8 +131,11 @@ struct Diagnosis {
   double total_seconds = 0.0;
 };
 
+/// Drives the NARROW -> MATCH -> CONFIRM flow for one BIST-ready core,
+/// caching the golden run and the response dictionary across calls.
 class Diagnoser {
  public:
+  /// `core` must outlive the diagnoser (sessions replay against it).
   Diagnoser(const core::BistReadyCore& core, DiagnosisOptions opts = {});
 
   /// Full flow against a (defective) die netlist: golden + failing
@@ -149,6 +158,7 @@ class Diagnoser {
   /// The response dictionary (built on first use).
   [[nodiscard]] const ResponseDictionary& dictionary();
 
+  /// The options the diagnoser was constructed with.
   [[nodiscard]] const DiagnosisOptions& options() const { return opts_; }
 
  private:

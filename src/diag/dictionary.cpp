@@ -6,6 +6,7 @@
 
 #include "core/pattern_source.hpp"
 #include "fault/fsim.hpp"
+#include "obs/obs.hpp"
 
 namespace lbist::diag {
 
@@ -101,6 +102,9 @@ ResponseDictionary buildResponseDictionary(const core::BistReadyCore& core,
                                            DictionaryBuildStats* stats,
                                            uint32_t min_faults_per_thread,
                                            uint32_t lane_words) {
+  OBS_SPAN("diag.dict_build");
+  OBS_COUNT("diag.dict_builds", 1);
+  OBS_COUNT("diag.dict_rows", faults.size());
   const auto t0 = std::chrono::steady_clock::now();
   ResponseDictionary dict(faults.size(), n_patterns);
   DictionaryRecorder recorder(dict);
@@ -126,14 +130,18 @@ ResponseDictionary buildResponseDictionary(const core::BistReadyCore& core,
 
   core::PrpgPatternSource source(core, lane_words);
   const int64_t block_lanes = static_cast<int64_t>(fsim.lanes());
-  for (int64_t base = 0; base < n_patterns; base += block_lanes) {
-    const int lanes =
-        static_cast<int>(std::min<int64_t>(block_lanes, n_patterns - base));
-    source.loadBlock(fsim, lanes);
-    if (transition) {
-      fsim.simulateBlockTransition(base, lanes);
-    } else {
-      fsim.simulateBlockStuckAtStaged(base, lanes, stages);
+  {
+    OBS_SPAN("diag.dict_simulate");
+    for (int64_t base = 0; base < n_patterns; base += block_lanes) {
+      const int lanes =
+          static_cast<int>(std::min<int64_t>(block_lanes, n_patterns - base));
+      source.loadBlock(fsim, lanes);
+      if (transition) {
+        fsim.simulateBlockTransition(base, lanes);
+      } else {
+        fsim.simulateBlockStuckAtStaged(base, lanes, stages);
+      }
+      OBS_COUNT("diag.dict_blocks", 1);
     }
   }
 

@@ -20,11 +20,16 @@
 
 namespace lbist::diag {
 
+/// Packed per-fault, per-pattern detection bitmaps (one row per fault,
+/// 64 patterns per word) — the MATCH stage's lookup structure.
 class ResponseDictionary {
  public:
+  /// Allocates an all-zero n_faults x n_patterns bitmap.
   ResponseDictionary(size_t n_faults, int64_t n_patterns);
 
+  /// Row count (one per fault in the diagnosed universe).
   [[nodiscard]] size_t faults() const { return n_faults_; }
+  /// Patterns covered by each row.
   [[nodiscard]] int64_t patterns() const { return n_patterns_; }
 
   /// ORs a 64-lane detection mask into `fault`'s row (lane l = pattern
@@ -36,6 +41,7 @@ class ResponseDictionary {
   /// clamped, so a partial final block records safely.
   void recordMask(size_t fault, int64_t pattern_base, sim::LaneMask mask);
 
+  /// True when `fault`'s response differs from golden at `pattern`.
   [[nodiscard]] bool detects(size_t fault, int64_t pattern) const;
 
   /// The packed row, 64 patterns per word, LSB-first.
@@ -46,8 +52,10 @@ class ResponseDictionary {
   /// First pattern detecting `fault`, or -1 if the row is empty.
   [[nodiscard]] int64_t firstDetection(size_t fault) const;
 
+  /// Number of patterns detecting `fault` (its row's popcount).
   [[nodiscard]] size_t detectionCount(size_t fault) const;
 
+  /// The row expanded to an ascending pattern-index list.
   [[nodiscard]] std::vector<int64_t> failingPatterns(size_t fault) const;
 
   /// Total dictionary storage in bytes (the memory side of the
@@ -63,6 +71,8 @@ class ResponseDictionary {
   std::vector<uint64_t> bits_;
 };
 
+/// Cost summary of one buildResponseDictionary call (bench/report
+/// fodder; `seconds` is wall-clock, the rest deterministic).
 struct DictionaryBuildStats {
   int64_t patterns = 0;
   size_t faults = 0;

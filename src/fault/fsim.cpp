@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace lbist::fault {
 
 using sim::LaneWord;
@@ -258,6 +260,10 @@ LaneWord<W> FaultSimulator::propagateSeedsW(
     return detect;
   }
 
+  // Tallied locally in the drain loop, flushed once per call: the wheel
+  // is far too hot for a per-event enabled check.
+  uint64_t popped = 0;
+
   // Drain the wheel in level order. A processed gate only ever schedules
   // strictly higher levels (the netlist is a DAG), so one forward scan
   // of the occupancy bitmap visits every non-empty bucket.
@@ -270,6 +276,7 @@ LaneWord<W> FaultSimulator::propagateSeedsW(
       auto& bucket = sc.level_queue[l];
       for (size_t i = 0; i < bucket.size(); ++i) {
         const uint32_t g = bucket[i];
+        ++popped;
         LaneWord<W> newval;
         if (g != forced_gate) [[likely]] {
           newval = cn.evalOpT<LaneWord<W>>(
@@ -300,6 +307,7 @@ LaneWord<W> FaultSimulator::propagateSeedsW(
             // result. Clear the outstanding schedule and stop.
             bucket.clear();
             clear_schedule(w);
+            OBS_COUNT("fsim.events_popped", popped);
             return detect;
           }
         }
@@ -308,6 +316,7 @@ LaneWord<W> FaultSimulator::propagateSeedsW(
       bucket.clear();
     }
   }
+  OBS_COUNT("fsim.events_popped", popped);
   return detect;
 }
 
@@ -384,6 +393,8 @@ FaultSimulator::InjectResultW<W> FaultSimulator::injectTransitionW(
 template <size_t W>
 void FaultSimulator::computeObservabilityW(const LaneWord<W>& lane_mask,
                                            unsigned n_threads) {
+  OBS_SPAN("fsim.cpt_observability");
+  OBS_COUNT("fsim.stem_propagations", stems_.size());
   constexpr uint32_t kStemMark = 0xffffffffu;
   const uint64_t* const good = good_.rawValues().data();
   const sim::CompiledNetlist& cn = *compiled_;
@@ -476,6 +487,16 @@ size_t FaultSimulator::simulateActiveFaultsW(int64_t pattern_base,
       break;
   }
   if (capture_reach) use_cpt = false;
+
+  OBS_SPAN("fsim.block");
+  OBS_COUNT("fsim.blocks", 1);
+  OBS_COUNT("fsim.live_faults", active_.size());
+  OBS_COUNT("fsim.live_classes", n_compute);
+  if (use_cpt) {
+    OBS_COUNT("fsim.blocks_stem_cpt", 1);
+  } else {
+    OBS_COUNT("fsim.blocks_per_fault", 1);
+  }
 
   const uint64_t* const good_vals = good_.rawValues().data();
   const uint64_t* const launch_vals = launch_values_.data();
@@ -590,6 +611,8 @@ size_t FaultSimulator::mergeBlock(int64_t pattern_base, bool buffer_reach) {
     }
     active_[out++] = fi;
   }
+  OBS_COUNT("fsim.detections", newly_detected);
+  OBS_COUNT("fsim.faults_dropped", n_active - out);
   active_.resize(out);
   return newly_detected;
 }
@@ -603,6 +626,8 @@ size_t FaultSimulator::simulateStagedW(
   const size_t n_active = active_.size();
   const size_t n_stages = stages.size();
   if (n_active == 0 || n_stages == 0) return 0;
+  OBS_SPAN("fsim.staged_block");
+  OBS_COUNT("fsim.staged_blocks", 1);
 
   // Good-machine capture frames: frame 0 is the loaded state; frame j+1
   // has stages[0..j] updated to their captured values.
@@ -741,6 +766,7 @@ size_t FaultSimulator::simulateBatchW(int64_t pattern_base, size_t n_blocks,
   }
   if (reach_observer_ != nullptr || opts_.engine == BlockEngine::kStemCpt ||
       dense_auto || requested_threads <= 1 || n_blocks <= 1) {
+    OBS_COUNT("fsim.batch_sequential_fallbacks", 1);
     size_t newly = 0;
     for (size_t b = 0; b < n_blocks; ++b) {
       const int lanes_b = load(b, good_);
@@ -788,6 +814,10 @@ size_t FaultSimulator::simulateBatchW(int64_t pattern_base, size_t n_blocks,
   const unsigned n_threads = resolveThreads(n_compute * used_blocks);
   ensureWorkersW<W>(n_threads);
 
+  OBS_SPAN("fsim.batch");
+  OBS_COUNT("fsim.batch_dispatches", 1);
+  OBS_COUNT("fsim.batch_blocks", used_blocks);
+
   batch_hits_.resize(std::max<size_t>(batch_hits_.size(), n_threads));
   for (unsigned t = 0; t < n_threads; ++t) {
     batch_hits_[t].resize(
@@ -831,6 +861,8 @@ size_t FaultSimulator::simulateBatchW(int64_t pattern_base, size_t n_blocks,
   // and appends non-empty masks to its own per-block hit queue.
   auto compute_range = [&](unsigned shard, ScratchW<W>& sc, size_t lo,
                            size_t hi) {
+    uint64_t hit_rows = 0;
+    uint64_t deferred_blocks = 0;
     for (size_t ci = lo; ci < hi; ++ci) {
       const Fault& f = faults_->record(compute_faults_[ci]).fault;
       const uint32_t need = batch_slot_need_[ci];
@@ -851,6 +883,7 @@ size_t FaultSimulator::simulateBatchW(int64_t pattern_base, size_t n_blocks,
                                        /*record_touched=*/false, inj.diff);
         }
         if (detect.any()) {
+          ++hit_rows;
           HitQueue& q = batch_hits_[shard][b];
           q.slots.push_back(static_cast<uint32_t>(ci));
           const size_t off = q.rows.size();
@@ -860,11 +893,16 @@ size_t FaultSimulator::simulateBatchW(int64_t pattern_base, size_t n_blocks,
             got += static_cast<uint32_t>(detect.popcount());
             // The sequential loop drops this class before the next
             // block; its remaining masks would be discarded unseen.
-            if (got >= need) break;
+            if (got >= need) {
+              deferred_blocks += used_blocks - 1 - b;
+              break;
+            }
           }
         }
       }
     }
+    OBS_COUNT("fsim.batch_hit_rows", hit_rows);
+    OBS_COUNT("fsim.batch_deferred_blocks", deferred_blocks);
   };
   if (n_threads <= 1) {
     compute_range(0, static_cast<ScratchW<W>&>(*scratch_[0]), 0, n_compute);
@@ -898,6 +936,7 @@ size_t FaultSimulator::reduceBatch(int64_t pattern_base, size_t n_blocks,
   }
   batch_dropped_.assign(n_active, 0);
   size_t newly_detected = 0;
+  size_t dropped = 0;
   bool any_dropped = false;
 
   for (size_t b = 0; b < n_blocks; ++b) {
@@ -941,6 +980,7 @@ size_t FaultSimulator::reduceBatch(int64_t pattern_base, size_t n_blocks,
       if (opts_.drop_detected && rec.detect_count >= opts_.n_detect) {
         batch_dropped_[ai] = 1;
         any_dropped = true;
+        ++dropped;
       }
     }
   }
@@ -952,6 +992,8 @@ size_t FaultSimulator::reduceBatch(int64_t pattern_base, size_t n_blocks,
     }
     active_.resize(out);
   }
+  OBS_COUNT("fsim.detections", newly_detected);
+  OBS_COUNT("fsim.faults_dropped", dropped);
   return newly_detected;
 }
 

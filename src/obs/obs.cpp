@@ -1,0 +1,299 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace lbist::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// One buffered trace event (a completed span on one thread's track).
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// Per-name timing accumulator inside one shard.
+struct Hist {
+  uint64_t count = 0;
+  double total = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = 0.0;
+};
+
+/// One thread's private slice of every instrument. Owned by the global
+/// registry (so totals survive thread exit — ThreadPool workers die
+/// with their pool, snapshots happen later) and written only by its
+/// thread; snapshots/resets must run at quiescent points, which is
+/// where every caller in the tree takes them.
+struct Shard {
+  std::vector<uint64_t> counts;  // by counter id
+  std::vector<Hist> timers;      // by timer id
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;  // stable per-thread track ordinal (1-based)
+  std::string thread_name;
+};
+
+/// Process-wide instrument state: interned names and the shard list.
+/// All members mutex-guarded; the hot path touches it only on first
+/// use per thread / per name.
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, uint32_t> counter_ids;
+  std::vector<std::string> counter_names;
+  std::unordered_map<std::string, uint32_t> timer_ids;
+  std::vector<std::string> timer_names;
+  std::vector<std::unique_ptr<Shard>> shards;
+  uint32_t next_tid = 1;
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+};
+
+thread_local Shard* tls_shard = nullptr;
+
+Shard& myShard() {
+  if (tls_shard == nullptr) {
+    Registry& reg = Registry::instance();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.shards.push_back(std::make_unique<Shard>());
+    reg.shards.back()->tid = reg.next_tid++;
+    tls_shard = reg.shards.back().get();
+  }
+  return *tls_shard;
+}
+
+uint32_t internName(std::unordered_map<std::string, uint32_t>& ids,
+                    std::vector<std::string>& names, std::string_view name) {
+  std::string key(name);
+  const auto it = ids.find(key);
+  if (it != ids.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(names.size());
+  names.push_back(key);
+  ids.emplace(std::move(key), id);
+  return id;
+}
+
+std::chrono::steady_clock::time_point traceEpoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Emits `s` with JSON string escaping (span/thread names are
+/// code-controlled, but a stray quote must not corrupt the file).
+void writeEscaped(std::FILE* f, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', f);
+      std::fputc(c, f);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(f, "\\u%04x", c);
+    } else {
+      std::fputc(c, f);
+    }
+  }
+}
+
+}  // namespace
+
+void setMetricsEnabled(bool enabled) {
+  detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void setTraceEnabled(bool enabled) {
+  // Pin the epoch before the first span so timestamps are non-negative.
+  if (enabled) traceEpoch();
+  detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint32_t counterId(std::string_view name) {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return internName(reg.counter_ids, reg.counter_names, name);
+}
+
+uint32_t timerId(std::string_view name) {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  return internName(reg.timer_ids, reg.timer_names, name);
+}
+
+void addCount(uint32_t id, uint64_t delta) {
+  Shard& s = myShard();
+  if (s.counts.size() <= id) s.counts.resize(id + 1, 0);
+  s.counts[id] += delta;
+}
+
+void addTiming(uint32_t id, double seconds) {
+  Shard& s = myShard();
+  if (s.timers.size() <= id) s.timers.resize(id + 1);
+  Hist& h = s.timers[id];
+  ++h.count;
+  h.total += seconds;
+  h.min = std::min(h.min, seconds);
+  h.max = std::max(h.max, seconds);
+}
+
+void addSpan(std::string_view name, double ts_us, double dur_us) {
+  myShard().events.push_back(
+      TraceEvent{std::string(name), ts_us, dur_us});
+}
+
+void setThreadName(std::string_view name) {
+  myShard().thread_name.assign(name);
+}
+
+double nowTraceMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - traceEpoch())
+      .count();
+}
+
+std::vector<CounterValue> counterSnapshot() {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<CounterValue> out(reg.counter_names.size());
+  for (size_t i = 0; i < out.size(); ++i) out[i].name = reg.counter_names[i];
+  for (const auto& shard : reg.shards) {
+    for (size_t i = 0; i < shard->counts.size(); ++i) {
+      out[i].value += shard->counts[i];
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CounterValue& a, const CounterValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::vector<TimerValue> timerSnapshot() {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<TimerValue> out(reg.timer_names.size());
+  for (size_t i = 0; i < out.size(); ++i) out[i].name = reg.timer_names[i];
+  for (const auto& shard : reg.shards) {
+    for (size_t i = 0; i < shard->timers.size(); ++i) {
+      const Hist& h = shard->timers[i];
+      if (h.count == 0) continue;
+      TimerValue& t = out[i];
+      t.total_seconds += h.total;
+      t.min_seconds = t.count == 0 ? h.min : std::min(t.min_seconds, h.min);
+      t.max_seconds = std::max(t.max_seconds, h.max);
+      t.count += h.count;
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TimerValue& a, const TimerValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+uint64_t counterValue(std::string_view name) {
+  for (const CounterValue& c : counterSnapshot()) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+void resetAll() {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& shard : reg.shards) {
+    std::fill(shard->counts.begin(), shard->counts.end(), 0);
+    std::fill(shard->timers.begin(), shard->timers.end(), Hist{});
+    shard->events.clear();
+  }
+}
+
+bool writeTraceJson(const std::string& path) {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  std::fprintf(f,
+               "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+               "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, "
+               "\"args\": {\"name\": \"lbist\"}}");
+
+  for (const auto& shard : reg.shards) {
+    if (shard->events.empty() && shard->thread_name.empty()) continue;
+    std::fprintf(f,
+                 ",\n{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
+                 "\"tid\": %u, \"args\": {\"name\": \"",
+                 shard->tid);
+    writeEscaped(f, shard->thread_name.empty()
+                        ? "thread-" + std::to_string(shard->tid)
+                        : shard->thread_name);
+    std::fprintf(f, "\"}}");
+
+    // RAII spans complete in reverse-begin order within a nest, so the
+    // buffer is not ts-sorted; the viewer and check_trace.py both want
+    // begin-ascending per track. stable_sort keeps equal-ts parents
+    // before their zero-length children only if dur ties break longer
+    // first, so sort on (ts, -dur).
+    std::vector<const TraceEvent*> evs;
+    evs.reserve(shard->events.size());
+    for (const TraceEvent& e : shard->events) evs.push_back(&e);
+    std::stable_sort(evs.begin(), evs.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
+                       return a->dur_us > b->dur_us;
+                     });
+    for (const TraceEvent* e : evs) {
+      std::fprintf(f,
+                   ",\n{\"ph\": \"X\", \"name\": \"");
+      writeEscaped(f, e->name);
+      std::fprintf(f,
+                   "\", \"cat\": \"lbist\", \"pid\": 1, \"tid\": %u, "
+                   "\"ts\": %.3f, \"dur\": %.3f}",
+                   shard->tid, e->ts_us, e->dur_us);
+    }
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  return true;
+}
+
+void writeCountersJson(std::FILE* f, const char* indent) {
+  const std::vector<CounterValue> counters = counterSnapshot();
+  std::fprintf(f, "%s\"counters\": {", indent);
+  for (size_t i = 0; i < counters.size(); ++i) {
+    std::fprintf(f, "%s\n%s  \"", i == 0 ? "" : ",", indent);
+    writeEscaped(f, counters[i].name);
+    std::fprintf(f, "\": %llu",
+                 static_cast<unsigned long long>(counters[i].value));
+  }
+  std::fprintf(f, "\n%s}", indent);
+}
+
+SpanScope::SpanScope(const char* name, uint32_t tid)
+    : name_(name),
+      timer_id_(tid),
+      armed_(metricsEnabled()),
+      trace_(traceEnabled()) {
+  if (armed_ || trace_) start_us_ = nowTraceMicros();
+}
+
+SpanScope::~SpanScope() {
+  if (!armed_ && !trace_) return;
+  const double end_us = nowTraceMicros();
+  const double dur_us = end_us - start_us_;
+  if (armed_) addTiming(timer_id_, dur_us * 1e-6);
+  if (trace_) addSpan(name_, start_us_, dur_us);
+}
+
+}  // namespace lbist::obs

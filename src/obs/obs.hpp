@@ -1,0 +1,201 @@
+// Observability layer: deterministic counters, histogram timers, and
+// scoped span tracing for every engine in the stack.
+//
+// Three instruments, all disabled by default and all result-neutral
+// (ARCHITECTURE.md contract 5 — enabling any of them never changes a
+// detection mask, pattern set, or checkpoint byte, only what is
+// *recorded about* the run):
+//
+//  * Counters (OBS_COUNT): named monotonic uint64 totals, sharded
+//    per OS thread so hot loops never contend on an atomic. A snapshot
+//    merges the shards by summation — commutative, so the merged value
+//    is independent of thread scheduling — and reports counters sorted
+//    by name, giving a deterministic counter section for any
+//    deterministic workload regardless of worker count or interleaving
+//    (the fault-list-order analogue for metrics).
+//  * Histogram timers (OBS_SPAN's metrics half): per-name call count,
+//    total/min/max wall seconds. Durations are measurement, not
+//    behavior — like TopUpResult::atpg_seconds they are exempt from
+//    bit-identity, but the call *counts* merge deterministically.
+//  * Spans (OBS_SPAN's trace half): scoped begin/end pairs recorded
+//    per thread and written as Chrome trace-event JSON ("X" complete
+//    events, one track per participating thread) that Perfetto /
+//    chrome://tracing load directly (writeTraceJson).
+//
+// Cost model: every macro compiles to a single relaxed boolean test
+// when the corresponding instrument is off, and to nothing at all when
+// LBIST_OBS_OFF is defined. Instrumented code must not change any
+// control flow, RNG consumption, or iteration order based on obs state
+// — the differential tests in tests/test_obs.cpp run whole campaigns
+// with everything on vs off and require bit-identical results.
+//
+// Counter naming convention (enforced by ARCHITECTURE.md): lowercase
+// dotted paths, "<subsystem>.<noun>[_<verb>]", subsystem matching the
+// src/ directory that increments it — e.g. fsim.events_popped,
+// atpg.backtracks, prpg.block_loads, diag.dict_rows, soc.cores_run.
+// Totals only; derived rates (events/pattern, backtracks/target) are
+// computed by readers such as scripts/bench_delta.py.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lbist::obs {
+
+namespace detail {
+// Backing flags for the inline enabled() reads. Relaxed loads: the
+// instruments tolerate a stale view for a few instructions; flips at
+// quiescent points (where all snapshots happen) are always seen.
+extern std::atomic<bool> g_metrics_enabled;
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// Flat snapshot row of one merged counter.
+struct CounterValue {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// Flat snapshot row of one merged histogram timer. Counts merge
+/// deterministically; the seconds fields carry wall time and are exempt
+/// from bit-identity (measurement, not behavior).
+struct TimerValue {
+  std::string name;
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+/// Enables/disables the counter + histogram-timer instruments. Off by
+/// default; flipping it mid-run is allowed (shards already written keep
+/// their totals).
+void setMetricsEnabled(bool enabled);
+/// Enables/disables span trace recording. Off by default. Events are
+/// buffered in memory per thread until writeTraceJson / resetAll.
+void setTraceEnabled(bool enabled);
+
+/// True when OBS_COUNT / the metrics half of OBS_SPAN record. Inline:
+/// this is the single branch every disabled instrumentation site pays.
+[[nodiscard]] inline bool metricsEnabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+/// True when the trace half of OBS_SPAN records.
+[[nodiscard]] inline bool traceEnabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Interns `name` and returns its stable counter id (process lifetime).
+/// Cold path — the macros cache the id in a function-local static.
+[[nodiscard]] uint32_t counterId(std::string_view name);
+/// Interns `name` and returns its stable timer id (process lifetime).
+[[nodiscard]] uint32_t timerId(std::string_view name);
+
+/// Adds `delta` to counter `id` on this thread's shard. Callers go
+/// through OBS_COUNT, which guards with metricsEnabled().
+void addCount(uint32_t id, uint64_t delta);
+/// Records one `seconds` observation for timer `id` on this thread's
+/// shard. Callers go through OBS_SPAN.
+void addTiming(uint32_t id, double seconds);
+/// Appends a completed span (begin timestamp + duration, microseconds
+/// since the trace epoch) to this thread's trace track.
+void addSpan(std::string_view name, double ts_us, double dur_us);
+
+/// Labels this thread's trace track (e.g. "fsim-worker-2"); shown as
+/// the track name in Perfetto. Safe to call with tracing off.
+void setThreadName(std::string_view name);
+
+/// Microseconds since the process trace epoch — the timebase addSpan
+/// expects.
+[[nodiscard]] double nowTraceMicros();
+
+/// Deterministic merged counter snapshot: per-thread shards summed,
+/// rows sorted by name, zero-valued counters included once interned.
+[[nodiscard]] std::vector<CounterValue> counterSnapshot();
+/// Merged timer snapshot, sorted by name (counts deterministic, seconds
+/// wall-clock).
+[[nodiscard]] std::vector<TimerValue> timerSnapshot();
+/// Merged value of one counter by name (0 when never interned).
+[[nodiscard]] uint64_t counterValue(std::string_view name);
+
+/// Clears every shard's counters, timers, and buffered trace events.
+/// Interned names/ids survive (they are process-stable).
+void resetAll();
+
+/// Writes all buffered spans as Chrome trace-event JSON ("X" complete
+/// events plus thread_name metadata, one tid per participating thread,
+/// sorted by begin timestamp within a tid) loadable in Perfetto or
+/// chrome://tracing. Returns false when the file cannot be opened.
+/// scripts/check_trace.py validates the invariants this writer
+/// guarantees.
+bool writeTraceJson(const std::string& path);
+
+/// Appends a `"counters": {...}` JSON object (no trailing comma) for
+/// the current merged snapshot to an open stream — the bench writers
+/// embed it in their BENCH_*.json so scripts/bench_delta.py can diff
+/// counters next to throughput. `indent` is prepended to every line.
+void writeCountersJson(std::FILE* f, const char* indent);
+
+/// RAII span: records a histogram timing (metrics) and a trace event
+/// (tracing) for the enclosed scope. Instantiate via OBS_SPAN. When
+/// both instruments are off at construction the destructor is a single
+/// branch.
+class SpanScope {
+ public:
+  /// `name` must outlive the scope (the macros pass string literals);
+  /// `tid` is the cached timer id for the metrics half.
+  SpanScope(const char* name, uint32_t tid);
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* name_;
+  uint32_t timer_id_;
+  bool armed_;
+  bool trace_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace lbist::obs
+
+// The macros below are the only sanctioned instrumentation entry
+// points: they keep the disabled cost to one predictable branch and
+// cache the name->id interning in a function-local static on the
+// enabled path. LBIST_OBS_OFF compiles all of them out entirely.
+#ifndef LBIST_OBS_OFF
+
+/// Adds `delta` to the named counter when metrics are enabled.
+#define OBS_COUNT(name, delta)                                       \
+  do {                                                               \
+    if (::lbist::obs::metricsEnabled()) [[unlikely]] {               \
+      static const uint32_t obs_count_id_ =                          \
+          ::lbist::obs::counterId(name);                             \
+      ::lbist::obs::addCount(obs_count_id_,                          \
+                             static_cast<uint64_t>(delta));          \
+    }                                                                \
+  } while (0)
+
+#define OBS_CONCAT_IMPL_(a, b) a##b
+#define OBS_CONCAT_(a, b) OBS_CONCAT_IMPL_(a, b)
+
+/// Scoped span: histogram timing + trace event for the rest of the
+/// enclosing block. The name is interned once (function-local static);
+/// with both instruments off the scope costs its construction branch.
+#define OBS_SPAN(name)                                              \
+  static const uint32_t OBS_CONCAT_(obs_span_id_, __LINE__) =       \
+      ::lbist::obs::timerId(name);                                  \
+  ::lbist::obs::SpanScope OBS_CONCAT_(obs_span_, __LINE__)(         \
+      name, OBS_CONCAT_(obs_span_id_, __LINE__))
+
+#else  // LBIST_OBS_OFF
+
+#define OBS_COUNT(name, delta) ((void)0)
+#define OBS_SPAN(name) ((void)0)
+
+#endif  // LBIST_OBS_OFF

@@ -1,16 +1,19 @@
 #include "soc/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <map>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/flow.hpp"
 #include "core/session.hpp"
 #include "core/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "soc/power.hpp"
 
 namespace lbist::soc {
@@ -177,6 +180,8 @@ CampaignResult CampaignRunner::run(const CampaignOptions& opts) {
     }
   }
 
+  OBS_SPAN("soc.campaign");
+  const auto campaign_t0 = std::chrono::steady_clock::now();
   core::ThreadPool pool(opts.threads);
   CampaignResult result;
 
@@ -187,6 +192,8 @@ CampaignResult CampaignRunner::run(const CampaignOptions& opts) {
                      static_cast<size_t>(opts.max_groups));
 
   for (size_t gi = 0; gi < group_limit; ++gi) {
+    OBS_SPAN("soc.group");
+    OBS_COUNT("soc.groups", 1);
     const ScheduleGroup& group = schedule_->groups[gi];
 
     // Workers fill disjoint slots; every shared structure (chip slots,
@@ -199,6 +206,8 @@ CampaignResult CampaignRunner::run(const CampaignOptions& opts) {
     }
     std::vector<CoreRunResult> fresh(group.members.size());
     pool.run(static_cast<unsigned>(pending.size()), [&](unsigned shard) {
+      OBS_SPAN("soc.core_session");
+      OBS_COUNT("soc.cores_run", 1);
       const size_t m = pending[shard];
       const CoreSession& cs = schedule_->sessions[group.members[m]];
       const size_t ci = cs.core_index;
@@ -243,7 +252,20 @@ CampaignResult CampaignRunner::run(const CampaignOptions& opts) {
     }
     result.total_tcks += group.duration_tcks;
     ++result.executed_groups;
+
+    if (opts.progress != nullptr) {
+      const double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - campaign_t0)
+                              .count();
+      *opts.progress << "[campaign] group " << (gi + 1) << "/" << group_limit
+                     << ": " << result.cores.size() << " cores done ("
+                     << result.resumed_cores << " resumed), "
+                     << result.failures << " failures, " << secs << "s\n"
+                     << std::flush;
+    }
   }
+  OBS_COUNT("soc.cores_resumed", result.resumed_cores);
+  OBS_COUNT("soc.failures", result.failures);
 
   result.complete = result.executed_groups == schedule_->groups.size();
   return result;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,11 @@ struct CampaignOptions {
   /// complete = false; a later resume run finishes the remainder — the
   /// hook the kill-and-resume tests use.
   int64_t max_groups = -1;
+  /// Heartbeat stream: after every merged group the runner writes one
+  /// progress line (group index, cores run/resumed, failures, wall
+  /// seconds). nullptr disables. Observability only — never read back,
+  /// so it cannot affect results (ARCHITECTURE.md contract 5).
+  std::ostream* progress = nullptr;
 };
 
 /// One core's campaign outcome.
