@@ -117,6 +117,14 @@ inline void writeMetaJson(std::FILE* f, const char* extra_json = nullptr) {
   std::fprintf(f, "\", \"hardware_concurrency\": %u",
                std::thread::hardware_concurrency());
   std::fprintf(f, ", \"effective_cpus\": %u", effectiveCpuCount());
+  // Whether ROBUST_POINT injection sites are compiled in (src/robust):
+  // a site costs one relaxed atomic load on hot paths, so deltas
+  // against a -DLBIST_ROBUST_OFF build should say so.
+#ifdef LBIST_ROBUST_OFF
+  std::fprintf(f, ", \"robust_sites\": false");
+#else
+  std::fprintf(f, ", \"robust_sites\": true");
+#endif
   if (extra_json != nullptr) std::fprintf(f, ", %s", extra_json);
   std::fprintf(f, "},\n");
 }

@@ -79,10 +79,37 @@ def flag_oversubscribed(label, doc):
         )
 
 
+# Counters the robustness layer (src/robust) and the campaign's
+# degradation paths emit; summarized separately so an injected-run bench
+# is never mistaken for a clean baseline.
+ROBUST_PREFIXES = ("robust.", "soc.job_", "soc.ckpt_", "soc.backoff")
+
+
+def counters_of(doc):
+    """The embedded obs counter section, or {} — benches produced before
+    the obs layer (or with metrics off) simply have none."""
+    c = doc.get("counters")
+    return c if isinstance(c, dict) else {}
+
+
+def robust_summary(label, doc):
+    """Reports injection/recovery counters so fault-injected runs are
+    visibly not comparable baselines."""
+    c = {
+        k: v
+        for k, v in counters_of(doc).items()
+        if k.startswith(ROBUST_PREFIXES)
+    }
+    if not c:
+        return
+    pretty = ", ".join(f"{k}={v}" for k, v in sorted(c.items()))
+    print(f"bench_delta: {label} injection/recovery counters: {pretty}")
+
+
 def diff_counters(old, new):
     """Prints the per-counter delta of the embedded obs sections."""
-    old_c = old.get("counters") or {}
-    new_c = new.get("counters") or {}
+    old_c = counters_of(old)
+    new_c = counters_of(new)
     if not old_c and not new_c:
         return
     names = sorted(set(old_c) | set(new_c))
@@ -136,6 +163,8 @@ def main() -> int:
     if not common:
         print(f"bench_delta: no common {key_fields} rows")
         diff_counters(old, new)
+        robust_summary("old", old)
+        robust_summary("new", new)
         return 0
 
     key_w = max(24, max(len(" ".join(map(str, k))) for k in common))
@@ -156,6 +185,8 @@ def main() -> int:
             f"{delta:>+7.1f}%{flag}"
         )
     diff_counters(old, new)
+    robust_summary("old", old)
+    robust_summary("new", new)
     return 0
 
 

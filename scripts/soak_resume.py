@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Kill-and-resume soak for the campaign checkpoint layer.
+
+Usage: soak_resume.py [--binary build/campaign_soak] [--kills N]
+                      [--rounds N] [--cores N] [--threads N] [--seed N]
+                      [--workdir DIR]
+
+Drives the deterministic `campaign_soak` example (ARCHITECTURE.md
+contract 6): first records the checkpoint bytes of one uninterrupted
+campaign, then repeatedly SIGKILLs fresh campaigns at random points and
+resumes them until they complete on their own. A kill can land anywhere
+— including mid-append, leaving a torn record the resume must drop and
+re-run. Every round must converge to checkpoint bytes bit-identical to
+the uninterrupted run's; any divergence (or a resume that errors) fails
+the soak.
+
+The kill schedule comes from --seed, so a failing run is replayable.
+Exit codes: 0 = every round converged, 1 = divergence or a campaign
+failure.
+"""
+
+import argparse
+import os
+import random
+import subprocess
+import sys
+import time
+
+
+def run_to_completion(cmd):
+    """One uninterrupted run; returns its wall-clock seconds."""
+    t0 = time.monotonic()
+    proc = subprocess.run(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    if proc.returncode != 0:
+        print(proc.stdout)
+        raise SystemExit(
+            f"soak_resume: reference run failed (exit {proc.returncode})"
+        )
+    return time.monotonic() - t0
+
+
+def soak_round(base_cmd, path, rng, max_kills, est_seconds):
+    """Kills up to max_kills campaigns mid-flight, resuming each time,
+    until one completes. Returns the number of kills delivered."""
+    kills = 0
+    resume = False
+    while True:
+        cmd = list(base_cmd) + (["--resume"] if resume else [])
+        proc = subprocess.Popen(
+            cmd, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+        )
+        if kills < max_kills:
+            # Anywhere from "barely started" to "almost done" — the
+            # chip-build prefix is deterministic, so late kills land in
+            # the campaign/checkpoint phase this soak is about.
+            delay = rng.uniform(0.0, est_seconds * 1.1)
+            try:
+                rc = proc.wait(timeout=delay)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+                kills += 1
+                resume = True
+                continue
+        else:
+            rc = proc.wait()
+        if rc == 0:
+            return kills
+        raise SystemExit(
+            f"soak_resume: campaign exited {rc} on "
+            f"{'resume' if resume else 'first run'} after {kills} kill(s)"
+        )
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--binary", default="build/campaign_soak")
+    ap.add_argument("--kills", type=int, default=3, help="kills per round")
+    ap.add_argument("--rounds", type=int, default=5)
+    ap.add_argument("--cores", type=int, default=8)
+    ap.add_argument("--threads", type=int, default=2)
+    ap.add_argument("--patterns", type=int, default=256)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--workdir", default=".")
+    args = ap.parse_args()
+
+    rng = random.Random(args.seed)
+    ref_path = os.path.join(args.workdir, "soak_reference.txt")
+    soak_path = os.path.join(args.workdir, "soak_checkpoint.txt")
+
+    def base_cmd(path):
+        return [
+            args.binary,
+            f"--checkpoint={path}",
+            f"--cores={args.cores}",
+            f"--threads={args.threads}",
+            f"--patterns={args.patterns}",
+        ]
+
+    for path in (ref_path, soak_path):
+        if os.path.exists(path):
+            os.remove(path)
+    est = run_to_completion(base_cmd(ref_path))
+    with open(ref_path, "rb") as f:
+        reference = f.read()
+    print(
+        f"soak_resume: reference run took {est:.2f}s, "
+        f"checkpoint is {len(reference)} bytes"
+    )
+
+    failures = 0
+    for r in range(args.rounds):
+        if os.path.exists(soak_path):
+            os.remove(soak_path)
+        kills = soak_round(
+            base_cmd(soak_path), soak_path, rng, args.kills, est
+        )
+        with open(soak_path, "rb") as f:
+            final = f.read()
+        converged = final == reference
+        print(
+            f"soak_resume: round {r + 1}/{args.rounds}: {kills} kill(s), "
+            f"{'converged' if converged else 'DIVERGED'}"
+        )
+        if not converged:
+            failures += 1
+            diverged = os.path.join(args.workdir, f"soak_diverged_{r}.txt")
+            os.replace(soak_path, diverged)
+            print(f"soak_resume: divergent checkpoint kept at {diverged}")
+
+    for path in (ref_path, soak_path):
+        if os.path.exists(path):
+            os.remove(path)
+        corrupt = path + ".corrupt"
+        if os.path.exists(corrupt):
+            os.remove(corrupt)
+    if failures:
+        print(f"soak_resume: {failures}/{args.rounds} round(s) diverged")
+        return 1
+    print(f"soak_resume: all {args.rounds} round(s) converged bit-for-bit")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

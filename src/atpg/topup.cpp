@@ -6,12 +6,14 @@
 #include <functional>
 #include <memory>
 #include <random>
+#include <stdexcept>
 #include <thread>
 #include <unordered_map>
 
 #include "atpg/podem_interp.hpp"
 #include "core/thread_pool.hpp"
 #include "obs/obs.hpp"
+#include "robust/robust.hpp"
 
 namespace lbist::atpg {
 
@@ -275,6 +277,25 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
       }
       PodemEngine& engine = *engines[shard];
       for (size_t k = shard; k < targets.size(); k += n_threads) {
+        // Keyed by fault name so a plan can strand one specific target
+        // deterministically regardless of which shard serves it. kHang
+        // models a pathological search exhausting its backtrack budget
+        // without spending the wall time; kThrow surfaces through the
+        // pool's merge-point rethrow.
+        const robust::FaultAction act = ROBUST_POINT(
+            "atpg.target.generate",
+            faults.record(targets[k]).fault.describe(nl),
+            robust::kCanThrow | robust::kCanHang);
+        if (act == robust::FaultAction::kHang) {
+          statuses[k] = AtpgStatus::kAborted;
+          backtracks[k] = static_cast<size_t>(cfg.atpg.backtrack_limit);
+          continue;
+        }
+        if (act == robust::FaultAction::kThrow) {
+          throw std::runtime_error(
+              "injected engine failure on target '" +
+              faults.record(targets[k]).fault.describe(nl) + "'");
+        }
         const auto t0 = std::chrono::steady_clock::now();
         statuses[k] =
             engine.generate(faults.record(targets[k]).fault, cubes[k]);
@@ -297,6 +318,11 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
           continue;
         case AtpgStatus::kAborted:
           ++result.aborted;
+          // Structured budget report, built here in the serial merge so
+          // the order is fault-list order for every thread count.
+          result.aborted_targets.push_back(
+              TopUpResult::TargetAbort{targets[k], backtracks[k]});
+          OBS_COUNT("atpg.aborts", 1);
           continue;
         case AtpgStatus::kDetected:
           ++result.atpg_detected;

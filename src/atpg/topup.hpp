@@ -87,6 +87,18 @@ struct TopUpResult {
   size_t proven_untestable = 0;
   size_t aborted = 0;
   size_t backtracks = 0;  // total chronological backtracks over all targets
+
+  /// One aborted PODEM target: which fault exhausted its budget and how
+  /// much it burned doing so.
+  struct TargetAbort {
+    size_t fault_index = 0;  // index into the flow's FaultList
+    size_t backtracks = 0;   // backtracks consumed by the failed search
+  };
+  /// Every budget-exhausted target, in fault-list order (thread-count
+  /// invariant) — the structured form of `aborted`, so callers can
+  /// escalate specific stranded faults (bigger budget, different
+  /// engine) instead of re-deriving them from statuses.
+  std::vector<TargetAbort> aborted_targets;
   /// Wall time spent inside PODEM generate() calls, summed over all
   /// targets and workers — the engine-only cost, excluding fault
   /// simulation and compaction (benches divide cubes by this). Timing

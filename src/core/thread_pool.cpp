@@ -29,29 +29,56 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+// Runs one shard with exception capture: a throw is recorded under the
+// pool mutex instead of unwinding into the worker loop (worker threads
+// would std::terminate) or skipping the pending_ bookkeeping (the
+// caller would deadlock waiting for a shard that already died).
+void ThreadPool::runShardCaptured(const std::function<void(unsigned)>& fn,
+                                  unsigned shard) {
+  try {
+    fn(shard);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    errors_.emplace_back(shard, std::current_exception());
+  }
+}
+
 void ThreadPool::run(unsigned n_shards,
                      const std::function<void(unsigned)>& fn) {
   if (n_shards == 0) return;
   if (workers_.empty() || n_shards == 1) {
-    for (unsigned s = 0; s < n_shards; ++s) fn(s);
-    return;
+    errors_.clear();
+    for (unsigned s = 0; s < n_shards; ++s) runShardCaptured(fn, s);
+  } else {
+    std::unique_lock<std::mutex> lock(mutex_);
+    errors_.clear();
+    job_ = &fn;
+    n_shards_ = n_shards;
+    next_shard_ = 0;
+    pending_ = n_shards;
+    ++generation_;
+    work_cv_.notify_all();
+    while (next_shard_ < n_shards_) {
+      const unsigned shard = next_shard_++;
+      lock.unlock();
+      runShardCaptured(fn, shard);
+      lock.lock();
+      --pending_;
+    }
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  job_ = &fn;
-  n_shards_ = n_shards;
-  next_shard_ = 0;
-  pending_ = n_shards;
-  ++generation_;
-  work_cv_.notify_all();
-  while (next_shard_ < n_shards_) {
-    const unsigned shard = next_shard_++;
-    lock.unlock();
-    fn(shard);
-    lock.lock();
-    --pending_;
+  // All shards have completed; surface at most one failure, chosen by
+  // shard number so the observed exception does not depend on thread
+  // scheduling.
+  if (!errors_.empty()) {
+    auto first = std::min_element(
+        errors_.begin(), errors_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::exception_ptr e = first->second;
+    errors_.clear();
+    std::rethrow_exception(e);
   }
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
-  job_ = nullptr;
 }
 
 void ThreadPool::workerLoop() {
@@ -66,7 +93,7 @@ void ThreadPool::workerLoop() {
       const unsigned shard = next_shard_++;
       const std::function<void(unsigned)>* job = job_;
       lock.unlock();
-      (*job)(shard);
+      runShardCaptured(*job, shard);
       lock.lock();
       --pending_;
       if (pending_ == 0) done_cv_.notify_all();

@@ -10,9 +10,11 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace lbist::core {
@@ -36,16 +38,29 @@ class ThreadPool {
   /// Runs fn(shard) for every shard in [0, n_shards). Shards are claimed
   /// dynamically, so uneven shard costs still balance. Blocks until all
   /// shards complete; fn must not call run() on the same pool.
+  ///
+  /// A throwing shard never escapes a worker thread (which would
+  /// std::terminate the process): every exception is captured, the
+  /// remaining shards still run to completion, and after the round the
+  /// exception from the lowest-numbered throwing shard is rethrown on
+  /// the caller — a deterministic merge point regardless of which
+  /// thread executed the shard. Callers that need per-shard failure
+  /// granularity catch inside fn and record structured results instead.
   void run(unsigned n_shards, const std::function<void(unsigned)>& fn);
 
  private:
   void workerLoop();
+  void runShardCaptured(const std::function<void(unsigned)>& fn,
+                        unsigned shard);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   const std::function<void(unsigned)>* job_ = nullptr;
+  // Exceptions captured this round, keyed by shard; rethrow picks the
+  // lowest shard so the surfaced error is thread-schedule independent.
+  std::vector<std::pair<unsigned, std::exception_ptr>> errors_;
   unsigned n_shards_ = 0;
   unsigned next_shard_ = 0;
   unsigned pending_ = 0;

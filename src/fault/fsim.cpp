@@ -4,9 +4,11 @@
 #include <bit>
 #include <cassert>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "obs/obs.hpp"
+#include "robust/robust.hpp"
 
 namespace lbist::fault {
 
@@ -492,6 +494,17 @@ size_t FaultSimulator::simulateActiveFaultsW(int64_t pattern_base,
   OBS_COUNT("fsim.blocks", 1);
   OBS_COUNT("fsim.live_faults", active_.size());
   OBS_COUNT("fsim.live_classes", n_compute);
+  // Common per-block path for both engines and the batch-sequential
+  // fallback: an injected failure here models a simulator crash inside
+  // any fault-sim consumer (coverage flows, top-up, diagnosis). Placed
+  // before the compute phase so no partial block ever mutates fault
+  // statuses — the exception leaves the list exactly as it was.
+  if (ROBUST_POINT("fsim.block.simulate", "", robust::kCanThrow) ==
+      robust::FaultAction::kThrow) {
+    throw std::runtime_error("injected fault-simulator failure (block at "
+                             "pattern base " +
+                             std::to_string(pattern_base) + ")");
+  }
   if (use_cpt) {
     OBS_COUNT("fsim.blocks_stem_cpt", 1);
   } else {

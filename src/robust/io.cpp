@@ -1,0 +1,96 @@
+#include "robust/io.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace lbist::robust {
+
+namespace {
+
+// Table-driven reflected CRC-32 with the IEEE 802.3 polynomial — the
+// same code every zip/png implementation uses, so checkpoint CRCs can
+// be cross-checked with standard tools.
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> table = makeCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string crc32Hex(std::string_view data) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", crc32(data));
+  return std::string(buf);
+}
+
+Status atomicWriteFile(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  // C stdio instead of ofstream: fsync needs the file descriptor, and
+  // durability of the rename depends on the data hitting disk first.
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::error(ErrorCode::kIoError,
+                         "cannot open temp file '" + tmp + "' for writing");
+  }
+  const size_t written = content.empty()
+                             ? 0
+                             : std::fwrite(content.data(), 1, content.size(),
+                                           f);
+  bool ok = written == content.size();
+  ok = std::fflush(f) == 0 && ok;
+#ifndef _WIN32
+  ok = fsync(fileno(f)) == 0 && ok;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::error(ErrorCode::kIoError,
+                         "short write or flush failure on '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::error(ErrorCode::kIoError,
+                         "cannot rename '" + tmp + "' over '" + path + "'");
+  }
+  return Status();
+}
+
+Status readFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::error(ErrorCode::kIoError,
+                         "cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::error(ErrorCode::kIoError,
+                         "read failure on '" + path + "'");
+  }
+  *out = buf.str();
+  return Status();
+}
+
+}  // namespace lbist::robust

@@ -1,0 +1,35 @@
+// Checkpoint-grade file I/O: CRC32 integrity codes and atomic whole-file
+// replacement (temp + fsync + rename), shared by the campaign checkpoint
+// writer and its recovery path. Kept free of checkpoint format knowledge
+// so other subsystems can reuse the same durability primitives.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "robust/robust.hpp"
+
+namespace lbist::robust {
+
+/// CRC-32 (IEEE 802.3, reflected) of `data`. Known answer:
+/// crc32("123456789") == 0xCBF43926.
+[[nodiscard]] uint32_t crc32(std::string_view data);
+
+/// crc32(data) rendered as 8 lowercase hex digits — the form embedded
+/// in checkpoint headers and records.
+[[nodiscard]] std::string crc32Hex(std::string_view data);
+
+/// Replaces `path` with `content` atomically: write to `path`.tmp,
+/// flush + fsync, then rename over `path`. Readers never observe a
+/// partially rewritten file (they see the old bytes or the new bytes).
+/// Returns kIoError with the failing stage in the message on failure.
+[[nodiscard]] Status atomicWriteFile(const std::string& path,
+                                     std::string_view content);
+
+/// Reads all of `path` into `*out`. Returns kIoError when the file
+/// cannot be opened or read; a missing file is an error here — callers
+/// that treat absence as "no checkpoint yet" must check existence first.
+[[nodiscard]] Status readFile(const std::string& path, std::string* out);
+
+}  // namespace lbist::robust

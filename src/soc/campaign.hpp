@@ -15,6 +15,17 @@
 // so a killed chip campaign resumes without re-running finished cores
 // and converges to the same results and checkpoint bytes as an
 // uninterrupted run.
+//
+// Failure handling (ARCHITECTURE.md contract 6): the checkpoint format
+// is versioned and CRC-protected per record, rewrites are atomic
+// (temp + fsync + rename), and recovery truncates to the longest valid
+// record prefix, quarantining the corrupt original as `<path>.corrupt`.
+// Core-session jobs run under a deterministic RetryPolicy and a
+// simulated watchdog budget: a job that throws or hangs is retried
+// within budget and otherwise recorded failed-with-reason
+// (CoreRunResult::error/error_detail) while the campaign completes the
+// remaining cores. Failed cores are never checkpointed, so a resume
+// re-runs exactly them and still converges to clean-run bytes.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "robust/robust.hpp"
 #include "soc/chip.hpp"
 #include "soc/schedule.hpp"
 
@@ -49,6 +61,14 @@ struct CampaignOptions {
   /// seconds). nullptr disables. Observability only — never read back,
   /// so it cannot affect results (ARCHITECTURE.md contract 5).
   std::ostream* progress = nullptr;
+  /// Retry budget for failing core-session jobs. Backoff is counted in
+  /// simulated ticks (obs counter soc.backoff_ticks), never slept, so
+  /// retried campaigns stay bit-exact.
+  robust::RetryPolicy retry;
+  /// Simulated watchdog budget per core-session attempt. A hung session
+  /// (only injectable — real sessions are finite) is charged the whole
+  /// budget and recorded BudgetExceeded without retry.
+  uint64_t watchdog_budget_ticks = 1024;
 };
 
 /// One core's campaign outcome.
@@ -60,6 +80,16 @@ struct CoreRunResult {
   uint64_t tcks = 0;                    // session length (sessionTcks)
   double coverage_percent = -1.0;       // -1 when not measured
   bool from_checkpoint = false;
+  /// kOk when the session executed (pass/fail is the BIST verdict);
+  /// otherwise the infrastructure failure that kept it from executing
+  /// (JobFailed: exception; BudgetExceeded: watchdog). Failed-with-
+  /// reason cores are not checkpointed and re-run on resume.
+  robust::ErrorCode error = robust::ErrorCode::kOk;
+  /// Human-readable reason when error != kOk.
+  std::string error_detail;
+  /// Attempts consumed (1 = first try succeeded). Run history, like
+  /// from_checkpoint: excluded from result-equality comparisons.
+  uint32_t attempts = 1;
 };
 
 /// Whole-campaign outcome, merged in schedule order.
@@ -70,6 +100,18 @@ struct CampaignResult {
   size_t failures = 0;
   size_t resumed_cores = 0;
   bool complete = false;
+  /// Cores whose error != kOk (infrastructure failures, a subset of
+  /// `failures`).
+  size_t job_failures = 0;
+  /// Corrupt/torn checkpoint records dropped during resume recovery.
+  size_t dropped_records = 0;
+  /// True when recovery quarantined a corrupt checkpoint as
+  /// `<checkpoint_path>.corrupt`.
+  bool checkpoint_quarantined = false;
+  /// First checkpoint-append failure, if any. The campaign degrades
+  /// gracefully — it keeps running without checkpointing — and records
+  /// the failure here instead of aborting mid-campaign.
+  robust::Status checkpoint_status;
 };
 
 /// See file comment.
@@ -83,11 +125,20 @@ class CampaignRunner {
   CampaignRunner(Chip& chip, const TestSchedule& schedule,
                  core::SessionOptions session);
 
-  /// Executes the schedule. Throws std::invalid_argument when the
+  /// Executes the schedule. Error statuses: kInvalidArgument when the
   /// session pattern count disagrees with the chip's golden
-  /// characterization (the on-chip compare would be meaningless) or a
-  /// resume checkpoint disagrees with the chip (name, pattern count,
-  /// core count).
+  /// characterization (the on-chip compare would be meaningless);
+  /// kCorruptCheckpoint when a resume checkpoint's intact header names
+  /// a different campaign (chip, pattern count, or coverage mode —
+  /// resuming would silently mix campaigns); kIoError when the
+  /// checkpoint cannot be read or (re)written at campaign start.
+  /// Per-core infrastructure failures do NOT fail the campaign: they
+  /// come back as CoreRunResult::error with the campaign complete.
+  [[nodiscard]] robust::Result<CampaignResult> tryRun(
+      const CampaignOptions& opts);
+
+  /// Throwing wrapper over tryRun() for existing callers: throws
+  /// std::invalid_argument with the status message on error.
   [[nodiscard]] CampaignResult run(const CampaignOptions& opts);
 
  private:

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 namespace lbist::soc {
 
@@ -41,14 +42,16 @@ uint64_t sessionTcks(const core::BistReadyCore& core,
   return tcks;
 }
 
-TestSchedule Scheduler::build(std::vector<CoreSession> sessions) const {
+robust::Result<TestSchedule> Scheduler::tryBuild(
+    std::vector<CoreSession> sessions) const {
   TestSchedule sched;
   sched.power_budget = budget_;
 
   for (const CoreSession& s : sessions) {
     if (s.power > budget_) {
-      throw std::invalid_argument("core '" + s.name +
-                                  "' exceeds the power budget on its own");
+      return robust::Status::error(
+          robust::ErrorCode::kInvalidArgument,
+          "core '" + s.name + "' exceeds the power budget on its own");
     }
   }
 
@@ -103,6 +106,12 @@ TestSchedule Scheduler::build(std::vector<CoreSession> sessions) const {
 
   sched.sessions = std::move(sessions);
   return sched;
+}
+
+TestSchedule Scheduler::build(std::vector<CoreSession> sessions) const {
+  robust::Result<TestSchedule> result = tryBuild(std::move(sessions));
+  if (!result.ok()) throw std::invalid_argument(result.status().message());
+  return std::move(result).value();
 }
 
 }  // namespace lbist::soc

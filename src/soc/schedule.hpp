@@ -30,6 +30,7 @@
 
 #include "core/architect.hpp"
 #include "core/session.hpp"
+#include "robust/robust.hpp"
 
 namespace lbist::soc {
 
@@ -99,8 +100,14 @@ class Scheduler {
   /// toggles/cycle unit as CoreSession::power.
   explicit Scheduler(double power_budget) : budget_(power_budget) {}
 
-  /// Builds the schedule. Throws std::invalid_argument when any single
-  /// session's power already exceeds the budget (unschedulable).
+  /// Builds the schedule, or returns kInvalidArgument naming the first
+  /// session whose power alone exceeds the budget (unschedulable — no
+  /// grouping can help; raise the budget or gate that core's activity).
+  [[nodiscard]] robust::Result<TestSchedule> tryBuild(
+      std::vector<CoreSession> sessions) const;
+
+  /// Throwing wrapper over tryBuild() for existing callers: throws
+  /// std::invalid_argument with the status message on error.
   [[nodiscard]] TestSchedule build(std::vector<CoreSession> sessions) const;
 
  private:

@@ -2,11 +2,15 @@
 // flow, JTAG-driven LbistTop, and Table 1 reporting.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 #include "core/architect.hpp"
 #include "core/flow.hpp"
 #include "core/lbist_top.hpp"
 #include "core/report.hpp"
 #include "core/session.hpp"
+#include "core/thread_pool.hpp"
 #include "dft/xbound.hpp"
 #include "fault/inject.hpp"
 #include "gen/ipcore.hpp"
@@ -292,6 +296,50 @@ TEST(Report, DurationFormatting) {
   EXPECT_EQ(formatDuration(43.0), "43s");
   EXPECT_EQ(formatDuration(25 * 60 + 43), "25m43s");
   EXPECT_EQ(formatDuration(2 * 3600 + 26 * 60 + 48), "2h26m48s");
+}
+
+TEST(ThreadPool, ThrowingJobSurfacesAtMergePointNotTerminate) {
+  // A throwing shard must never escape a worker thread (std::terminate)
+  // or strand the dispatch accounting: all other shards still run, and
+  // the exception resurfaces on the calling thread after the round.
+  for (unsigned threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    std::atomic<unsigned> ran{0};
+    try {
+      pool.run(8, [&](unsigned shard) {
+        if (shard == 3) throw std::runtime_error("job 3 failed");
+        ++ran;
+      });
+      FAIL() << "exception swallowed (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "job 3 failed") << "threads=" << threads;
+    }
+    EXPECT_EQ(ran.load(), 7u)
+        << "non-throwing shards all completed (threads=" << threads << ")";
+
+    // The pool survives the round: the next dispatch works normally.
+    std::atomic<unsigned> again{0};
+    pool.run(4, [&](unsigned) { ++again; });
+    EXPECT_EQ(again.load(), 4u) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, LowestThrowingShardWins) {
+  // With several throwing shards the surfaced exception is the lowest
+  // shard's, independent of thread scheduling.
+  ThreadPool pool(4);
+  for (int round = 0; round < 5; ++round) {
+    try {
+      pool.run(8, [&](unsigned shard) {
+        if (shard % 2 == 1) {
+          throw std::runtime_error("shard " + std::to_string(shard));
+        }
+      });
+      FAIL() << "exception swallowed";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "shard 1");
+    }
+  }
 }
 
 TEST(Architecture, DescribeListsFig1Blocks) {

@@ -11,6 +11,7 @@
 #include "core/report.hpp"
 #include "core/session.hpp"
 #include "fault/inject.hpp"
+#include "robust/io.hpp"
 #include "gen/soc.hpp"
 #include "soc/campaign.hpp"
 #include "soc/chip.hpp"
@@ -432,13 +433,19 @@ TEST(Campaign, ResumeHealsTornCheckpointLine) {
   }
 
   // Resume: the torn core re-runs, the file heals to the full bytes,
-  // and the merged results match the uninterrupted run.
+  // the corrupt original is quarantined, and the merged results match
+  // the uninterrupted run.
   opts.resume = true;
   const CampaignResult resumed = runner.run(opts);
   EXPECT_TRUE(sameCampaignResults(full, resumed));
   EXPECT_EQ(resumed.resumed_cores, full.cores.size() - 1);
+  EXPECT_EQ(resumed.dropped_records, 1u);
+  EXPECT_TRUE(resumed.checkpoint_quarantined);
   EXPECT_EQ(slurp(path), full_bytes);
+  EXPECT_EQ(slurp(path + ".corrupt"), full_bytes.substr(0, torn_at))
+      << "quarantine preserves the corrupt bytes for postmortem";
   std::remove(path.c_str());
+  std::remove((path + ".corrupt").c_str());
 }
 
 TEST(Campaign, ResumeRejectsMismatchedCheckpoint) {
@@ -447,11 +454,18 @@ TEST(Campaign, ResumeRejectsMismatchedCheckpoint) {
       chip, 1e9, sessionOptions());
   CampaignRunner runner(chip, sched, sessionOptions());
 
+  // An intact (CRC-valid) header naming a different chip: corruption
+  // recovery must NOT "heal" this — resuming would silently mix
+  // campaigns — so the runner refuses with CorruptCheckpoint.
   const std::string path = "soc_ckpt_mismatch.txt";
   {
+    const std::string header =
+        "lbist-campaign v2 chip=otherchip patterns=16 cores=8 coverage=0";
+    const std::string record =
+        "core name=cpu0 pass=1 tcks=1 coverage=- sigs=00";
     std::ofstream out(path);
-    out << "lbist-campaign v1 chip=otherchip patterns=16 cores=8\n";
-    out << "core name=cpu0 pass=1 tcks=1 coverage=- sigs=00\n";
+    out << header << " crc=" << robust::crc32Hex(header) << "\n";
+    out << record << " crc=" << robust::crc32Hex(record) << "\n";
   }
   CampaignOptions opts;
   opts.checkpoint_path = path;
