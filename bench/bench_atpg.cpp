@@ -3,11 +3,17 @@
 // For each workload the harness runs a short random phase to leave a
 // realistic undetected tail, snapshots the fault statuses, and then
 // measures runTopUp from that identical starting state for every
-// (engine, threads) configuration: the compiled PODEM engine at 1/2/4
-// worker threads and the interpreted Gate-record reference at 1 thread
-// as the speedup baseline. Results go to BENCH_atpg.json (cubes/sec,
-// backtracks/target, coverage, speedups), with the shared meta block so
-// the CI delta step can attribute numbers to an environment.
+// (engine, threads, escalation) configuration: the compiled PODEM
+// engine at 1/2/4 worker threads, the interpreted Gate-record reference
+// at 1 thread as the speedup baseline, the CDCL engine as primary on
+// the reference circuits, and — on the resistant ipcore — the
+// PODEM-with-SAT-escalation sweep at 1/2/4 threads, whose rows must
+// show zero stranded targets and a thread-count-invariant
+// cube/redundant split (the hard-tail acceptance criterion). Results go
+// to BENCH_atpg.json (cubes/sec, backtracks/target, coverage, solver
+// conflicts and learned clauses, stranded/redundant counts, speedups),
+// with the shared meta block so the CI delta step can attribute numbers
+// to an environment.
 //
 // Flags: --quick   halve the repetition counts (local smoke runs).
 #include <algorithm>
@@ -62,9 +68,16 @@ struct AtpgRow {
   size_t tail = 0;  // undetected faults handed to top-up
   std::string engine;
   unsigned threads = 0;
+  bool escalate = false;  // TopUpConfig::sat_escalate
   size_t targeted = 0;
   size_t cubes = 0;
   size_t backtracks = 0;
+  size_t stranded = 0;   // budget-exhausted targets left unresolved
+  size_t redundant = 0;  // UNSAT-proved targets
+  size_t sat_escalated = 0;
+  size_t sat_detected = 0;
+  size_t sat_conflicts = 0;
+  size_t sat_learned = 0;
   size_t patterns = 0;
   size_t patterns_before_compact = 0;
   double coverage_percent = 0.0;
@@ -77,15 +90,20 @@ struct AtpgRow {
 /// simulator construction are per-rep setup.
 AtpgRow runCampaign(const std::string& name, const Netlist& nl,
                     const ScanSetup& s, const fault::FaultList& snapshot,
-                    atpg::AtpgEngine engine, unsigned threads, int reps) {
+                    atpg::AtpgEngine engine, unsigned threads, bool escalate,
+                    int reps) {
   AtpgRow row;
   row.circuit = name;
   row.gates = nl.numGates();
   row.faults = snapshot.size();
   row.tail = snapshot.undetectedIndices().size();
-  row.engine =
-      engine == atpg::AtpgEngine::kCompiled ? "compiled" : "interpreted";
+  switch (engine) {
+    case atpg::AtpgEngine::kCompiled: row.engine = "compiled"; break;
+    case atpg::AtpgEngine::kInterpreted: row.engine = "interpreted"; break;
+    case atpg::AtpgEngine::kSat: row.engine = "sat"; break;
+  }
   row.threads = threads;
+  row.escalate = escalate;
 
   for (int rep = 0; rep < reps; ++rep) {
     fault::FaultList fl = snapshot;
@@ -93,6 +111,7 @@ AtpgRow runCampaign(const std::string& name, const Netlist& nl,
     atpg::TopUpConfig cfg;
     cfg.engine = engine;
     cfg.threads = threads;
+    cfg.sat_escalate = escalate;
     const auto t0 = std::chrono::steady_clock::now();
     const atpg::TopUpResult res =
         atpg::runTopUp(nl, fl, fsim, s.observed, s.assignable, {}, cfg);
@@ -102,6 +121,12 @@ AtpgRow runCampaign(const std::string& name, const Netlist& nl,
     row.targeted += res.targeted;
     row.cubes += res.atpg_detected;
     row.backtracks += res.backtracks;
+    row.stranded += res.aborted;
+    row.redundant += res.proven_redundant;
+    row.sat_escalated += res.sat_escalated;
+    row.sat_detected += res.sat_detected;
+    row.sat_conflicts += res.sat_conflicts;
+    row.sat_learned += res.sat_learned;
     row.patterns = res.patterns.size();
     row.patterns_before_compact = res.patterns_before_compact;
     row.coverage_percent = res.final_coverage.faultCoveragePercent();
@@ -135,18 +160,25 @@ void writeJson(const char* path, const std::vector<AtpgRow>& rows) {
         f,
         "    {\"circuit\": \"%s\", \"gates\": %zu, \"faults\": %zu, "
         "\"topup_tail\": %zu, \"engine\": \"%s\", \"threads\": %u, "
+        "\"sat_escalate\": %s, "
         "\"targeted\": %zu, \"cubes\": %zu, \"seconds_total\": %.6f, "
         "\"atpg_seconds\": %.6f, "
         "\"cubes_per_sec\": %.1f, \"backtracks_per_target\": %.3f, "
+        "\"stranded\": %zu, \"proven_redundant\": %zu, "
+        "\"sat_escalated\": %zu, \"sat_detected\": %zu, "
+        "\"sat_conflicts\": %zu, \"sat_learned\": %zu, "
         "\"patterns\": %zu, \"patterns_before_compact\": %zu, "
         "\"coverage_percent\": %.4f, "
         "\"speedup_vs_interpreted_1t\": %.3f}%s\n",
         r.circuit.c_str(), r.gates, r.faults, r.tail, r.engine.c_str(),
-        r.threads, r.targeted, r.cubes, r.seconds, r.atpg_seconds, rate,
+        r.threads, r.escalate ? "true" : "false", r.targeted, r.cubes,
+        r.seconds, r.atpg_seconds, rate,
         r.targeted == 0
             ? 0.0
             : static_cast<double>(r.backtracks) /
                   static_cast<double>(r.targeted),
+        r.stranded, r.redundant, r.sat_escalated, r.sat_detected,
+        r.sat_conflicts, r.sat_learned,
         r.patterns, r.patterns_before_compact, r.coverage_percent,
         interp_rate == 0.0 ? 0.0 : rate / interp_rate,
         i + 1 == rows.size() ? "" : ",");
@@ -174,15 +206,21 @@ int main(int argc, char** argv) {
     Netlist nl;
     int random_blocks;  // 64-pattern random-phase blocks before top-up
     int reps;
+    bool sat_primary;     // add an engine=sat row (1 thread)
+    bool escalate_sweep;  // add compiled+escalation rows at 1/2/4 threads
   };
   std::vector<Workload> workloads;
   // The adder is almost fully random-testable, so its campaign is
   // deterministic-only (0 random blocks): every fault is an ATPG
-  // target, which is what makes it a PODEM throughput workload.
+  // target, which is what makes it a PODEM throughput workload. The
+  // reference circuits carry the primary-SAT rows (cheap miters, pure
+  // solver throughput); the resistant ipcore carries the escalation
+  // sweep, whose stranded tail is the whole point.
   workloads.push_back({"refcircuit_adder512", gen::buildRippleAdder(512),
-                       0, 3});
-  workloads.push_back({"refcircuit_alu64", gen::buildMiniAlu(64), 1, 10});
-  workloads.push_back({"ipcore_20k", makeCore(20'000), 16, 1});
+                       0, 3, true, false});
+  workloads.push_back(
+      {"refcircuit_alu64", gen::buildMiniAlu(64), 1, 10, true, false});
+  workloads.push_back({"ipcore_20k", makeCore(20'000), 16, 1, false, true});
 
   std::vector<AtpgRow> rows;
   for (Workload& w : workloads) {
@@ -204,19 +242,32 @@ int main(int argc, char** argv) {
     struct Config {
       atpg::AtpgEngine engine;
       unsigned threads;
+      bool escalate;
     };
-    const Config configs[] = {
-        {atpg::AtpgEngine::kInterpreted, 1},
-        {atpg::AtpgEngine::kCompiled, 1},
-        {atpg::AtpgEngine::kCompiled, 2},
-        {atpg::AtpgEngine::kCompiled, 4},
+    std::vector<Config> configs = {
+        {atpg::AtpgEngine::kInterpreted, 1, false},
+        {atpg::AtpgEngine::kCompiled, 1, false},
+        {atpg::AtpgEngine::kCompiled, 2, false},
+        {atpg::AtpgEngine::kCompiled, 4, false},
     };
+    if (w.sat_primary) {
+      configs.push_back({atpg::AtpgEngine::kSat, 1, false});
+    }
+    if (w.escalate_sweep) {
+      configs.push_back({atpg::AtpgEngine::kCompiled, 1, true});
+      configs.push_back({atpg::AtpgEngine::kCompiled, 2, true});
+      configs.push_back({atpg::AtpgEngine::kCompiled, 4, true});
+    }
     for (const Config& c : configs) {
-      rows.push_back(
-          runCampaign(w.name, w.nl, s, snapshot, c.engine, c.threads, reps));
-      std::fprintf(stderr, "atpg %s engine=%s threads=%u: %.3fs (%zu cubes)\n",
-                   rows.back().circuit.c_str(), rows.back().engine.c_str(),
-                   c.threads, rows.back().seconds, rows.back().cubes);
+      rows.push_back(runCampaign(w.name, w.nl, s, snapshot, c.engine,
+                                 c.threads, c.escalate, reps));
+      std::fprintf(
+          stderr,
+          "atpg %s engine=%s%s threads=%u: %.3fs (%zu cubes, %zu stranded, "
+          "%zu redundant)\n",
+          rows.back().circuit.c_str(), rows.back().engine.c_str(),
+          c.escalate ? "+escalate" : "", c.threads, rows.back().seconds,
+          rows.back().cubes, rows.back().stranded, rows.back().redundant);
     }
   }
   writeJson("BENCH_atpg.json", rows);

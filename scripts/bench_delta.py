@@ -32,7 +32,11 @@ BENCH_SPECS = {
         "patterns_per_sec",
         True,
     ),
-    "atpg_topup": (("circuit", "engine", "threads"), "cubes_per_sec", True),
+    "atpg_topup": (
+        ("circuit", "engine", "threads", "sat_escalate"),
+        "cubes_per_sec",
+        True,
+    ),
     "diag_window_sweep": (("circuit", "window"), "total_seconds", False),
     "soc_campaign": (("budget", "threads"), "wall_seconds", False),
 }
@@ -40,8 +44,9 @@ BENCH_SPECS = {
 # Key fields added after a bench's first committed JSON, with the value
 # the older files implicitly ran at. Rows are only compared like-for-like
 # on the full key; a pre-lane-fabric file (no "lane_words") is exactly a
-# lane_words=1 configuration, not a missing row.
-KEY_DEFAULTS = {"lane_words": 1}
+# lane_words=1 configuration, and a pre-SAT atpg file (no "sat_escalate")
+# is exactly an escalation-off run, not a missing row.
+KEY_DEFAULTS = {"lane_words": 1, "sat_escalate": False}
 
 
 def rows(doc, key_fields, metric):

@@ -1,0 +1,453 @@
+// Dual-rail miter construction (see cnf.hpp for the encoding story).
+//
+// Every rail-defining helper emits full Tseitin biconditionals, so a
+// model's rail values are exactly the evalOp3 three-valued simulation
+// of the stimulus it assigns — which is what lets test_sat replay SAT
+// cubes through the fault simulator and treat any mismatch as an
+// encoder bug rather than a heuristic gap.
+#include "atpg/cnf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace lbist::atpg {
+
+void CnfFormula::addClause(std::span<const CnfLit> lits) {
+  if (contradiction_) return;
+  scratch_.clear();
+  for (CnfLit l : lits) {
+    if (l == kLitTrue) return;     // clause already satisfied
+    if (l == kLitFalse) continue;  // literal can never help
+    scratch_.push_back(l);
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                 scratch_.end());
+  for (size_t i = 0; i + 1 < scratch_.size(); ++i) {
+    if (negateLit(scratch_[i]) == scratch_[i + 1]) return;  // tautology
+  }
+  if (scratch_.empty()) {
+    contradiction_ = true;
+    return;
+  }
+  pool_.insert(pool_.end(), scratch_.begin(), scratch_.end());
+  offsets_.push_back(static_cast<uint32_t>(pool_.size()));
+}
+
+namespace {
+
+// Dual rails of one net: `one` true means definitely 1, `zero` true
+// means definitely 0, neither true means X. The encoder maintains the
+// invariant that both rails are never simultaneously true (sources are
+// single-rail or constant; every gate function preserves it).
+struct Rails {
+  CnfLit one = kLitFalse;
+  CnfLit zero = kLitFalse;
+};
+
+Rails railsX() { return {kLitFalse, kLitFalse}; }
+
+Rails railsConst(bool v) {
+  return v ? Rails{kLitTrue, kLitFalse} : Rails{kLitFalse, kLitTrue};
+}
+
+// 01X inversion is a rail swap — no clauses.
+Rails railsNot(Rails r) { return {r.zero, r.one}; }
+
+// Defines y <-> AND(lits) with constant folding; returns the literal
+// standing for the conjunction (possibly a sentinel or an input).
+CnfLit defineAnd(CnfFormula& cnf, std::span<const CnfLit> lits) {
+  // Fold constants and duplicates first so trivial gates cost nothing.
+  std::vector<CnfLit> in;
+  for (CnfLit l : lits) {
+    if (l == kLitFalse) return kLitFalse;
+    if (l == kLitTrue) continue;
+    in.push_back(l);
+  }
+  std::sort(in.begin(), in.end());
+  in.erase(std::unique(in.begin(), in.end()), in.end());
+  for (size_t i = 0; i + 1 < in.size(); ++i) {
+    if (negateLit(in[i]) == in[i + 1]) return kLitFalse;  // l AND NOT l
+  }
+  if (in.empty()) return kLitTrue;
+  if (in.size() == 1) return in[0];
+  const CnfLit y = posLit(cnf.newVar());
+  std::vector<CnfLit> big{y};
+  for (CnfLit l : in) {
+    cnf.addClause({negateLit(y), l});
+    big.push_back(negateLit(l));
+  }
+  cnf.addClause(big);
+  return y;
+}
+
+// Defines y <-> OR(lits) by De Morgan over defineAnd.
+CnfLit defineOr(CnfFormula& cnf, std::span<const CnfLit> lits) {
+  std::vector<CnfLit> neg(lits.size());
+  for (size_t i = 0; i < lits.size(); ++i) neg[i] = negateLit(lits[i]);
+  return negateLit(defineAnd(cnf, neg));
+}
+
+CnfLit defineAnd2(CnfFormula& cnf, CnfLit a, CnfLit b) {
+  const CnfLit lits[] = {a, b};
+  return defineAnd(cnf, lits);
+}
+
+CnfLit defineOr2(CnfFormula& cnf, CnfLit a, CnfLit b) {
+  const CnfLit lits[] = {a, b};
+  return defineOr(cnf, lits);
+}
+
+CnfLit defineOr3(CnfFormula& cnf, CnfLit a, CnfLit b, CnfLit c) {
+  const CnfLit lits[] = {a, b, c};
+  return defineOr(cnf, lits);
+}
+
+// Rails of a XOR2 in the 01X tables: definite only when both inputs are
+// definite.
+Rails xorRails(CnfFormula& cnf, Rails a, Rails b) {
+  Rails r;
+  r.one = defineOr2(cnf, defineAnd2(cnf, a.one, b.zero),
+                    defineAnd2(cnf, a.zero, b.one));
+  r.zero = defineOr2(cnf, defineAnd2(cnf, a.one, b.one),
+                     defineAnd2(cnf, a.zero, b.zero));
+  return r;
+}
+
+// Encodes the rail function of compiled op `op`, reading fanin rails
+// through `railOf(slot, gate)`. Each case mirrors the corresponding
+// evalOp3 branch, including controlling-value X-suppression (an AND
+// with one definite-0 input is definitely 0 whatever the others).
+template <typename RailFn>
+Rails encodeOp(CnfFormula& cnf, const sim::CompiledNetlist& cn, uint32_t op,
+               RailFn&& railOf) {
+  using sim::OpCode;
+  const std::span<const uint32_t> fan = cn.opFanins(op);
+  std::vector<Rails> in(fan.size());
+  std::vector<CnfLit> ones(fan.size());
+  std::vector<CnfLit> zeros(fan.size());
+  for (size_t i = 0; i < fan.size(); ++i) {
+    in[i] = railOf(i, fan[i]);
+    ones[i] = in[i].one;
+    zeros[i] = in[i].zero;
+  }
+  switch (cn.opcode(op)) {
+    case OpCode::kBuf:
+      return in[0];
+    case OpCode::kNot:
+      return railsNot(in[0]);
+    case OpCode::kAnd2:
+    case OpCode::kAndN:
+      return {defineAnd(cnf, ones), defineOr(cnf, zeros)};
+    case OpCode::kNand2:
+    case OpCode::kNandN:
+      return {defineOr(cnf, zeros), defineAnd(cnf, ones)};
+    case OpCode::kOr2:
+    case OpCode::kOrN:
+      return {defineOr(cnf, ones), defineAnd(cnf, zeros)};
+    case OpCode::kNor2:
+    case OpCode::kNorN:
+      return {defineAnd(cnf, zeros), defineOr(cnf, ones)};
+    case OpCode::kXor2:
+      return xorRails(cnf, in[0], in[1]);
+    case OpCode::kXnor2:
+      return railsNot(xorRails(cnf, in[0], in[1]));
+    case OpCode::kXorN:
+    case OpCode::kXnorN: {
+      Rails acc = railsConst(false);
+      for (const Rails& r : in) acc = xorRails(cnf, acc, r);
+      return cn.opcode(op) == OpCode::kXnorN ? railsNot(acc) : acc;
+    }
+    case OpCode::kMux2: {
+      // evalOp3: s==0 -> d0, s==1 -> d1, s==X -> d0 if d0==d1 else X.
+      // The consensus term (d0 and d1 agree) covers the X-select case.
+      const Rails d0 = in[0];
+      const Rails d1 = in[1];
+      const Rails s = in[2];
+      Rails r;
+      r.one = defineOr3(cnf, defineAnd2(cnf, s.zero, d0.one),
+                        defineAnd2(cnf, s.one, d1.one),
+                        defineAnd2(cnf, d0.one, d1.one));
+      r.zero = defineOr3(cnf, defineAnd2(cnf, s.zero, d0.zero),
+                         defineAnd2(cnf, s.one, d1.zero),
+                         defineAnd2(cnf, d0.zero, d1.zero));
+      return r;
+    }
+  }
+  assert(false && "unknown opcode");
+  return railsX();
+}
+
+}  // namespace
+
+MiterEncoder::MiterEncoder(const Netlist& nl, const sim::CompiledNetlist& cn,
+                           std::vector<GateId> observed,
+                           std::vector<GateId> assignable)
+    : nl_(&nl), cn_(&cn), observed_(std::move(observed)) {
+  is_observed_.assign(nl.numGates(), 0);
+  for (GateId g : observed_) is_observed_[g.v] = 1;
+  is_assignable_.assign(nl.numGates(), 0);
+  for (GateId g : assignable) is_assignable_[g.v] = 1;
+
+  // CSR of DFFs keyed by their D-driver gate: the cross-frame edges of
+  // cone growth and D-chain propagation.
+  dff_fanout_off_.assign(nl.numGates() + 1, 0);
+  for (GateId q : nl.dffs()) ++dff_fanout_off_[nl.gate(q).fanins[0].v + 1];
+  for (size_t i = 1; i < dff_fanout_off_.size(); ++i) {
+    dff_fanout_off_[i] += dff_fanout_off_[i - 1];
+  }
+  dff_fanout_.resize(nl.dffs().size());
+  std::vector<uint32_t> cursor(dff_fanout_off_.begin(),
+                               dff_fanout_off_.end() - 1);
+  for (GateId q : nl.dffs()) {
+    dff_fanout_[cursor[nl.gate(q).fanins[0].v]++] = q.v;
+  }
+}
+
+void MiterEncoder::fixSource(GateId id, bool value) {
+  fixed_[id.v] = value ? 1 : 0;
+  is_assignable_[id.v] = 0;
+}
+
+FaultMiter MiterEncoder::encodeFault(const fault::Fault& f,
+                                     const MiterOptions& opts) const {
+  FaultMiter m;
+  const int frames = std::max(1, opts.frames);
+  const size_t n = nl_->numGates();
+  const Gate& site_gate = nl_->gate(f.gate);
+  // Site polarity, exactly as the PODEM engines force it: only sa1
+  // holds the site at 1; sa0 and the transition polarities hold it 0.
+  const bool faulty_one = f.type == fault::FaultType::kStuckAt1;
+  m.direct =
+      f.pin != fault::kOutputPin && site_gate.kind == CellKind::kDff;
+  if (m.direct && (site_gate.flags & kFlagScanCell) == 0) {
+    m.trivially_untestable = true;  // capture of a non-scan cell is blind
+    return m;
+  }
+  CnfFormula& cnf = m.cnf;
+
+  // Per-frame fault output cone: comb closure from the site, re-seeded
+  // each later frame by the site (the defect is permanent) and by DFFs
+  // capturing a previous-frame cone driver.
+  std::vector<std::vector<uint8_t>> cone(frames);
+  std::vector<std::vector<uint32_t>> cone_list(frames);
+  if (!m.direct) {
+    for (int t = 0; t < frames; ++t) {
+      cone[t].assign(n, 0);
+      auto grow = [&](uint32_t seed) {
+        if (cone[t][seed] != 0) return;
+        cone[t][seed] = 1;
+        cone_list[t].push_back(seed);
+        size_t cursor = cone_list[t].size() - 1;
+        while (cursor < cone_list[t].size()) {
+          const uint32_t g = cone_list[t][cursor++];
+          for (const sim::CompiledNetlist::FanoutEntry& e :
+               cn_->combFanout(g)) {
+            if (cone[t][e.gate] != 0) continue;
+            cone[t][e.gate] = 1;
+            cone_list[t].push_back(e.gate);
+          }
+        }
+      };
+      grow(f.gate.v);
+      if (t > 0) {
+        for (uint32_t g : cone_list[t - 1]) {
+          for (uint32_t q = dff_fanout_off_[g]; q < dff_fanout_off_[g + 1];
+               ++q) {
+            grow(dff_fanout_[q]);
+          }
+        }
+      }
+    }
+    // Detection happens at the final capture only; an empty observed
+    // last-frame cone is a structural redundancy proof (the same check
+    // the PODEM engines make at k = 1).
+    bool any_observed = false;
+    for (uint32_t g : cone_list[frames - 1]) {
+      if (is_observed_[g] != 0) {
+        any_observed = true;
+        break;
+      }
+    }
+    if (!any_observed) {
+      m.trivially_untestable = true;
+      return m;
+    }
+  }
+
+  // Transitive good-machine support of everything the miter mentions:
+  // cone gates (their good rails feed the D variables), pulled down
+  // through comb fanins in-frame and DFF D-pins across frames.
+  std::vector<std::vector<uint8_t>> needed(frames);
+  for (int t = 0; t < frames; ++t) needed[t].assign(n, 0);
+  {
+    std::vector<std::pair<int, uint32_t>> work;
+    auto require = [&](int t, uint32_t g) {
+      if (needed[t][g] != 0) return;
+      needed[t][g] = 1;
+      work.emplace_back(t, g);
+    };
+    if (m.direct) {
+      require(frames - 1, site_gate.fanins[f.pin].v);
+    } else {
+      for (int t = 0; t < frames; ++t) {
+        for (uint32_t g : cone_list[t]) require(t, g);
+      }
+    }
+    while (!work.empty()) {
+      const auto [t, g] = work.back();
+      work.pop_back();
+      const Gate& gt = nl_->gate(GateId{g});
+      if (gt.kind == CellKind::kDff) {
+        if (t > 0) require(t - 1, gt.fanins[0].v);
+        continue;
+      }
+      const uint32_t op = cn_->opOf(GateId{g});
+      if (op == sim::CompiledNetlist::kNoOp) continue;
+      for (uint32_t src : cn_->opFanins(op)) require(t, src);
+    }
+  }
+
+  // Good-machine rails, frame by frame: sources first (a frame-t DFF
+  // reads its driver's frame t-1 rails, already complete), then the op
+  // stream in its topological order.
+  std::vector<std::vector<Rails>> good(frames);
+  for (int t = 0; t < frames; ++t) good[t].assign(n, Rails{});
+  for (int t = 0; t < frames; ++t) {
+    for (uint32_t g = 0; g < n; ++g) {
+      if (needed[t][g] == 0 ||
+          cn_->opOf(GateId{g}) != sim::CompiledNetlist::kNoOp) {
+        continue;
+      }
+      const auto it = fixed_.find(g);
+      if (it != fixed_.end()) {
+        good[t][g] = railsConst(it->second != 0);
+        continue;
+      }
+      const Gate& gt = nl_->gate(GateId{g});
+      switch (gt.kind) {
+        case CellKind::kConst0:
+          good[t][g] = railsConst(false);
+          break;
+        case CellKind::kConst1:
+          good[t][g] = railsConst(true);
+          break;
+        case CellKind::kDff:
+          if (t > 0) {
+            good[t][g] = good[t - 1][gt.fanins[0].v];
+          } else if (is_assignable_[g] != 0) {
+            const uint32_t v = cnf.newVar();
+            m.stimulus.push_back({GateId{g}, 0, v});
+            good[t][g] = {posLit(v), negLit(v)};
+          } else {
+            good[t][g] = railsX();  // unloaded non-scan state
+          }
+          break;
+        default:
+          if (is_assignable_[g] != 0) {
+            const uint32_t v = cnf.newVar();
+            m.stimulus.push_back({GateId{g}, t, v});
+            good[t][g] = {posLit(v), negLit(v)};
+          } else {
+            good[t][g] = railsX();  // unbound X source
+          }
+          break;
+      }
+    }
+    for (uint32_t op = 0; op < cn_->numOps(); ++op) {
+      const uint32_t g = cn_->opGate(op);
+      if (needed[t][g] == 0) continue;
+      good[t][g] = encodeOp(cnf, *cn_, op, [&](size_t, uint32_t src) {
+        return good[t][src];
+      });
+    }
+  }
+
+  if (m.direct) {
+    // Justification-only: the capture itself observes the D pin, so the
+    // miter is the good machine plus a unit clause holding the driver
+    // at the activation value in the load frame.
+    const Rails r = good[frames - 1][site_gate.fanins[f.pin].v];
+    cnf.addClause({faulty_one ? r.zero : r.one});
+    return m;
+  }
+
+  // Faulty-machine rails for cone gates; everything outside the cone
+  // aliases the good machine.
+  const Rails site_forced = railsConst(faulty_one);
+  std::vector<std::vector<Rails>> faulty(frames);
+  for (int t = 0; t < frames; ++t) faulty[t].assign(n, Rails{});
+  for (int t = 0; t < frames; ++t) {
+    if (t > 0) {
+      for (uint32_t g : cone_list[t]) {
+        const Gate& gt = nl_->gate(GateId{g});
+        if (gt.kind == CellKind::kDff) {
+          faulty[t][g] = faulty[t - 1][gt.fanins[0].v];
+        }
+      }
+    }
+    if (f.pin == fault::kOutputPin) faulty[t][f.gate.v] = site_forced;
+    for (uint32_t op = 0; op < cn_->numOps(); ++op) {
+      const uint32_t g = cn_->opGate(op);
+      if (cone[t][g] == 0) continue;
+      if (f.pin == fault::kOutputPin && g == f.gate.v) continue;
+      faulty[t][g] =
+          encodeOp(cnf, *cn_, op, [&](size_t slot, uint32_t src) {
+            if (g == f.gate.v && slot == f.pin) return site_forced;
+            return cone[t][src] != 0 ? faulty[t][src] : good[t][src];
+          });
+    }
+  }
+
+  // D variables: d(g, t) asserts both machines definite and opposite on
+  // net g in frame t. Soundness needs only the d -> difference
+  // direction; the chain/seed/detection clauses below force a
+  // propagation path to exist, which is where the pruning comes from.
+  std::vector<std::vector<uint32_t>> dvar(frames);
+  for (int t = 0; t < frames; ++t) dvar[t].assign(n, 0);
+  for (int t = 0; t < frames; ++t) {
+    for (uint32_t g : cone_list[t]) dvar[t][g] = cnf.newVar();
+  }
+  for (int t = 0; t < frames; ++t) {
+    for (uint32_t g : cone_list[t]) {
+      const CnfLit d = posLit(dvar[t][g]);
+      const Rails& gd = good[t][g];
+      const Rails& fd = faulty[t][g];
+      cnf.addClause({negateLit(d), gd.one, gd.zero});
+      cnf.addClause({negateLit(d), fd.one, fd.zero});
+      cnf.addClause({negateLit(d), negateLit(gd.one), negateLit(fd.one)});
+      cnf.addClause({negateLit(d), negateLit(gd.zero), negateLit(fd.zero)});
+      // Chain: a difference anywhere but an observed final-frame net
+      // must reach a cone fanout, possibly through a DFF capture.
+      if (t == frames - 1 && is_observed_[g] != 0) continue;
+      std::vector<CnfLit> chain{negateLit(d)};
+      for (const sim::CompiledNetlist::FanoutEntry& e : cn_->combFanout(g)) {
+        if (cone[t][e.gate] != 0) chain.push_back(posLit(dvar[t][e.gate]));
+      }
+      if (t + 1 < frames) {
+        for (uint32_t q = dff_fanout_off_[g]; q < dff_fanout_off_[g + 1];
+             ++q) {
+          const uint32_t qd = dff_fanout_[q];
+          if (cone[t + 1][qd] != 0) {
+            chain.push_back(posLit(dvar[t + 1][qd]));
+          }
+        }
+      }
+      cnf.addClause(chain);
+    }
+  }
+  // Activation seed (the site must differ in some frame) and detection
+  // (some observed final-frame net must differ).
+  std::vector<CnfLit> seed;
+  for (int t = 0; t < frames; ++t) seed.push_back(posLit(dvar[t][f.gate.v]));
+  cnf.addClause(seed);
+  std::vector<CnfLit> det;
+  for (uint32_t g : cone_list[frames - 1]) {
+    if (is_observed_[g] != 0) det.push_back(posLit(dvar[frames - 1][g]));
+  }
+  cnf.addClause(det);
+  return m;
+}
+
+}  // namespace lbist::atpg

@@ -1,0 +1,176 @@
+// Tseitin gate->CNF encoding of stuck-at fault miters over the compiled
+// netlist tables (the first half of the SAT-based hard-tail engine; the
+// CDCL solver consuming these formulas lives in atpg/sat.hpp).
+//
+// The encoding is dual-rail 01X-exact: every net carries two literals
+// (`one` = definitely 1, `zero` = definitely 0, neither = X), so the
+// formula models exactly the three-valued semantics of
+// CompiledNetlist::evalOp3 that both PODEM engines search under. A
+// satisfying assignment is therefore a three-valued test cube, and an
+// UNSAT verdict proves that no such cube exists — the same verdict
+// universe as PODEM, which is what makes the engine-agreement contract
+// (ARCHITECTURE.md contract 7) checkable.
+//
+// The miter instantiates one good machine over the input support of the
+// fault cone, one faulty machine over the fault output cone only (nets
+// outside the cone share the good machine's rails), and difference (D)
+// variables with forward D-chain propagation clauses: the fault site
+// must differ in some timeframe, a difference on a non-observed net
+// must reach one of its cone fanouts, and some observed net of the
+// final timeframe must differ. The D-chain is equisatisfiable with the
+// plain "some observed net differs" miter — any detected difference
+// traces back to the site through definitely-differing nets, because a
+// gate whose fanins are all 01X-compatible between the machines cannot
+// produce definite opposite outputs — and prunes the search hard.
+//
+// k-frame timeframe expansion unrolls the combinational core k times:
+// DFF outputs in frame t > 0 alias the previous frame's D-driver rails,
+// scan-cell outputs are assignable in frame 0 (scan load), primary
+// inputs are fresh variables in every frame, non-scan state is X in
+// frame 0, the stuck-at site is forced in every frame, and detection is
+// asserted on the final frame's observed set (scan capture). Frames = 1
+// reproduces the PODEM search space exactly.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/netlist.hpp"
+#include "sim/compiled.hpp"
+
+namespace lbist::atpg {
+
+/// CNF literal: variable << 1 | sign, sign 1 meaning negated — plus the
+/// two constant sentinels below, so rail aliases can carry foldable
+/// constants (fixed sources, the forced fault site) without burning
+/// solver variables.
+using CnfLit = uint32_t;
+
+/// Constant-true literal sentinel (folded away by CnfFormula).
+inline constexpr CnfLit kLitTrue = 0xfffffffeu;
+/// Constant-false literal sentinel (folded away by CnfFormula).
+inline constexpr CnfLit kLitFalse = 0xffffffffu;
+
+/// Positive literal of `var`.
+[[nodiscard]] inline constexpr CnfLit posLit(uint32_t var) {
+  return var << 1;
+}
+/// Negative literal of `var`.
+[[nodiscard]] inline constexpr CnfLit negLit(uint32_t var) {
+  return (var << 1) | 1u;
+}
+/// Complement of a literal; maps kLitTrue <-> kLitFalse.
+[[nodiscard]] inline constexpr CnfLit negateLit(CnfLit l) { return l ^ 1u; }
+/// Variable index of a (non-sentinel) literal.
+[[nodiscard]] inline constexpr uint32_t litVar(CnfLit l) { return l >> 1; }
+/// True when the literal is negated.
+[[nodiscard]] inline constexpr bool litSign(CnfLit l) {
+  return (l & 1u) != 0;
+}
+
+/// Growable clause database with constant folding: clauses containing
+/// kLitTrue (or a literal and its complement) are dropped, kLitFalse
+/// literals and duplicates are removed, and an emptied clause marks the
+/// whole formula contradictory. Storage is one flat literal pool plus
+/// offsets, so the solver loads it with two bulk copies.
+class CnfFormula {
+ public:
+  /// Allocates a fresh variable and returns its index.
+  uint32_t newVar() { return num_vars_++; }
+
+  /// Adds one clause (with the folding described on the class).
+  void addClause(std::span<const CnfLit> lits);
+
+  /// Initializer-list convenience overload of addClause.
+  void addClause(std::initializer_list<CnfLit> lits) {
+    addClause(std::span<const CnfLit>(lits.begin(), lits.size()));
+  }
+
+  /// Number of variables allocated so far.
+  [[nodiscard]] size_t numVars() const { return num_vars_; }
+  /// Number of stored (post-folding) clauses.
+  [[nodiscard]] size_t numClauses() const { return offsets_.size() - 1; }
+  /// Literals of clause `i`.
+  [[nodiscard]] std::span<const CnfLit> clause(size_t i) const {
+    return {pool_.data() + offsets_[i], pool_.data() + offsets_[i + 1]};
+  }
+  /// True once an empty clause was added: the formula is UNSAT without
+  /// any search.
+  [[nodiscard]] bool contradiction() const { return contradiction_; }
+
+ private:
+  uint32_t num_vars_ = 0;
+  std::vector<CnfLit> pool_;
+  std::vector<uint32_t> offsets_ = {0};
+  std::vector<CnfLit> scratch_;
+  bool contradiction_ = false;
+};
+
+/// Timeframe-expansion depth for encodeFault (1 = pure combinational,
+/// the PODEM-equivalent search space).
+struct MiterOptions {
+  int frames = 1;
+};
+
+/// One free stimulus variable of an encoded miter: the model value of
+/// `var` is the value source `source` takes in timeframe `frame`.
+/// Scan-cell sources only appear with frame 0 (scan load); primary
+/// inputs appear once per frame.
+struct StimulusVar {
+  GateId source;
+  int frame = 0;
+  uint32_t var = 0;
+};
+
+/// An encoded fault miter, ready for the CDCL solver. When
+/// `trivially_untestable` is set the structural checks (no observed net
+/// in the fault cone, non-scan direct site) already proved redundancy
+/// and `cnf` is empty; `direct` marks DFF data-pin targets, which are
+/// justification-only (the scan capture itself observes the pin).
+struct FaultMiter {
+  CnfFormula cnf;
+  std::vector<StimulusVar> stimulus;
+  bool trivially_untestable = false;
+  bool direct = false;
+};
+
+/// Builds FaultMiter formulas for one netlist. Construction snapshots
+/// the observed/assignable sets and the DFF D-driver map; encodeFault
+/// is const and allocation-free of shared state, so one encoder can be
+/// shared by any number of sequential encode calls on a shard.
+class MiterEncoder {
+ public:
+  /// `cn` must be the compiled form of `nl` and outlive the encoder.
+  /// `observed` are the capture-visible nets (PO drivers plus scan
+  /// D-drivers), `assignable` the controllable sources (PIs plus scan
+  /// cell outputs) — the same sets the PODEM engines take.
+  MiterEncoder(const Netlist& nl, const sim::CompiledNetlist& cn,
+               std::vector<GateId> observed, std::vector<GateId> assignable);
+
+  /// Pins source `id` to `value` in every frame of every later encode
+  /// (test-mode constants); removes it from the assignable set.
+  void fixSource(GateId id, bool value);
+
+  /// Encodes the dual-rail miter of `f` (see file comment). Stuck-at-1
+  /// forces the site to 1; every other polarity forces it to 0 — the
+  /// same site semantics the PODEM engines use.
+  [[nodiscard]] FaultMiter encodeFault(const fault::Fault& f,
+                                       const MiterOptions& opts = {}) const;
+
+ private:
+  const Netlist* nl_;
+  const sim::CompiledNetlist* cn_;
+  std::vector<uint8_t> is_observed_;
+  std::vector<uint8_t> is_assignable_;
+  std::vector<GateId> observed_;
+  // DFFs fed by each driver gate (CSR), for cross-frame D-chain edges.
+  std::vector<uint32_t> dff_fanout_off_;
+  std::vector<uint32_t> dff_fanout_;
+  std::unordered_map<uint32_t, uint8_t> fixed_;
+};
+
+}  // namespace lbist::atpg

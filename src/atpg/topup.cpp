@@ -48,9 +48,22 @@ std::unique_ptr<PodemEngine> makeEngine(
   if (cfg.engine == AtpgEngine::kInterpreted) {
     engine = std::make_unique<PodemInterpreted>(nl, observed, assignable,
                                                 cfg.atpg);
+  } else if (cfg.engine == AtpgEngine::kSat) {
+    engine = std::make_unique<SatEngine>(nl, observed, assignable, cfg.sat);
   } else {
     engine = std::make_unique<Podem>(nl, observed, assignable, cfg.atpg);
   }
+  for (const auto& [id, v] : fixed_sources) engine->fixSource(id, v);
+  return engine;
+}
+
+std::unique_ptr<SatEngine> makeSatEngine(
+    const TopUpConfig& cfg, const Netlist& nl,
+    const std::vector<GateId>& observed,
+    const std::vector<GateId>& assignable,
+    const std::vector<std::pair<GateId, bool>>& fixed_sources) {
+  auto engine =
+      std::make_unique<SatEngine>(nl, observed, assignable, cfg.sat);
   for (const auto& [id, v] : fixed_sources) engine->fixSource(id, v);
   return engine;
 }
@@ -215,6 +228,11 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
     }
   };
   std::vector<std::unique_ptr<PodemEngine>> engines(n_threads);
+  // Escalation engines (TopUpConfig::sat_escalate), one per shard and
+  // lazy like the primaries; escalation is a no-op when the primary is
+  // already the SAT engine.
+  const bool escalate = cfg.sat_escalate && cfg.engine != AtpgEngine::kSat;
+  std::vector<std::unique_ptr<SatEngine>> sat_engines(n_threads);
 
   std::mt19937_64 fill_rng(cfg.fill_seed);
 
@@ -237,6 +255,9 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
   std::vector<AtpgStatus> statuses;
   std::vector<size_t> backtracks;
   std::vector<double> gen_seconds;
+  std::vector<uint8_t> escalated;
+  std::vector<size_t> sat_conflicts;
+  std::vector<size_t> sat_learned;
 
   while (true) {
     if (cfg.max_patterns != 0 && result.patterns.size() >= cfg.max_patterns) {
@@ -270,6 +291,9 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
     statuses.assign(targets.size(), AtpgStatus::kAborted);
     backtracks.assign(targets.size(), 0);
     gen_seconds.assign(targets.size(), 0.0);
+    escalated.assign(targets.size(), 0);
+    sat_conflicts.assign(targets.size(), 0);
+    sat_learned.assign(targets.size(), 0);
     runShards([&](unsigned shard) {
       if (engines[shard] == nullptr) {
         engines[shard] =
@@ -286,22 +310,57 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
             "atpg.target.generate",
             faults.record(targets[k]).fault.describe(nl),
             robust::kCanThrow | robust::kCanHang);
-        if (act == robust::FaultAction::kHang) {
-          statuses[k] = AtpgStatus::kAborted;
-          backtracks[k] = static_cast<size_t>(cfg.atpg.backtrack_limit);
-          continue;
-        }
         if (act == robust::FaultAction::kThrow) {
           throw std::runtime_error(
               "injected engine failure on target '" +
               faults.record(targets[k]).fault.describe(nl) + "'");
         }
-        const auto t0 = std::chrono::steady_clock::now();
+        if (act == robust::FaultAction::kHang) {
+          statuses[k] = AtpgStatus::kAborted;
+          backtracks[k] = static_cast<size_t>(cfg.atpg.backtrack_limit);
+        } else {
+          SatEngine* primary_sat =
+              cfg.engine == AtpgEngine::kSat ? static_cast<SatEngine*>(&engine)
+                                             : nullptr;
+          const uint64_t learned_before =
+              primary_sat != nullptr ? primary_sat->engineStats().learned : 0;
+          const auto t0 = std::chrono::steady_clock::now();
+          statuses[k] =
+              engine.generate(faults.record(targets[k]).fault, cubes[k]);
+          const auto t1 = std::chrono::steady_clock::now();
+          gen_seconds[k] = std::chrono::duration<double>(t1 - t0).count();
+          backtracks[k] = engine.backtracksUsed();
+          if (primary_sat != nullptr) {
+            // A primary-SAT "backtrack" is a CDCL conflict; mirror it
+            // into the solver columns so BENCH_atpg reads the same keys
+            // whether SAT ran as primary or as escalation.
+            sat_conflicts[k] = backtracks[k];
+            sat_learned[k] = static_cast<size_t>(
+                primary_sat->engineStats().learned - learned_before);
+          }
+        }
+        if (statuses[k] != AtpgStatus::kAborted || !escalate) continue;
+        // Escalation: the primary burned its budget; the same fault
+        // goes to the CDCL engine, whose answer is a cube, a
+        // redundancy proof, or (conflict budget gone too) a rarer
+        // second abort. Per-target solver work is recorded here and
+        // summed in the serial merge, keeping the totals independent
+        // of which shard ran the solve.
+        if (sat_engines[shard] == nullptr) {
+          sat_engines[shard] =
+              makeSatEngine(cfg, nl, observed, assignable, fixed_sources);
+        }
+        SatEngine& sat = *sat_engines[shard];
+        escalated[k] = 1;
+        const uint64_t learned_before = sat.engineStats().learned;
+        const auto s0 = std::chrono::steady_clock::now();
         statuses[k] =
-            engine.generate(faults.record(targets[k]).fault, cubes[k]);
-        const auto t1 = std::chrono::steady_clock::now();
-        gen_seconds[k] = std::chrono::duration<double>(t1 - t0).count();
-        backtracks[k] = engine.backtracksUsed();
+            sat.generate(faults.record(targets[k]).fault, cubes[k]);
+        const auto s1 = std::chrono::steady_clock::now();
+        gen_seconds[k] += std::chrono::duration<double>(s1 - s0).count();
+        sat_conflicts[k] = sat.backtracksUsed();
+        sat_learned[k] = static_cast<size_t>(sat.engineStats().learned -
+                                             learned_before);
       }
     });
 
@@ -311,21 +370,39 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
     for (size_t k = 0; k < targets.size(); ++k) {
       result.backtracks += backtracks[k];
       result.atpg_seconds += gen_seconds[k];
+      if (escalated[k] != 0) ++result.sat_escalated;
+      result.sat_conflicts += sat_conflicts[k];
+      result.sat_learned += sat_learned[k];
+      // A kUntestable verdict from a completed CDCL search (primary-SAT
+      // or escalation) is a redundancy proof; only PODEM's exhausted
+      // tree keeps the legacy kUntestable accounting.
+      const bool sat_verdict =
+          escalated[k] != 0 || cfg.engine == AtpgEngine::kSat;
       switch (statuses[k]) {
         case AtpgStatus::kUntestable:
-          faults.record(targets[k]).status = fault::FaultStatus::kUntestable;
-          ++result.proven_untestable;
+          if (sat_verdict) {
+            faults.record(targets[k]).status = fault::FaultStatus::kRedundant;
+            ++result.proven_redundant;
+            OBS_COUNT("atpg.redundant", 1);
+          } else {
+            faults.record(targets[k]).status = fault::FaultStatus::kUntestable;
+            ++result.proven_untestable;
+          }
           continue;
         case AtpgStatus::kAborted:
           ++result.aborted;
           // Structured budget report, built here in the serial merge so
-          // the order is fault-list order for every thread count.
-          result.aborted_targets.push_back(
-              TopUpResult::TargetAbort{targets[k], backtracks[k]});
+          // the order is fault-list order for every thread count. An
+          // escalated abort reports the solver's conflict budget — the
+          // cost of the search that actually gave up.
+          result.aborted_targets.push_back(TopUpResult::TargetAbort{
+              targets[k],
+              escalated[k] != 0 ? sat_conflicts[k] : backtracks[k]});
           OBS_COUNT("atpg.aborts", 1);
           continue;
         case AtpgStatus::kDetected:
           ++result.atpg_detected;
+          if (escalated[k] != 0) ++result.sat_detected;
           ++batch_targets;
           break;
       }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "atpg/podem.hpp"
+#include "atpg/sat.hpp"
 #include "fault/fsim.hpp"
 
 namespace lbist::atpg {
@@ -30,13 +31,16 @@ struct TopUpPattern {
   std::vector<uint8_t> values;
 };
 
-/// Which PODEM implementation runTopUp drives. Both are deterministic
-/// and produce valid cubes; kCompiled is the fast production engine,
-/// kInterpreted the Gate-record reference kept for differential testing
-/// and as the bench baseline.
+/// Which test-generation engine runTopUp drives as the primary. All are
+/// deterministic and produce valid cubes; kCompiled is the fast
+/// production PODEM, kInterpreted the Gate-record reference kept for
+/// differential testing and as the bench baseline, and kSat the CDCL
+/// miter engine whose kUntestable verdicts are completed proofs
+/// (recorded as FaultStatus::kRedundant, never kUntestable).
 enum class AtpgEngine : uint8_t {
   kCompiled,
   kInterpreted,
+  kSat,
 };
 
 /// Flow configuration. Every knob preserves the thread-count
@@ -71,8 +75,17 @@ struct TopUpConfig {
   /// detection multiplicity is preserved up to the driving simulator's
   /// n-detect target (capped at what the uncompacted set delivered).
   bool reverse_compact = true;
-  /// PODEM implementation to drive (see AtpgEngine).
+  /// Primary engine to drive (see AtpgEngine).
   AtpgEngine engine = AtpgEngine::kCompiled;
+  /// Per-fault escalation: when the primary engine aborts a target
+  /// (backtrack budget exhausted), hand the same fault to a SatEngine.
+  /// A SAT cube rescues the target; UNSAT promotes it to the
+  /// proved-redundant status. Off by default so budget-exhaustion
+  /// behavior (and the fault-injection drills that rely on it) is
+  /// opt-in, not silently rewritten. No-op when engine == kSat.
+  bool sat_escalate = false;
+  /// Effort knob for escalation / primary-SAT solves.
+  SatOptions sat;
 };
 
 /// Flow outcome: the deterministic pattern set plus targeting
@@ -81,12 +94,26 @@ struct TopUpResult {
   /// Final deterministic pattern set (after compaction passes), in
   /// generation order.
   std::vector<TopUpPattern> patterns;
-  size_t targeted = 0;             // faults handed to PODEM
-  size_t atpg_detected = 0;        // faults PODEM found cubes for
+  size_t targeted = 0;             // faults handed to the primary engine
+  size_t atpg_detected = 0;        // faults any engine found cubes for
   size_t fortuitous_detected = 0;  // dropped by simulating stored patterns
   size_t proven_untestable = 0;
+  /// Faults ending FaultStatus::kRedundant: a completed-search proof
+  /// (SAT UNSAT verdict, structural miter contradiction) that no test
+  /// exists. Disjoint from proven_untestable, which keeps PODEM's
+  /// exhausted-tree accounting.
+  size_t proven_redundant = 0;
   size_t aborted = 0;
   size_t backtracks = 0;  // total chronological backtracks over all targets
+  /// Targets the escalation path handed to the SAT engine after a
+  /// primary-engine abort (TopUpConfig::sat_escalate).
+  size_t sat_escalated = 0;
+  /// Escalated targets the SAT engine produced a cube for.
+  size_t sat_detected = 0;
+  /// CDCL conflicts summed over every SAT solve (escalated or primary).
+  size_t sat_conflicts = 0;
+  /// Learned clauses summed over every SAT solve.
+  size_t sat_learned = 0;
 
   /// One aborted PODEM target: which fault exhausted its budget and how
   /// much it burned doing so.

@@ -196,9 +196,15 @@ std::string renderAtpgStats(const atpg::TopUpResult& r) {
                       : static_cast<double>(r.backtracks) /
                             static_cast<double>(r.targeted);
   os << "top-up ATPG: " << r.targeted << " targets -> " << r.atpg_detected
-     << " cubes, " << r.proven_untestable << " untestable, " << r.aborted
-     << " aborted; " << r.backtracks << " backtracks (" << std::fixed
-     << std::setprecision(1) << per_target << "/target)";
+     << " cubes, " << r.proven_untestable << " untestable, "
+     << r.proven_redundant << " redundant, " << r.aborted << " aborted; "
+     << r.backtracks << " backtracks (" << std::fixed << std::setprecision(1)
+     << per_target << "/target)";
+  if (r.sat_escalated != 0 || r.sat_conflicts != 0) {
+    os << "; SAT " << r.sat_escalated << " escalated -> " << r.sat_detected
+       << " cubes (" << r.sat_conflicts << " conflicts, " << r.sat_learned
+       << " learned)";
+  }
   if (r.patterns_before_compact != r.patterns.size()) {
     os << "; reverse compaction " << r.patterns_before_compact << " -> "
        << r.patterns.size() << " patterns";

@@ -59,8 +59,9 @@ struct Table1Column {
 [[nodiscard]] std::string renderCollapseStats(const fault::CollapseStats& s);
 
 /// One-line summary of a top-up ATPG run for flow reports: targets,
-/// cube hits, untestability proofs, abort count, backtrack totals
-/// (mean per target), and the reverse-compaction pattern delta.
+/// cube hits, untestability and redundancy proofs, abort count,
+/// backtrack totals (mean per target), the SAT escalation tally when
+/// any solver ran, and the reverse-compaction pattern delta.
 [[nodiscard]] std::string renderAtpgStats(const atpg::TopUpResult& r);
 
 /// One-line summary of a chip-level test schedule for flow reports:

@@ -150,6 +150,9 @@ Coverage FaultList::coverage() const {
       case FaultStatus::kUntestable:
         ++c.untestable;
         break;
+      case FaultStatus::kRedundant:
+        ++c.redundant;
+        break;
       case FaultStatus::kUndetected:
         break;
     }

@@ -55,6 +55,9 @@ enum class FaultStatus : uint8_t {
   kDetected,        // seen at an observation point by simulation/ATPG
   kChainTested,     // on the scan shift path; covered by the chain flush test
   kUntestable,      // structurally untestable (e.g. unobservable stem)
+  kRedundant,       // proved untestable by a completed search (SAT UNSAT
+                    // verdict or exhausted PODEM tree) — a machine-checkable
+                    // proof, not a structural shortcut
 };
 
 struct FaultRecord {
@@ -66,12 +69,14 @@ struct FaultRecord {
 
 /// Coverage summary. "Fault coverage" follows the paper's convention:
 /// detected (incl. chain-tested) over all collapsed faults. "Test
-/// coverage" excludes untestable faults from the denominator.
+/// coverage" excludes untestable and proved-redundant faults from the
+/// denominator.
 struct Coverage {
   size_t total = 0;
   size_t detected = 0;
   size_t chain_tested = 0;
   size_t untestable = 0;
+  size_t redundant = 0;
 
   [[nodiscard]] double faultCoveragePercent() const {
     return total == 0 ? 0.0
@@ -79,7 +84,7 @@ struct Coverage {
                             static_cast<double>(total);
   }
   [[nodiscard]] double testCoveragePercent() const {
-    const size_t den = total - untestable;
+    const size_t den = total - untestable - redundant;
     return den == 0 ? 0.0
                     : 100.0 * static_cast<double>(detected + chain_tested) /
                           static_cast<double>(den);

@@ -156,4 +156,95 @@ Netlist buildTwoDomainPipe(int n, uint64_t fast_ps, uint64_t slow_ps) {
   return nl;
 }
 
+Netlist buildXorTrap(int vars, int eqs, uint64_t seed, bool satisfiable) {
+  if (vars < 3) throw std::invalid_argument("xor trap needs >= 3 variables");
+  if (eqs < 1) throw std::invalid_argument("xor trap needs >= 1 equation");
+  Netlist nl("xortrap" + std::to_string(vars) + "x" + std::to_string(eqs));
+
+  // splitmix64: tiny, deterministic, and plenty for picking equations.
+  uint64_t state = seed;
+  auto rng = [&state]() {
+    state += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+
+  std::vector<GateId> x(static_cast<size_t>(vars));
+  std::vector<uint8_t> planted(static_cast<size_t>(vars));
+  for (int i = 0; i < vars; ++i) {
+    x[static_cast<size_t>(i)] = nl.addInput("x" + std::to_string(i));
+    planted[static_cast<size_t>(i)] = static_cast<uint8_t>(rng() & 1u);
+  }
+
+  // Planted rows: each a WIDE random subset of the variables (every
+  // variable joins with probability 1/2, redrawn below width 3), with
+  // the right-hand side taken from the planted assignment so the base
+  // system is satisfiable by construction. Width is the hardness lever:
+  // a row's parity check stays X until every one of its variables is
+  // assigned, so input-enumerating search cannot prune before depth
+  // ~vars/2 — narrow rows would hand PODEM cheap early conflicts.
+  std::vector<std::vector<int>> rows(static_cast<size_t>(eqs));
+  std::vector<uint8_t> rhs(static_cast<size_t>(eqs));
+  auto checkGate = [&nl](GateId lhs, bool want_one) {
+    return want_one ? lhs : nl.addGate(CellKind::kNot, {lhs});
+  };
+  constexpr uint32_t kNone = 0xffffffffu;
+  GateId conj{kNone};
+  auto andInto = [&nl, &conj, kNone](GateId g) {
+    conj = conj.v == kNone ? g : nl.addGate(CellKind::kAnd, {conj, g});
+  };
+  for (int j = 0; j < eqs; ++j) {
+    std::vector<int>& row = rows[static_cast<size_t>(j)];
+    while (row.size() < 3) {
+      row.clear();
+      for (int v = 0; v < vars; ++v) {
+        if ((rng() & 1u) != 0) row.push_back(v);
+      }
+    }
+    uint8_t r = 0;
+    GateId lhs{kNone};
+    for (int v : row) {
+      r ^= planted[static_cast<size_t>(v)];
+      const GateId xv = x[static_cast<size_t>(v)];
+      lhs = lhs.v == kNone ? xv : nl.addGate(CellKind::kXor, {lhs, xv});
+    }
+    rhs[static_cast<size_t>(j)] = r;
+    andInto(checkGate(lhs, r != 0));
+  }
+
+  if (!satisfiable) {
+    // The trap row: the GF(2) sum of a random non-empty subset of the
+    // planted rows with its right-hand side flipped. Any solution of
+    // the base system satisfies the un-flipped sum, so the full system
+    // is inconsistent for every assignment, not just the planted one.
+    // The row is built as the literal XOR chain of every term in the
+    // chosen rows — duplicates cancel functionally but keep the
+    // structure opaque to implication-based search.
+    std::vector<int> subset;
+    while (subset.empty()) {
+      const uint64_t mask = rng();
+      for (int j = 0; j < eqs; ++j) {
+        if (((mask >> (j % 64)) & 1u) != 0) subset.push_back(j);
+      }
+    }
+    uint8_t trap_rhs = 1;  // the flip
+    GateId chain{kNone};
+    for (int j : subset) {
+      trap_rhs ^= rhs[static_cast<size_t>(j)];
+      for (int v : rows[static_cast<size_t>(j)]) {
+        const GateId xv = x[static_cast<size_t>(v)];
+        chain = chain.v == kNone ? xv
+                                 : nl.addGate(CellKind::kXor, {chain, xv});
+      }
+    }
+    andInto(checkGate(chain, trap_rhs != 0));
+  }
+
+  nl.setGateName(conj, "sat_out");
+  nl.addOutput(conj, "sat");
+  return nl;
+}
+
 }  // namespace lbist::gen

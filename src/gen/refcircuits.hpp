@@ -32,4 +32,23 @@ namespace lbist::gen {
 [[nodiscard]] Netlist buildTwoDomainPipe(int n, uint64_t fast_ps = 4'000,
                                          uint64_t slow_ps = 6'000);
 
+/// PODEM-hard / CDCL-easy redundancy instance: a random planted system
+/// of `eqs` wide XOR equations over `vars` inputs (each equation spans
+/// a random ~half of the variables), each checked against its planted
+/// right-hand side and the checks ANDed into the single output "sat".
+/// With `satisfiable` false (the trap), one extra equation is appended
+/// — the GF(2) sum of a random non-empty subset of the planted rows
+/// with its right-hand side flipped — making the system provably
+/// inconsistent, so "sat" is constant 0 and the fault `sat stuck-at-0`
+/// is redundant. Proving that by input enumeration (PODEM) visits an
+/// exponential share of the 2^vars cube: a wide parity row stays X
+/// until every one of its variables is assigned, so nothing prunes the
+/// search before depth ~vars/2. Clause learning refutes the same
+/// linear system in a few hundred conflicts. With `satisfiable` true
+/// the inconsistent row is skipped and the planted assignment drives
+/// "sat" to 1. Purely combinational; deterministic in (vars, eqs,
+/// seed).
+[[nodiscard]] Netlist buildXorTrap(int vars, int eqs, uint64_t seed,
+                                   bool satisfiable = false);
+
 }  // namespace lbist::gen

@@ -48,6 +48,13 @@ struct CampaignOptions {
   /// PRPG patterns (core::CoverageFlow). Costs one fault-simulation
   /// campaign per core.
   bool measure_coverage = false;
+  /// With measure_coverage: follow the random phase with the
+  /// deterministic top-up flow, SAT escalation on, so the recorded
+  /// coverage is the full-flow number and every hard-tail fault ends as
+  /// a cube or a redundancy proof (CoreRunResult::redundant). Changes
+  /// the checkpoint header, so topup and non-topup campaigns cannot be
+  /// mixed by resume. No-op without measure_coverage.
+  bool topup_coverage = false;
   /// Checkpoint file path; empty disables checkpointing.
   std::string checkpoint_path;
   /// Resume from an existing checkpoint file instead of truncating it.
@@ -79,6 +86,9 @@ struct CoreRunResult {
   std::vector<std::string> signatures;  // per domain, hex
   uint64_t tcks = 0;                    // session length (sessionTcks)
   double coverage_percent = -1.0;       // -1 when not measured
+  /// Faults the top-up pass proved redundant (SAT UNSAT); -1 when the
+  /// campaign ran without CampaignOptions::topup_coverage.
+  int64_t redundant = -1;
   bool from_checkpoint = false;
   /// kOk when the session executed (pass/fail is the BIST verdict);
   /// otherwise the infrastructure failure that kept it from executing

@@ -15,6 +15,7 @@
 #include "atpg/topup.hpp"
 #include "fault/fsim.hpp"
 #include "gen/ipcore.hpp"
+#include "gen/refcircuits.hpp"
 #include "gen/soc.hpp"
 #include "obs/obs.hpp"
 #include "robust/io.hpp"
@@ -897,6 +898,89 @@ TEST(InjectAtpgTarget, ThrowPropagatesCleanlyAndRerunIsBitIdentical) {
   }
 }
 
+TEST(InjectSatSolve, HangAndThrowSurfaceStructuredlyAndRerunHeals) {
+  PlanGuard guard;
+  // c17 through the SAT engine: every solve is fast, so the only abort
+  // below is the injected one.
+  Netlist nl = gen::buildC17();
+  std::vector<GateId> obs;
+  for (const OutputPort& po : nl.outputs()) obs.push_back(po.driver);
+  std::sort(obs.begin(), obs.end());
+  obs.erase(std::unique(obs.begin(), obs.end()), obs.end());
+  std::vector<GateId> assignable(nl.inputs().begin(), nl.inputs().end());
+  fault::FaultList fl = fault::FaultList::enumerateStuckAt(nl);
+  const fault::Fault target = fl.record(0).fault;
+
+  atpg::SatOptions opts;
+  atpg::SatEngine sat(nl, obs, assignable, opts);
+  atpg::TestCube cube;
+
+  // kHang: the solve is charged its whole conflict budget and reports
+  // the structured abort, exactly like a genuine budget exhaustion.
+  setFaultPlan(onePointPlan("atpg.sat.solve", FaultAction::kHang));
+  EXPECT_EQ(sat.generate(target, cube), atpg::AtpgStatus::kAborted);
+  EXPECT_EQ(sat.backtracksUsed(),
+            static_cast<size_t>(opts.conflict_limit))
+      << "a hang is charged its whole budget";
+  clearFaultPlan();
+
+  // kThrow propagates as an exception, not a bogus verdict.
+  setFaultPlan(onePointPlan("atpg.sat.solve", FaultAction::kThrow));
+  EXPECT_THROW((void)sat.generate(target, cube), std::runtime_error);
+  clearFaultPlan();
+
+  // With the plan cleared the same engine instance recovers: the target
+  // is simply re-solved and c17's faults are all testable.
+  EXPECT_EQ(sat.generate(target, cube), atpg::AtpgStatus::kDetected);
+}
+
+TEST(InjectSatSolve, EscalationRescuesHungPrimaryTarget) {
+  PlanGuard guard;
+  Netlist nl = topUpCore();
+  const ScanSetup s = scanSetup(nl);
+  fault::FaultList base = fault::FaultList::enumerateStuckAt(nl);
+  {
+    fault::FaultSimulator fsim(nl, base, s.observed);
+    runRandomPhase(fsim, s.assignable);
+  }
+
+  atpg::TopUpConfig cfg;
+  cfg.threads = 1;
+  cfg.atpg.backtrack_limit = 10'000;
+
+  // Clean reference (no injection, no escalation needed: nothing
+  // genuinely aborts on this core at that budget).
+  fault::FaultList clean_fl = base;
+  atpg::TopUpResult clean;
+  {
+    fault::FaultSimulator fsim(nl, clean_fl, s.observed);
+    clean =
+        atpg::runTopUp(nl, clean_fl, fsim, s.observed, s.assignable, {}, cfg);
+  }
+  ASSERT_EQ(clean.aborted, 0u);
+
+  // Hang the first PODEM target with escalation armed: instead of
+  // stranding, the target is handed to the SAT engine in the same run —
+  // no abort surfaces and no second pass is needed.
+  fault::FaultList fl = base;
+  cfg.sat_escalate = true;
+  setFaultPlan(onePointPlan("atpg.target.generate", FaultAction::kHang));
+  atpg::TopUpResult rescued;
+  {
+    fault::FaultSimulator fsim(nl, fl, s.observed);
+    rescued =
+        atpg::runTopUp(nl, fl, fsim, s.observed, s.assignable, {}, cfg);
+  }
+  clearFaultPlan();
+  EXPECT_EQ(rescued.aborted, 0u)
+      << "escalation must rescue the hung target in-run";
+  EXPECT_GE(rescued.sat_escalated, 1u);
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(fl.record(i).status, clean_fl.record(i).status)
+        << "fault " << i << " status diverges from the clean flow";
+  }
+}
+
 // ------------------------------------------------- harness completeness
 
 TEST(Harness, EveryRegisteredPointIsCoveredBySuite) {
@@ -904,10 +988,10 @@ TEST(Harness, EveryRegisteredPointIsCoveredBySuite) {
   // above exercises — an unlisted registration means someone added a
   // ROBUST_POINT without an injected-then-resumed test for it.
   const std::vector<std::string> covered = {
-      "atpg.target.generate",       "campaign.checkpoint.append",
-      "campaign.checkpoint.read",   "campaign.checkpoint.rewrite",
-      "campaign.job.run",           "fsim.block.simulate",
-      "test.unit.point",
+      "atpg.sat.solve",             "atpg.target.generate",
+      "campaign.checkpoint.append", "campaign.checkpoint.read",
+      "campaign.checkpoint.rewrite", "campaign.job.run",
+      "fsim.block.simulate",        "test.unit.point",
   };
   std::vector<std::string> registered;
   for (const PointInfo& p : registeredPoints()) {
