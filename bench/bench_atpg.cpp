@@ -185,6 +185,10 @@ void writeJson(const char* path, const std::vector<AtpgRow>& rows) {
   }
   std::fprintf(f, "  ],\n");
   lbist::obs::writeCountersJson(f, "  ");
+  std::fprintf(f, ",\n");
+  lbist::obs::writeSeriesJson(f, "  ");
+  std::fprintf(f, ",\n");
+  lbist::obs::writeGaugesJson(f, "  ");
   std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path);
@@ -194,12 +198,14 @@ void writeJson(const char* path, const std::vector<AtpgRow>& rows) {
 
 int main(int argc, char** argv) {
   lbist::obs::setMetricsEnabled(true);
+  lbist::obs::setSeriesEnabled(true);
   lbist::bench::BenchObsArgs obs_args;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     obs_args.parse(argv[i]);
   }
+  obs_args.header("bench_atpg");
 
   struct Workload {
     std::string name;
@@ -224,6 +230,7 @@ int main(int argc, char** argv) {
 
   std::vector<AtpgRow> rows;
   for (Workload& w : workloads) {
+    const lbist::bench::EventPhase phase("atpg/" + w.name);
     const ScanSetup s = scanSetup(w.nl);
     fault::FaultList snapshot = fault::FaultList::enumerateStuckAt(w.nl);
     {

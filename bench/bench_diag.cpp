@@ -105,8 +105,10 @@ Row runOne(const std::string& name, const core::BistReadyCore& ready,
 
 int main(int argc, char** argv) {
   lbist::obs::setMetricsEnabled(true);
+  lbist::obs::setSeriesEnabled(true);
   lbist::bench::BenchObsArgs obs_args;
   for (int i = 1; i < argc; ++i) obs_args.parse(argv[i]);
+  obs_args.header("bench_diag");
   struct Workload {
     std::string name;
     size_t gates;
@@ -117,6 +119,7 @@ int main(int argc, char** argv) {
 
   std::vector<Row> rows;
   for (const Workload& w : workloads) {
+    const lbist::bench::EventPhase phase("diag/" + w.name);
     const Netlist raw = makeCore(w.gates, w.seed);
     core::LbistConfig cfg;
     cfg.num_chains = 8;
@@ -171,6 +174,10 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "  ],\n");
   lbist::obs::writeCountersJson(f, "  ");
+  std::fprintf(f, ",\n");
+  lbist::obs::writeSeriesJson(f, "  ");
+  std::fprintf(f, ",\n");
+  lbist::obs::writeGaugesJson(f, "  ");
   std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote BENCH_diag.json\n");

@@ -240,6 +240,7 @@ void writeSweepJson(const char* path) {
 
   std::vector<SweepRow> rows;
   for (const Workload& w : workloads) {
+    const lbist::bench::EventPhase phase("fsim/" + w.name);
     for (unsigned lane_words : widths) {
       // Hold total patterns constant across widths so dropping dynamics
       // and run time stay comparable: W-word blocks carry W x 64 lanes.
@@ -309,6 +310,10 @@ void writeSweepJson(const char* path) {
   }
   std::fprintf(f, "  ],\n");
   lbist::obs::writeCountersJson(f, "  ");
+  std::fprintf(f, ",\n");
+  lbist::obs::writeSeriesJson(f, "  ");
+  std::fprintf(f, ",\n");
+  lbist::obs::writeGaugesJson(f, "  ");
   std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path);
@@ -317,9 +322,11 @@ void writeSweepJson(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Counters are always recorded (the JSON carries a populated counters
-  // section per commit); tracing stays opt-in via --trace=FILE.
+  // Counters, series, and gauges are always recorded (the JSON carries
+  // populated counters/series/mem_peak sections per commit); tracing
+  // and the event log stay opt-in via --trace=FILE / --events=FILE.
   lbist::obs::setMetricsEnabled(true);
+  lbist::obs::setSeriesEnabled(true);
   lbist::bench::BenchObsArgs obs_args;
   bool sweep_only = false;
   for (int i = 1; i < argc;) {
@@ -342,6 +349,7 @@ int main(int argc, char** argv) {
   // above rerun arbitrary iteration counts, which would make the totals
   // meaningless for commit-over-commit diffing.
   lbist::obs::resetAll();
+  obs_args.header("bench_fsim");
   writeSweepJson("BENCH_fsim.json");
   obs_args.finish();
   return 0;

@@ -69,17 +69,25 @@ inline unsigned effectiveCpuCount() {
   return std::thread::hardware_concurrency();
 }
 
-/// Shared --trace=FILE / --metrics plumbing for the bench mains: parses
-/// the two flags (returning true when `arg` was consumed), enabling the
-/// obs instruments as a side effect — metrics always turn on when either
-/// flag is present so the BENCH JSON counters section is populated.
+/// Shared --trace=FILE / --events=FILE / --metrics plumbing for the
+/// bench mains: parses the flags (returning true when `arg` was
+/// consumed), enabling the obs instruments as a side effect — metrics
+/// always turn on when any flag is present so the BENCH JSON counters
+/// section is populated.
 struct BenchObsArgs {
   std::string trace_path;
+  std::string events_path;
 
   bool parse(const char* arg) {
     if (std::strncmp(arg, "--trace=", 8) == 0) {
       trace_path = arg + 8;
       obs::setTraceEnabled(true);
+      obs::setMetricsEnabled(true);
+      return true;
+    }
+    if (std::strncmp(arg, "--events=", 9) == 0) {
+      events_path = arg + 9;
+      obs::setEventsEnabled(true);
       obs::setMetricsEnabled(true);
       return true;
     }
@@ -90,15 +98,66 @@ struct BenchObsArgs {
     return false;
   }
 
-  /// Writes trace.json when --trace was given; call once after the runs.
-  void finish() const {
-    if (trace_path.empty()) return;
-    if (obs::writeTraceJson(trace_path)) {
-      std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
-    } else {
-      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
+  /// Emits the structured run header — the event log's first record —
+  /// once instruments are configured. Call after parsing argv (and
+  /// after any resetAll), before the workloads. Content is build
+  /// metadata only, so reruns of one binary stay byte-diffable.
+  void header(const char* bench) const {
+    if (obs::eventsEnabled()) {
+      obs::Event("run_header")
+          .field("bench", bench)
+          .field("git_sha", LBIST_GIT_SHA)
+          .field("compiler", LBIST_COMPILER_NAME)
+          .commit();
     }
   }
+
+  /// Writes trace.json / events.jsonl for the flags that were given;
+  /// call once after the runs.
+  void finish() const {
+    if (!trace_path.empty()) {
+      if (obs::writeTraceJson(trace_path)) {
+        std::fprintf(stderr, "trace written to %s\n", trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write trace to %s\n",
+                     trace_path.c_str());
+      }
+    }
+    if (!events_path.empty()) {
+      if (obs::writeEventsJsonl(events_path)) {
+        std::fprintf(stderr, "events written to %s\n", events_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write events to %s\n",
+                     events_path.c_str());
+      }
+    }
+  }
+};
+
+/// Paired phase begin/end events around a bench workload scope, so the
+/// event log brackets every run section. No-op unless --events enabled
+/// the log. Emit from the serial bench thread only (commit(), not
+/// commitShared: phases order the log's spine).
+class EventPhase {
+ public:
+  explicit EventPhase(std::string name) : name_(std::move(name)) {
+    if (obs::eventsEnabled()) {
+      obs::Event("phase")
+          .field("name", name_)
+          .field("state", "begin")
+          .commit();
+    }
+  }
+  ~EventPhase() {
+    if (obs::eventsEnabled()) {
+      obs::Event("phase").field("name", name_).field("state", "end").commit();
+    }
+  }
+  EventPhase(const EventPhase&) = delete;
+  EventPhase& operator=(const EventPhase&) = delete;
+
+ private:
+  std::string name_;
 };
 
 /// Writes the `"meta": {...},` object (with trailing comma) into an

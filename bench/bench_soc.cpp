@@ -70,6 +70,10 @@ void writeJson(const char* path, const std::vector<SocRow>& rows) {
   }
   std::fprintf(f, "  ],\n");
   lbist::obs::writeCountersJson(f, "  ");
+  std::fprintf(f, ",\n");
+  lbist::obs::writeSeriesJson(f, "  ");
+  std::fprintf(f, ",\n");
+  lbist::obs::writeGaugesJson(f, "  ");
   std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", path);
@@ -79,12 +83,14 @@ void writeJson(const char* path, const std::vector<SocRow>& rows) {
 
 int main(int argc, char** argv) {
   lbist::obs::setMetricsEnabled(true);
+  lbist::obs::setSeriesEnabled(true);
   lbist::bench::BenchObsArgs obs_args;
   bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     obs_args.parse(argv[i]);
   }
+  obs_args.header("bench_soc");
   const int64_t patterns = quick ? 16 : 32;
 
   gen::SocSpec spec;
@@ -124,6 +130,8 @@ int main(int argc, char** argv) {
         soc::Scheduler(b.value).build(sessions);
     std::fprintf(stderr, "%s", core::renderScheduleStats(sched).c_str());
     for (unsigned threads : {1u, 2u, 4u}) {
+      const lbist::bench::EventPhase phase(
+          std::string("soc/") + b.label + "/t" + std::to_string(threads));
       soc::CampaignRunner runner(chip, sched, session);
       soc::CampaignOptions opts;
       opts.threads = threads;

@@ -1,28 +1,39 @@
 #!/usr/bin/env python3
-"""Compares two BENCH_*.json files and prints the per-row metric delta.
+"""Compares two BENCH_*.json files and (optionally) gates the delta.
 
-Usage: bench_delta.py OLD.json NEW.json
+Usage: bench_delta.py [--gate] [--thresholds=FILE] OLD.json NEW.json
+       bench_delta.py --self-test
 
-Exits 0 always — the comparison is informational (CI runs it
-non-blocking); regressions are reported in the output, not the exit
-code. The row key and the compared metric depend on the document's
-"bench" field (see BENCH_SPECS); the meta blocks are printed so
+Without --gate the comparison is informational and always exits 0.
+With --gate the script becomes a blocking CI job: it exits non-zero
+when the delta crosses the checked-in thresholds
+(scripts/bench_thresholds.json next to this script, or --thresholds=).
+
+The gate attributes wall-clock regressions before failing, because the
+obs layer's work counters are deterministic while CI wall-clock is not:
+
+* wall regressed AND a work counter jumped  -> code regression, FAIL.
+* wall regressed, work counters unchanged   -> host noise, auto-WAIVED.
+* work counter jumped on its own            -> code regression, FAIL
+  (more work is a regression even if a faster host hides it).
+* a "mem_peak" gauge peak grew past its threshold -> FAIL.
+
+The row key and the compared metric depend on the document's "bench"
+field (see BENCH_SPECS); the meta blocks are printed so
 apples-to-oranges comparisons (different host, compiler, or flags) are
-visible at a glance.
+visible at a glance. Beyond the throughput rows, the observability
+sections are diffed key by key: the "counters" totals, the "mem_peak"
+gauge high-waters, and the "series" endpoints (final work anchor and
+per-counter delta sums), so a regression is visible at the phase that
+caused it, not just in the run total.
 
-Beyond the throughput rows, two observability columns are compared:
-
-* The embedded "counters" sections (the obs layer's deterministic work
-  counters) are diffed key by key — a throughput regression with
-  unchanged work counters points at the host, one with a work-counter
-  jump points at the code.
-* Thread-sweep rows whose "threads" exceeds the producing host's
-  meta.effective_cpus (the scheduler affinity mask, not installed CPUs)
-  are flagged: their wall-clock is oversubscription noise, not a
-  scaling measurement.
+--self-test synthesizes a baseline and four doctored variants and
+asserts the gate passes/fails on each as documented above; CI runs it
+so the gate is demonstrably live, not just present.
 """
 
 import json
+import os
 import sys
 
 # bench field -> (row key fields, metric, higher_is_better)
@@ -47,6 +58,37 @@ BENCH_SPECS = {
 # lane_words=1 configuration, and a pre-SAT atpg file (no "sat_escalate")
 # is exactly an escalation-off run, not a missing row.
 KEY_DEFAULTS = {"lane_words": 1, "sat_escalate": False}
+
+DEFAULT_THRESHOLDS = {
+    "wall_regress_pct": 25.0,
+    "work_regress_pct": 2.0,
+    "mem_regress_pct": 25.0,
+}
+
+
+def load_thresholds(path):
+    if path is None:
+        path = os.path.join(os.path.dirname(__file__),
+                            "bench_thresholds.json")
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_delta: cannot read thresholds {path}: {e}")
+        return None
+    return doc
+
+
+def thresholds_for(bench, doc):
+    th = dict(DEFAULT_THRESHOLDS)
+    for k in th:
+        if isinstance(doc.get(k), (int, float)):
+            th[k] = float(doc[k])
+    per = doc.get("benches", {}).get(bench, {})
+    for k in th:
+        if isinstance(per.get(k), (int, float)):
+            th[k] = float(per[k])
+    return th
 
 
 def rows(doc, key_fields, metric):
@@ -86,7 +128,8 @@ def flag_oversubscribed(label, doc):
 
 # Counters the robustness layer (src/robust) and the campaign's
 # degradation paths emit; summarized separately so an injected-run bench
-# is never mistaken for a clean baseline.
+# is never mistaken for a clean baseline, and excluded from work-counter
+# gating (their totals measure injected faults, not the workload).
 ROBUST_PREFIXES = ("robust.", "soc.job_", "soc.ckpt_", "soc.backoff")
 
 
@@ -95,6 +138,29 @@ def counters_of(doc):
     the obs layer (or with metrics off) simply have none."""
     c = doc.get("counters")
     return c if isinstance(c, dict) else {}
+
+
+def gauges_of(doc):
+    g = doc.get("mem_peak")
+    return g if isinstance(g, dict) else {}
+
+
+def series_endpoints(doc):
+    """Flattens the "series" section to endpoint scalars: per sample
+    point, the final work anchor and the sum of each counter's deltas
+    (its total attributed to that point)."""
+    out = {}
+    series = doc.get("series")
+    if not isinstance(series, dict):
+        return out
+    for point, sec in sorted(series.items()):
+        work = sec.get("work")
+        if isinstance(work, list) and work:
+            out[f"{point}/work[-1]"] = work[-1]
+        for name, deltas in sorted(sec.get("counters", {}).items()):
+            if isinstance(deltas, list):
+                out[f"{point}/{name}"] = sum(deltas)
+    return out
 
 
 def robust_summary(label, doc):
@@ -111,15 +177,15 @@ def robust_summary(label, doc):
     print(f"bench_delta: {label} injection/recovery counters: {pretty}")
 
 
-def diff_counters(old, new):
-    """Prints the per-counter delta of the embedded obs sections."""
-    old_c = counters_of(old)
-    new_c = counters_of(new)
+def diff_table(title, old_c, new_c):
+    """Prints a key-by-key delta table; returns {name: pct} for keys
+    present on both sides with a nonzero old value."""
+    deltas = {}
     if not old_c and not new_c:
-        return
+        return deltas
     names = sorted(set(old_c) | set(new_c))
     key_w = max(24, max(len(n) for n in names))
-    print(f"\n{'counter':<{key_w}} {'old':>16} {'new':>16} {'delta':>8}")
+    print(f"\n{title:<{key_w}} {'old':>16} {'new':>16} {'delta':>8}")
     for name in names:
         o, n = old_c.get(name), new_c.get(name)
         if o is None or n is None:
@@ -131,50 +197,72 @@ def diff_counters(old, new):
             )
             continue
         delta = (n / o - 1.0) * 100.0 if o else float("nan")
+        if o:
+            deltas[name] = delta
         print(f"{name:<{key_w}} {o:>16} {n:>16} {delta:>+7.1f}%")
+    return deltas
 
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__.strip())
-        return 0
-    try:
-        with open(sys.argv[1]) as f:
-            old = json.load(f)
-        with open(sys.argv[2]) as f:
-            new = json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"bench_delta: cannot compare: {e}")
-        return 0
-
-    if old.get("bench") != new.get("bench"):
+def compare(old, new, th):
+    """Prints the full delta report; returns (failures, waived) — lists
+    of human-readable gate verdicts. Callers not gating ignore them."""
+    failures = []
+    waived = []
+    bench = old.get("bench")
+    if bench != new.get("bench"):
         print(
             f"bench_delta: different benches "
-            f"({old.get('bench')} vs {new.get('bench')})"
+            f"({bench} vs {new.get('bench')})"
         )
-        return 0
-    if old.get("bench") not in BENCH_SPECS:
-        print(f"bench_delta: no comparison spec for '{old.get('bench')}'")
-        return 0
-    key_fields, metric, higher_is_better = BENCH_SPECS[old.get("bench")]
+        failures.append(f"bench mismatch: {bench} vs {new.get('bench')}")
+        return failures, waived
+    if bench not in BENCH_SPECS:
+        print(f"bench_delta: no comparison spec for '{bench}'")
+        return failures, waived
+    key_fields, metric, higher_is_better = BENCH_SPECS[bench]
 
     print(f"old meta: {old.get('meta')}")
     print(f"new meta: {new.get('meta')}")
     flag_oversubscribed("old", old)
     flag_oversubscribed("new", new)
+
+    # Work-counter attribution input: deterministic totals, minus the
+    # injection/recovery counters whose totals track injected faults.
+    counter_deltas = diff_table("counter", counters_of(old),
+                                counters_of(new))
+    work_jumps = {
+        name: d
+        for name, d in counter_deltas.items()
+        if not name.startswith(ROBUST_PREFIXES)
+        and d > th["work_regress_pct"]
+    }
+    for name, d in sorted(work_jumps.items()):
+        failures.append(f"work counter {name} jumped {d:+.1f}% "
+                        f"(> {th['work_regress_pct']:.1f}%)")
+
+    gauge_deltas = diff_table("mem_peak gauge", gauges_of(old),
+                              gauges_of(new))
+    for name, d in sorted(gauge_deltas.items()):
+        if d > th["mem_regress_pct"]:
+            failures.append(f"mem_peak {name} grew {d:+.1f}% "
+                            f"(> {th['mem_regress_pct']:.1f}%)")
+
+    diff_table("series endpoint", series_endpoints(old),
+               series_endpoints(new))
+
+    robust_summary("old", old)
+    robust_summary("new", new)
+
     old_rows = rows(old, key_fields, metric)
     new_rows = rows(new, key_fields, metric)
     common = sorted(set(old_rows) & set(new_rows), key=str)
     if not common:
         print(f"bench_delta: no common {key_fields} rows")
-        diff_counters(old, new)
-        robust_summary("old", old)
-        robust_summary("new", new)
-        return 0
+        return failures, waived
 
     key_w = max(24, max(len(" ".join(map(str, k))) for k in common))
     print(
-        f"{'row':<{key_w}} {'old ' + metric:>16} {'new ' + metric:>16} "
+        f"\n{'row':<{key_w}} {'old ' + metric:>16} {'new ' + metric:>16} "
         f"{'delta':>8}"
     )
     for key in common:
@@ -182,17 +270,134 @@ def main() -> int:
         old_v, new_v = o[metric], n[metric]
         delta = (new_v / old_v - 1.0) * 100.0 if old_v else float("nan")
         # For lower-is-better metrics a positive delta is the regression.
-        regressed = delta < -10.0 if higher_is_better else delta > 10.0
-        flag = "  <-- regression" if regressed else ""
+        wall_pct = th["wall_regress_pct"]
+        regressed = (
+            delta < -wall_pct if higher_is_better else delta > wall_pct
+        )
         label = " ".join(map(str, key))
+        flag = ""
+        if regressed:
+            if work_jumps:
+                flag = "  <-- regression (work counters jumped too)"
+                failures.append(
+                    f"row [{label}] {metric} regressed {delta:+.1f}% with "
+                    f"a work-counter jump — code regression"
+                )
+            else:
+                flag = "  <-- wall regressed, work unchanged: host noise"
+                waived.append(
+                    f"row [{label}] {metric} moved {delta:+.1f}% but every "
+                    f"work counter is unchanged — waived as host noise"
+                )
         print(
             f"{label:<{key_w}} {old_v:>16.4f} {new_v:>16.4f} "
             f"{delta:>+7.1f}%{flag}"
         )
-    diff_counters(old, new)
-    robust_summary("old", old)
-    robust_summary("new", new)
+    return failures, waived
+
+
+def run_pair(old_path, new_path, th, gate):
+    try:
+        with open(old_path) as f:
+            old = json.load(f)
+        with open(new_path) as f:
+            new = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_delta: cannot compare: {e}")
+        return 1 if gate else 0
+
+    failures, waived = compare(old, new, th)
+    for w in waived:
+        print(f"bench_delta: WAIVED: {w}")
+    for fail in failures:
+        print(f"bench_delta: {'FAIL' if gate else 'would fail'}: {fail}")
+    if gate:
+        if failures:
+            print(f"bench_delta: gate FAILED ({len(failures)} finding(s))")
+            return 1
+        print("bench_delta: gate passed")
     return 0
+
+
+def self_test():
+    """Synthesizes a baseline and doctored variants; asserts the gate's
+    verdict on each, so CI proves the gate actually blocks."""
+
+    def synth(wall=1.0, work=1000, mem=4096):
+        return {
+            "bench": "soc_campaign",
+            "meta": {"effective_cpus": 8},
+            "runs": [
+                {"budget": "open", "threads": 2, "wall_seconds": wall}
+            ],
+            "counters": {"fsim.patterns": work, "robust.injected": 3},
+            "mem_peak": {"sim.compiled_bytes": mem},
+            "series": {
+                "soc.group": {
+                    "dropped": 0,
+                    "work": [work],
+                    "counters": {"fsim.patterns": [work]},
+                }
+            },
+        }
+
+    th = dict(DEFAULT_THRESHOLDS)
+    cases = [
+        ("identical rerun passes", synth(), False),
+        ("wall-only slowdown is waived", synth(wall=2.0), False),
+        ("wall slowdown with work jump fails",
+         synth(wall=2.0, work=1500), True),
+        ("work jump alone fails", synth(work=1500), True),
+        ("mem_peak growth fails", synth(mem=8192), True),
+        # Robust counters track injected faults, not workload size.
+        ("robust counter movement alone passes",
+         {**synth(), "counters": {"fsim.patterns": 1000,
+                                  "robust.injected": 30}}, False),
+    ]
+    ok = True
+    base = synth()
+    for name, doctored, want_fail in cases:
+        print(f"\n--- self-test: {name} ---")
+        failures, _ = compare(base, doctored, th)
+        got_fail = bool(failures)
+        verdict = "ok" if got_fail == want_fail else "MISMATCH"
+        if got_fail != want_fail:
+            ok = False
+        print(f"self-test [{verdict}]: {name}: gate "
+              f"{'fails' if got_fail else 'passes'}, expected "
+              f"{'fail' if want_fail else 'pass'}")
+    print(f"\nbench_delta --self-test: {'ok' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def main() -> int:
+    gate = False
+    thresholds_path = None
+    paths = []
+    for arg in sys.argv[1:]:
+        if arg == "--self-test":
+            return self_test()
+        if arg == "--gate":
+            gate = True
+        elif arg.startswith("--thresholds="):
+            thresholds_path = arg.split("=", 1)[1]
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip())
+        return 2 if gate else 0
+
+    th_doc = load_thresholds(thresholds_path)
+    if th_doc is None:
+        return 1 if gate else 0
+    # Bench-specific thresholds need the bench name; peek at the new file.
+    try:
+        with open(paths[1]) as f:
+            bench = json.load(f).get("bench")
+    except (OSError, ValueError):
+        bench = None
+    th = thresholds_for(bench, th_doc)
+    return run_pair(paths[0], paths[1], th, gate)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validator for the obs event log (structured JSONL).
+
+Usage: check_events.py EVENTS.jsonl [EVENTS.jsonl ...]
+
+Checks, per file, the schema and ordering contracts src/obs/obs.cpp's
+event writer guarantees (documented in ARCHITECTURE.md contract 5):
+
+1. Every line is a JSON object carrying "ev" (a known kind) and "ep"
+   (a non-negative integer epoch); "ts_us" is the only other reserved
+   field and must be numeric when present.
+2. Each kind carries exactly its required payload fields — the schema
+   is stable so downstream tooling can parse logs from any commit.
+3. Lines appear in non-decreasing epoch order (the writer's canonical
+   sort), and a run_header, when present, is the first line.
+4. phase events pair: every "end" closes the most recent open "begin"
+   of the same name, and nothing is left open at EOF.
+
+Exit status is non-zero when any check fails, so CI can require it.
+"""
+
+import json
+import sys
+
+# kind -> (required payload fields, allowed optional payload fields).
+# "ev", "ep", and "ts_us" are reserved and handled separately.
+SCHEMA = {
+    "run_header": ({"bench", "git_sha", "compiler"}, set()),
+    "phase": ({"name", "state"}, set()),
+    "inject": ({"point", "key", "action"}, set()),
+    "recover": ({"kind"}, {"core", "attempt"}),
+    "sat_escalate": ({"fault", "verdict", "conflicts", "learned"}, set()),
+    "redundant_proof": ({"fault"}, set()),
+    "core_result": ({"core", "group", "pass", "resumed", "tcks"}, set()),
+    "group_done": (
+        {"group", "groups", "cores_done", "failures", "tcks"},
+        set(),
+    ),
+    "checkpoint_rewrite": ({"reason", "records"}, set()),
+}
+
+PHASE_STATES = {"begin", "end"}
+VERDICTS = {"detected", "redundant", "aborted"}
+
+
+def check_record(i, rec, problems):
+    kind = rec.get("ev")
+    if kind not in SCHEMA:
+        problems.append(f"line {i}: unknown event kind {kind!r}")
+        return None
+    ep = rec.get("ep")
+    if not isinstance(ep, int) or isinstance(ep, bool) or ep < 0:
+        problems.append(f"line {i}: bad epoch {ep!r}")
+        return None
+    if "ts_us" in rec and not isinstance(rec["ts_us"], (int, float)):
+        problems.append(f"line {i}: non-numeric ts_us")
+    payload = set(rec) - {"ev", "ep", "ts_us"}
+    required, optional = SCHEMA[kind]
+    missing = required - payload
+    extra = payload - required - optional
+    if missing:
+        problems.append(f"line {i} ({kind}): missing fields {sorted(missing)}")
+    if extra:
+        problems.append(
+            f"line {i} ({kind}): unexpected fields {sorted(extra)}"
+        )
+    if kind == "phase" and rec.get("state") not in PHASE_STATES:
+        problems.append(f"line {i}: phase state {rec.get('state')!r}")
+    if kind == "sat_escalate" and rec.get("verdict") not in VERDICTS:
+        problems.append(f"line {i}: verdict {rec.get('verdict')!r}")
+    return kind, ep
+
+
+def check_file(path):
+    problems = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [f"cannot read: {e}"]
+    if not lines:
+        return ["empty event log — a log with no run is a broken log"]
+
+    last_ep = None
+    phase_stack = []  # open phase names, innermost last
+    for i, line in enumerate(lines):
+        try:
+            rec = json.loads(line)
+        except ValueError as e:
+            problems.append(f"line {i}: not JSON ({e})")
+            continue
+        if not isinstance(rec, dict):
+            problems.append(f"line {i}: not an object")
+            continue
+        checked = check_record(i, rec, problems)
+        if checked is None:
+            continue
+        kind, ep = checked
+        if kind == "run_header" and i != 0:
+            problems.append(f"line {i}: run_header not the first line")
+        if last_ep is not None and ep < last_ep:
+            problems.append(
+                f"line {i}: epoch {ep} after {last_ep} — the log must be "
+                f"in non-decreasing epoch order"
+            )
+        last_ep = ep
+        if kind == "phase":
+            name, state = rec.get("name"), rec.get("state")
+            if state == "begin":
+                phase_stack.append(name)
+            elif state == "end":
+                if not phase_stack or phase_stack[-1] != name:
+                    open_name = phase_stack[-1] if phase_stack else None
+                    problems.append(
+                        f"line {i}: phase end {name!r} does not close the "
+                        f"open phase {open_name!r}"
+                    )
+                else:
+                    phase_stack.pop()
+    for name in phase_stack:
+        problems.append(f"phase {name!r} never ended")
+    return problems
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip())
+        return 2
+    failed = False
+    for path in sys.argv[1:]:
+        problems = check_file(path)
+        for p in problems:
+            print(f"{path}: {p}")
+        if problems:
+            failed = True
+        else:
+            print(f"check_events: {path} ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,11 +9,15 @@ tracks correctly):
 
 1. The file is well-formed JSON with a "traceEvents" list, and every
    event carries the keys its phase requires ("M" metadata: name/pid;
-   "X" complete: name/pid/tid plus numeric non-negative ts/dur).
+   "X" complete: name/pid/tid plus numeric non-negative ts/dur;
+   "C" counter: name/pid plus numeric non-negative ts and a numeric
+   non-negative args.value).
 2. Per track (tid), "X" events appear in begin-ascending order with
    longer spans first on ties — the writer's sort contract.
 3. Per track, spans nest properly: a span that starts inside another
    must also end inside it (RAII scopes cannot partially overlap).
+4. Per counter track (name), "C" values are cumulative totals, so they
+   must be non-decreasing in emission order.
 
 Exit status is non-zero when any check fails, so CI can require it.
 """
@@ -28,6 +32,7 @@ EPS_US = 0.002
 def check_events(events):
     problems = []
     tracks = {}  # tid -> [(ts, dur)]
+    counters = {}  # name -> last cumulative value
     for i, ev in enumerate(events):
         if not isinstance(ev, dict) or "ph" not in ev:
             problems.append(f"event {i}: not an object with a 'ph' key")
@@ -36,6 +41,29 @@ def check_events(events):
         if ph == "M":
             if "name" not in ev or "pid" not in ev:
                 problems.append(f"event {i}: metadata without name/pid")
+            continue
+        if ph == "C":
+            missing = [k for k in ("name", "pid", "ts") if k not in ev]
+            if missing:
+                problems.append(f"event {i}: 'C' missing {missing}")
+                continue
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"event {i}: 'C' without numeric args.value")
+                continue
+            if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+                problems.append(f"event {i}: 'C' with bad ts {ev['ts']!r}")
+                continue
+            if value < 0:
+                problems.append(f"event {i}: 'C' with negative value {value}")
+                continue
+            name = ev["name"]
+            if value < counters.get(name, 0):
+                problems.append(
+                    f"event {i} ('{name}'): counter value {value} below "
+                    f"prior {counters[name]} — 'C' tracks are cumulative"
+                )
+            counters[name] = value
             continue
         if ph != "X":
             problems.append(f"event {i}: unexpected phase '{ph}'")

@@ -400,6 +400,8 @@ AtpgStatus SatEngine::solveMiter(const fault::Fault& f, int frames,
   last_conflicts_ = solver.stats().conflicts;
   stats_.conflicts += solver.stats().conflicts;
   stats_.learned += solver.stats().learned;
+  stats_.arena_peak_bytes =
+      std::max<uint64_t>(stats_.arena_peak_bytes, solver.arenaBytes());
   OBS_COUNT("atpg.sat.conflicts", solver.stats().conflicts);
   OBS_COUNT("atpg.sat.learned", solver.stats().learned);
   switch (r) {

@@ -70,6 +70,13 @@ class CdclSolver {
   /// Work tallies of the solve so far.
   [[nodiscard]] const SatStats& stats() const { return stats_; }
 
+  /// Bytes held by the clause arena (literal pool plus descriptors) —
+  /// the solver's dominant allocation. Sized from element counts, not
+  /// capacity, so the figure is deterministic across allocators.
+  [[nodiscard]] size_t arenaBytes() const {
+    return arena_.size() * sizeof(CnfLit) + clauses_.size() * sizeof(ClauseRef);
+  }
+
  private:
   // One watcher: clause reference plus a cached blocker literal whose
   // satisfaction skips the clause without touching its memory.
@@ -143,6 +150,9 @@ struct SatEngineStats {
   uint64_t aborted = 0;    // conflict budget exhausted
   uint64_t conflicts = 0;
   uint64_t learned = 0;
+  // High-water clause-arena footprint over all solves (bytes); feeds
+  // the atpg.sat_arena_bytes gauge at the driver's serial merge point.
+  uint64_t arena_peak_bytes = 0;
 };
 
 /// A test for a sequential (k-frame) target: one cube per timeframe.

@@ -373,6 +373,21 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
       if (escalated[k] != 0) ++result.sat_escalated;
       result.sat_conflicts += sat_conflicts[k];
       result.sat_learned += sat_learned[k];
+      if (escalated[k] != 0 && obs::eventsEnabled()) {
+        // Emitted from the serial merge, but commitShared: runTopUp may
+        // itself run inside a campaign worker, and the content (fault,
+        // verdict, solver work) is deterministic while the interleaving
+        // across cores is not.
+        obs::Event("sat_escalate")
+            .field("fault", faults.record(targets[k]).fault.describe(nl))
+            .field("verdict",
+                   statuses[k] == AtpgStatus::kDetected     ? "detected"
+                   : statuses[k] == AtpgStatus::kUntestable ? "redundant"
+                                                            : "aborted")
+            .field("conflicts", static_cast<uint64_t>(sat_conflicts[k]))
+            .field("learned", static_cast<uint64_t>(sat_learned[k]))
+            .commitShared();
+      }
       // A kUntestable verdict from a completed CDCL search (primary-SAT
       // or escalation) is a redundancy proof; only PODEM's exhausted
       // tree keeps the legacy kUntestable accounting.
@@ -384,6 +399,12 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
             faults.record(targets[k]).status = fault::FaultStatus::kRedundant;
             ++result.proven_redundant;
             OBS_COUNT("atpg.redundant", 1);
+            if (obs::eventsEnabled()) {
+              obs::Event("redundant_proof")
+                  .field("fault",
+                         faults.record(targets[k]).fault.describe(nl))
+                  .commitShared();
+            }
           } else {
             faults.record(targets[k]).status = fault::FaultStatus::kUntestable;
             ++result.proven_untestable;
@@ -420,6 +441,32 @@ TopUpResult runTopUp(const Netlist& nl, fault::FaultList& faults,
         batch.push_back(std::move(cubes[k]));
       }
     }
+    if (obs::metricsEnabled()) {
+      // Transient charge of the solvers' clause-arena high-water at the
+      // round's quiescent point: the gauge peak records the footprint
+      // without holding a balance across rounds. The per-shard sum is
+      // deterministic at a fixed thread count (targets shard as k % n).
+      uint64_t sat_arena = 0;
+      for (unsigned s = 0; s < n_threads; ++s) {
+        if (sat_engines[s] != nullptr) {
+          sat_arena += sat_engines[s]->engineStats().arena_peak_bytes;
+        }
+        if (cfg.engine == AtpgEngine::kSat && engines[s] != nullptr) {
+          sat_arena += static_cast<SatEngine*>(engines[s].get())
+                           ->engineStats()
+                           .arena_peak_bytes;
+        }
+      }
+      if (sat_arena != 0) {
+        OBS_GAUGE_ADD("atpg.sat_arena_bytes",
+                      static_cast<int64_t>(sat_arena));
+        OBS_GAUGE_SUB("atpg.sat_arena_bytes",
+                      static_cast<int64_t>(sat_arena));
+      }
+    }
+    // Rate-curve anchor: one sample per merged round, work-indexed by
+    // the cumulative target count (the top-up unit of work).
+    OBS_SAMPLE("atpg.round", result.targeted);
     if (batch.empty()) continue;  // round produced only aborts/proofs
     OBS_COUNT("atpg.rounds", 1);
     OBS_COUNT("atpg.patterns", batch.size());

@@ -627,6 +627,10 @@ size_t FaultSimulator::mergeBlock(int64_t pattern_base, bool buffer_reach) {
   OBS_COUNT("fsim.detections", newly_detected);
   OBS_COUNT("fsim.faults_dropped", n_active - out);
   active_.resize(out);
+  // Rate-curve anchor: one sample per merged block, work-indexed by the
+  // pattern count reached. The merge is the quiescent point — workers
+  // have joined — so this is where counter deltas are well-defined.
+  OBS_SAMPLE("fsim.block", pattern_base + static_cast<int64_t>(w * 64));
   return newly_detected;
 }
 
@@ -1007,6 +1011,10 @@ size_t FaultSimulator::reduceBatch(int64_t pattern_base, size_t n_blocks,
   }
   OBS_COUNT("fsim.detections", newly_detected);
   OBS_COUNT("fsim.faults_dropped", dropped);
+  // Batch twin of mergeBlock's sample: one per ordered reduction,
+  // anchored at the last pattern the batch reached.
+  OBS_SAMPLE("fsim.block",
+             pattern_base + static_cast<int64_t>(n_blocks * w * 64));
   return newly_detected;
 }
 

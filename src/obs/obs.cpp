@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 namespace lbist::obs {
@@ -12,6 +14,8 @@ namespace lbist::obs {
 namespace detail {
 std::atomic<bool> g_metrics_enabled{false};
 std::atomic<bool> g_trace_enabled{false};
+std::atomic<bool> g_series_enabled{false};
+std::atomic<bool> g_events_enabled{false};
 }  // namespace detail
 
 namespace {
@@ -44,6 +48,41 @@ struct Shard {
   std::string thread_name;
 };
 
+/// One buffered time-series sample (deltas keyed by counter id; the
+/// name resolution happens at snapshot time).
+struct RawSample {
+  int64_t work = 0;
+  double ts_us = -1.0;
+  std::vector<std::pair<uint32_t, uint64_t>> deltas;
+};
+
+/// One series point's ring buffer plus the merged totals at its last
+/// sample (the delta baseline).
+struct SeriesPoint {
+  std::vector<RawSample> ring;  // circular once full
+  size_t head = 0;              // index of the oldest sample
+  uint64_t dropped = 0;
+  std::vector<uint64_t> last_totals;  // by counter id
+};
+
+/// Ring capacity per series point: enough for a full campaign's rate
+/// curve while bounding a committed BENCH_*.json's series section.
+constexpr size_t kSeriesCapacity = 256;
+
+/// Live balance + high-water of one gauge. Plain fields: gauge traffic
+/// is allocation-frequency, so every access takes the registry mutex.
+struct GaugeState {
+  int64_t current = 0;
+  int64_t peak = 0;
+};
+
+/// One committed event-log line with its ordering key.
+struct EventRec {
+  uint64_t epoch = 0;
+  bool shared = false;  // committed from a parallel context
+  std::string line;
+};
+
 /// Process-wide instrument state: interned names and the shard list.
 /// All members mutex-guarded; the hot path touches it only on first
 /// use per thread / per name.
@@ -53,14 +92,27 @@ struct Registry {
   std::vector<std::string> counter_names;
   std::unordered_map<std::string, uint32_t> timer_ids;
   std::vector<std::string> timer_names;
+  std::unordered_map<std::string, uint32_t> series_ids;
+  std::vector<std::string> series_names;
+  std::vector<SeriesPoint> series_points;
+  std::unordered_map<std::string, uint32_t> gauge_ids;
+  std::vector<std::string> gauge_names;
+  std::vector<GaugeState> gauges;
+  std::vector<EventRec> events;
   std::vector<std::unique_ptr<Shard>> shards;
   uint32_t next_tid = 1;
+  std::thread::id series_owner;
 
   static Registry& instance() {
     static Registry r;
     return r;
   }
 };
+
+/// Serial event commits advance this; shared commits read it. Atomic so
+/// parallel-context commits never need the registry mutex to stamp.
+std::atomic<uint64_t> g_event_epoch{0};
+std::atomic<bool> g_event_wall{false};
 
 thread_local Shard* tls_shard = nullptr;
 
@@ -106,6 +158,56 @@ void writeEscaped(std::FILE* f, const std::string& s) {
   }
 }
 
+/// String-building twin of writeEscaped for the event-line renderer.
+void appendEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+/// Shared open/write/close path for every path-based writer: one place
+/// for the fopen failure contract (return false, write nothing).
+bool withFile(const std::string& path,
+              const std::function<void(std::FILE*)>& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  body(f);
+  std::fclose(f);
+  return true;
+}
+
+/// Merged counter totals by id, summed over shards. Caller holds the
+/// registry mutex.
+std::vector<uint64_t> mergedTotalsLocked(const Registry& reg) {
+  std::vector<uint64_t> totals(reg.counter_names.size(), 0);
+  for (const auto& shard : reg.shards) {
+    for (size_t i = 0; i < shard->counts.size(); ++i) {
+      totals[i] += shard->counts[i];
+    }
+  }
+  return totals;
+}
+
+/// The ring contents of one series point, oldest first. Caller holds
+/// the registry mutex.
+std::vector<const RawSample*> orderedSamplesLocked(const SeriesPoint& p) {
+  std::vector<const RawSample*> out;
+  out.reserve(p.ring.size());
+  for (size_t i = 0; i < p.ring.size(); ++i) {
+    out.push_back(&p.ring[(p.head + i) % p.ring.size()]);
+  }
+  return out;
+}
+
 }  // namespace
 
 void setMetricsEnabled(bool enabled) {
@@ -118,6 +220,24 @@ void setTraceEnabled(bool enabled) {
   detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+void setSeriesEnabled(bool enabled) {
+  if (enabled) {
+    Registry& reg = Registry::instance();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.series_owner = std::this_thread::get_id();
+  }
+  detail::g_series_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void setEventsEnabled(bool enabled) {
+  detail::g_events_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void setEventWallClock(bool enabled) {
+  if (enabled) traceEpoch();
+  g_event_wall.store(enabled, std::memory_order_relaxed);
+}
+
 uint32_t counterId(std::string_view name) {
   Registry& reg = Registry::instance();
   std::lock_guard<std::mutex> lock(reg.mutex);
@@ -128,6 +248,22 @@ uint32_t timerId(std::string_view name) {
   Registry& reg = Registry::instance();
   std::lock_guard<std::mutex> lock(reg.mutex);
   return internName(reg.timer_ids, reg.timer_names, name);
+}
+
+uint32_t seriesPointId(std::string_view name) {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const uint32_t id = internName(reg.series_ids, reg.series_names, name);
+  if (reg.series_points.size() <= id) reg.series_points.resize(id + 1);
+  return id;
+}
+
+uint32_t gaugeId(std::string_view name) {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const uint32_t id = internName(reg.gauge_ids, reg.gauge_names, name);
+  if (reg.gauges.size() <= id) reg.gauges.resize(id + 1);
+  return id;
 }
 
 void addCount(uint32_t id, uint64_t delta) {
@@ -151,6 +287,55 @@ void addSpan(std::string_view name, double ts_us, double dur_us) {
       TraceEvent{std::string(name), ts_us, dur_us});
 }
 
+void seriesSample(uint32_t id, int64_t work) {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  // Owner-thread gate: only the thread that enabled sampling sits at
+  // quiescent points. A nested sample from a pool worker (a campaign
+  // job running fault sim, say) silently no-ops — its shards are live.
+  if (std::this_thread::get_id() != reg.series_owner) return;
+  if (reg.series_points.size() <= id) reg.series_points.resize(id + 1);
+  SeriesPoint& p = reg.series_points[id];
+
+  const std::vector<uint64_t> totals = mergedTotalsLocked(reg);
+  if (p.last_totals.size() < totals.size()) {
+    p.last_totals.resize(totals.size(), 0);
+  }
+  RawSample sample;
+  sample.work = work;
+  if (traceEnabled()) sample.ts_us = nowTraceMicros();
+  for (size_t i = 0; i < totals.size(); ++i) {
+    const uint64_t delta = totals[i] - p.last_totals[i];
+    if (delta != 0) {
+      sample.deltas.emplace_back(static_cast<uint32_t>(i), delta);
+    }
+    p.last_totals[i] = totals[i];
+  }
+  if (p.ring.size() < kSeriesCapacity) {
+    p.ring.push_back(std::move(sample));
+  } else {
+    p.ring[p.head] = std::move(sample);
+    p.head = (p.head + 1) % p.ring.size();
+    ++p.dropped;
+  }
+}
+
+void gaugeAdd(uint32_t id, int64_t bytes) {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.gauges.size() <= id) reg.gauges.resize(id + 1);
+  GaugeState& g = reg.gauges[id];
+  g.current += bytes;
+  g.peak = std::max(g.peak, g.current);
+}
+
+void gaugeSub(uint32_t id, int64_t bytes) {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (reg.gauges.size() <= id) reg.gauges.resize(id + 1);
+  reg.gauges[id].current -= bytes;
+}
+
 void setThreadName(std::string_view name) {
   myShard().thread_name.assign(name);
 }
@@ -166,11 +351,8 @@ std::vector<CounterValue> counterSnapshot() {
   std::lock_guard<std::mutex> lock(reg.mutex);
   std::vector<CounterValue> out(reg.counter_names.size());
   for (size_t i = 0; i < out.size(); ++i) out[i].name = reg.counter_names[i];
-  for (const auto& shard : reg.shards) {
-    for (size_t i = 0; i < shard->counts.size(); ++i) {
-      out[i].value += shard->counts[i];
-    }
-  }
+  const std::vector<uint64_t> totals = mergedTotalsLocked(reg);
+  for (size_t i = 0; i < out.size(); ++i) out[i].value = totals[i];
   std::sort(out.begin(), out.end(),
             [](const CounterValue& a, const CounterValue& b) {
               return a.name < b.name;
@@ -208,6 +390,90 @@ uint64_t counterValue(std::string_view name) {
   return 0;
 }
 
+std::vector<SeriesValue> seriesSnapshot() {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<SeriesValue> out;
+  out.reserve(reg.series_names.size());
+  for (size_t s = 0; s < reg.series_names.size(); ++s) {
+    SeriesValue sv;
+    sv.name = reg.series_names[s];
+    if (s < reg.series_points.size()) {
+      const SeriesPoint& p = reg.series_points[s];
+      sv.dropped = p.dropped;
+      for (const RawSample* raw : orderedSamplesLocked(p)) {
+        SeriesSample sample;
+        sample.work = raw->work;
+        sample.ts_us = raw->ts_us;
+        for (const auto& [cid, delta] : raw->deltas) {
+          sample.deltas.emplace_back(reg.counter_names[cid], delta);
+        }
+        std::sort(sample.deltas.begin(), sample.deltas.end());
+        sv.samples.push_back(std::move(sample));
+      }
+    }
+    out.push_back(std::move(sv));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SeriesValue& a, const SeriesValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::vector<GaugeValue> gaugeSnapshot() {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<GaugeValue> out;
+  out.reserve(reg.gauge_names.size());
+  for (size_t i = 0; i < reg.gauge_names.size(); ++i) {
+    GaugeValue gv;
+    gv.name = reg.gauge_names[i];
+    if (i < reg.gauges.size()) {
+      gv.current = reg.gauges[i].current;
+      gv.peak = reg.gauges[i].peak;
+    }
+    out.push_back(std::move(gv));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GaugeValue& a, const GaugeValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+GaugeValue gaugeValue(std::string_view name) {
+  for (const GaugeValue& g : gaugeSnapshot()) {
+    if (g.name == name) return g;
+  }
+  GaugeValue empty;
+  empty.name.assign(name);
+  return empty;
+}
+
+std::vector<std::string> eventLines() {
+  Registry& reg = Registry::instance();
+  std::vector<EventRec> recs;
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    recs = reg.events;
+  }
+  // Canonical order: epoch, serial line first (it *opened* the epoch),
+  // then shared lines sorted by content — identical content from
+  // racing threads lands identically, which is the whole determinism
+  // argument for commitShared().
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const EventRec& a, const EventRec& b) {
+                     if (a.epoch != b.epoch) return a.epoch < b.epoch;
+                     if (a.shared != b.shared) return !a.shared;
+                     return a.line < b.line;
+                   });
+  std::vector<std::string> out;
+  out.reserve(recs.size());
+  for (EventRec& r : recs) out.push_back(std::move(r.line));
+  return out;
+}
+
 void resetAll() {
   Registry& reg = Registry::instance();
   std::lock_guard<std::mutex> lock(reg.mutex);
@@ -216,13 +482,22 @@ void resetAll() {
     std::fill(shard->timers.begin(), shard->timers.end(), Hist{});
     shard->events.clear();
   }
+  for (SeriesPoint& p : reg.series_points) {
+    p.ring.clear();
+    p.head = 0;
+    p.dropped = 0;
+    std::fill(p.last_totals.begin(), p.last_totals.end(), 0);
+  }
+  // Live charges stay balanced (RAII releases must not go negative);
+  // only the high-water restarts from the current balance.
+  for (GaugeState& g : reg.gauges) g.peak = g.current;
+  reg.events.clear();
+  g_event_epoch.store(0, std::memory_order_relaxed);
 }
 
-bool writeTraceJson(const std::string& path) {
+void writeTraceJson(std::FILE* f) {
   Registry& reg = Registry::instance();
   std::lock_guard<std::mutex> lock(reg.mutex);
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
 
   std::fprintf(f,
                "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
@@ -263,9 +538,35 @@ bool writeTraceJson(const std::string& path) {
                    shard->tid, e->ts_us, e->dur_us);
     }
   }
+
+  // Series samples taken while tracing render as "C" counter events —
+  // one cumulative-total track per <point>/<counter> beside the span
+  // tracks. Samples taken with tracing off carry no timestamp and are
+  // skipped (they still live in the JSON "series" section).
+  for (size_t s = 0; s < reg.series_names.size() &&
+                     s < reg.series_points.size();
+       ++s) {
+    const SeriesPoint& p = reg.series_points[s];
+    std::vector<uint64_t> running(reg.counter_names.size(), 0);
+    for (const RawSample* raw : orderedSamplesLocked(p)) {
+      for (const auto& [cid, delta] : raw->deltas) running[cid] += delta;
+      if (raw->ts_us < 0.0) continue;
+      for (const auto& [cid, delta] : raw->deltas) {
+        std::fprintf(f, ",\n{\"ph\": \"C\", \"name\": \"");
+        writeEscaped(f, reg.series_names[s] + "/" + reg.counter_names[cid]);
+        std::fprintf(f,
+                     "\", \"pid\": 1, \"ts\": %.3f, "
+                     "\"args\": {\"value\": %llu}}",
+                     raw->ts_us,
+                     static_cast<unsigned long long>(running[cid]));
+      }
+    }
+  }
   std::fprintf(f, "\n]}\n");
-  std::fclose(f);
-  return true;
+}
+
+bool writeTraceJson(const std::string& path) {
+  return withFile(path, [](std::FILE* f) { writeTraceJson(f); });
 }
 
 void writeCountersJson(std::FILE* f, const char* indent) {
@@ -278,6 +579,99 @@ void writeCountersJson(std::FILE* f, const char* indent) {
                  static_cast<unsigned long long>(counters[i].value));
   }
   std::fprintf(f, "\n%s}", indent);
+}
+
+bool writeCountersJson(const std::string& path) {
+  return withFile(path, [](std::FILE* f) {
+    std::fprintf(f, "{\n");
+    writeCountersJson(f, "  ");
+    std::fprintf(f, "\n}\n");
+  });
+}
+
+void writeSeriesJson(std::FILE* f, const char* indent) {
+  const std::vector<SeriesValue> series = seriesSnapshot();
+  std::fprintf(f, "%s\"series\": {", indent);
+  bool first_point = true;
+  for (const SeriesValue& sv : series) {
+    if (sv.samples.empty()) continue;
+    std::fprintf(f, "%s\n%s  \"", first_point ? "" : ",", indent);
+    first_point = false;
+    writeEscaped(f, sv.name);
+    std::fprintf(f, "\": {\n%s    \"dropped\": %llu,\n%s    \"work\": [",
+                 indent, static_cast<unsigned long long>(sv.dropped),
+                 indent);
+    for (size_t i = 0; i < sv.samples.size(); ++i) {
+      std::fprintf(f, "%s%lld", i == 0 ? "" : ", ",
+                   static_cast<long long>(sv.samples[i].work));
+    }
+    std::fprintf(f, "],\n%s    \"counters\": {", indent);
+    // Union of every counter that moved in any sample; a sample where
+    // a counter did not move contributes an explicit 0 so the arrays
+    // stay parallel to "work".
+    std::vector<std::string> names;
+    for (const SeriesSample& s : sv.samples) {
+      for (const auto& [name, delta] : s.deltas) names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    for (size_t n = 0; n < names.size(); ++n) {
+      std::fprintf(f, "%s\n%s      \"", n == 0 ? "" : ",", indent);
+      writeEscaped(f, names[n]);
+      std::fprintf(f, "\": [");
+      for (size_t i = 0; i < sv.samples.size(); ++i) {
+        uint64_t delta = 0;
+        for (const auto& [name, d] : sv.samples[i].deltas) {
+          if (name == names[n]) {
+            delta = d;
+            break;
+          }
+        }
+        std::fprintf(f, "%s%llu", i == 0 ? "" : ", ",
+                     static_cast<unsigned long long>(delta));
+      }
+      std::fprintf(f, "]");
+    }
+    std::fprintf(f, "\n%s    }\n%s  }", indent, indent);
+  }
+  std::fprintf(f, "\n%s}", indent);
+}
+
+bool writeSeriesJson(const std::string& path) {
+  return withFile(path, [](std::FILE* f) {
+    std::fprintf(f, "{\n");
+    writeSeriesJson(f, "  ");
+    std::fprintf(f, "\n}\n");
+  });
+}
+
+void writeGaugesJson(std::FILE* f, const char* indent) {
+  const std::vector<GaugeValue> gauges = gaugeSnapshot();
+  std::fprintf(f, "%s\"mem_peak\": {", indent);
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    std::fprintf(f, "%s\n%s  \"", i == 0 ? "" : ",", indent);
+    writeEscaped(f, gauges[i].name);
+    std::fprintf(f, "\": %lld", static_cast<long long>(gauges[i].peak));
+  }
+  std::fprintf(f, "\n%s}", indent);
+}
+
+bool writeGaugesJson(const std::string& path) {
+  return withFile(path, [](std::FILE* f) {
+    std::fprintf(f, "{\n");
+    writeGaugesJson(f, "  ");
+    std::fprintf(f, "\n}\n");
+  });
+}
+
+bool writeEventsJsonl(const std::string& path) {
+  const std::vector<std::string> lines = eventLines();
+  return withFile(path, [&lines](std::FILE* f) {
+    for (const std::string& line : lines) {
+      std::fputs(line.c_str(), f);
+      std::fputc('\n', f);
+    }
+  });
 }
 
 SpanScope::SpanScope(const char* name, uint32_t tid)
@@ -294,6 +688,152 @@ SpanScope::~SpanScope() {
   const double dur_us = end_us - start_us_;
   if (armed_) addTiming(timer_id_, dur_us * 1e-6);
   if (trace_) addSpan(name_, start_us_, dur_us);
+}
+
+Event::Event(const char* kind) {
+  body_ = "{\"ev\":\"";
+  appendEscaped(body_, kind);
+  body_ += '"';
+}
+
+Event& Event::field(const char* key, std::string_view value) {
+  body_ += ",\"";
+  appendEscaped(body_, key);
+  body_ += "\":\"";
+  appendEscaped(body_, value);
+  body_ += '"';
+  return *this;
+}
+
+Event& Event::field(const char* key, const char* value) {
+  return field(key, std::string_view(value));
+}
+
+Event& Event::field(const char* key, int64_t value) {
+  body_ += ",\"";
+  appendEscaped(body_, key);
+  body_ += "\":";
+  body_ += std::to_string(value);
+  return *this;
+}
+
+Event& Event::field(const char* key, uint64_t value) {
+  body_ += ",\"";
+  appendEscaped(body_, key);
+  body_ += "\":";
+  body_ += std::to_string(value);
+  return *this;
+}
+
+Event& Event::field(const char* key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  body_ += ",\"";
+  appendEscaped(body_, key);
+  body_ += "\":";
+  body_ += buf;
+  return *this;
+}
+
+Event& Event::field(const char* key, bool value) {
+  body_ += ",\"";
+  appendEscaped(body_, key);
+  body_ += "\":";
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+namespace {
+
+void commitEvent(std::string body, bool shared) {
+  const uint64_t epoch =
+      shared ? g_event_epoch.load(std::memory_order_acquire)
+             : g_event_epoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // Insert the epoch (and optional wall clock) right after the kind so
+  // every line shares the field order {"ev","ep"[,"ts_us"],...}.
+  std::string line;
+  const size_t kind_end = body.find('"', body.find(':') + 2) + 1;
+  line.reserve(body.size() + 32);
+  line.append(body, 0, kind_end);
+  line += ",\"ep\":";
+  line += std::to_string(epoch);
+  if (g_event_wall.load(std::memory_order_relaxed)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", nowTraceMicros());
+    line += ",\"ts_us\":";
+    line += buf;
+  }
+  line.append(body, kind_end, std::string::npos);
+  line += '}';
+
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.events.push_back(EventRec{epoch, shared, std::move(line)});
+}
+
+}  // namespace
+
+void Event::commit() {
+  if (committed_ || !eventsEnabled()) return;
+  committed_ = true;
+  commitEvent(std::move(body_), /*shared=*/false);
+}
+
+void Event::commitShared() {
+  if (committed_ || !eventsEnabled()) return;
+  committed_ = true;
+  commitEvent(std::move(body_), /*shared=*/true);
+}
+
+GaugeCharge::GaugeCharge(uint32_t id, int64_t bytes) : id_(id) {
+  if (metricsEnabled() && bytes > 0) {
+    gaugeAdd(id_, bytes);
+    charged_ = bytes;
+  }
+}
+
+GaugeCharge::~GaugeCharge() { release(); }
+
+GaugeCharge::GaugeCharge(const GaugeCharge& other) : id_(other.id_) {
+  // A copy owns a copy of the allocation, so it re-charges the same
+  // amount — regardless of the current enabled flag, to keep the
+  // releases balanced against the charges.
+  if (other.charged_ > 0) {
+    gaugeAdd(id_, other.charged_);
+    charged_ = other.charged_;
+  }
+}
+
+GaugeCharge& GaugeCharge::operator=(const GaugeCharge& other) {
+  if (this == &other) return *this;
+  release();
+  id_ = other.id_;
+  if (other.charged_ > 0) {
+    gaugeAdd(id_, other.charged_);
+    charged_ = other.charged_;
+  }
+  return *this;
+}
+
+GaugeCharge::GaugeCharge(GaugeCharge&& other) noexcept
+    : id_(other.id_), charged_(other.charged_) {
+  other.charged_ = 0;
+}
+
+GaugeCharge& GaugeCharge::operator=(GaugeCharge&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  id_ = other.id_;
+  charged_ = other.charged_;
+  other.charged_ = 0;
+  return *this;
+}
+
+void GaugeCharge::release() {
+  if (charged_ != 0) {
+    gaugeSub(id_, charged_);
+    charged_ = 0;
+  }
 }
 
 }  // namespace lbist::obs

@@ -1,7 +1,8 @@
-// Observability layer: deterministic counters, histogram timers, and
-// scoped span tracing for every engine in the stack.
+// Observability layer: deterministic counters, histogram timers, scoped
+// span tracing, work-anchored time series, a structured event log, and
+// memory gauges for every engine in the stack.
 //
-// Three instruments, all disabled by default and all result-neutral
+// Six instruments, all disabled by default and all result-neutral
 // (ARCHITECTURE.md contract 5 — enabling any of them never changes a
 // detection mask, pattern set, or checkpoint byte, only what is
 // *recorded about* the run):
@@ -21,20 +22,56 @@
 //    per thread and written as Chrome trace-event JSON ("X" complete
 //    events, one track per participating thread) that Perfetto /
 //    chrome://tracing load directly (writeTraceJson).
+//  * Time series (OBS_SAMPLE): work-anchored rate curves. A sample
+//    point sits at a serial merge (per pattern block, per top-up
+//    round, per campaign group) and records the delta of every merged
+//    counter since the point's previous sample into a ring buffer,
+//    keyed by a *work* index (patterns simulated, groups merged) —
+//    never by wall clock, so the curves are deterministic and
+//    byte-diffable across reruns and thread counts. Samples record
+//    only on the owner thread (the thread that called
+//    setSeriesEnabled), which is where every serial merge in the tree
+//    runs; a sample reached from a worker thread is a silent no-op,
+//    because counter shards are only quiescent under the owner.
+//    Exported as a "series" section in BENCH_*.json and, when tracing
+//    is on, as Chrome "C" counter events beside the span tracks.
+//  * Event log (obs::Event): structured JSONL with a stable schema —
+//    run headers, phase begin/end, robust injections/recoveries, SAT
+//    escalations and redundancy proofs, per-core campaign results,
+//    checkpoint rewrites. Deterministic content mode is the default:
+//    events carry work indices, not timestamps, and the writer orders
+//    them by (epoch, content) so the log is byte-identical across
+//    reruns and thread counts (setEventWallClock trades that away for
+//    timestamps). Serial-context events advance the global epoch;
+//    parallel-context events share the current epoch and sort by
+//    their rendered content within it — emit value-identical lines
+//    from racing threads and the log stays canonical.
+//  * Gauges (OBS_GAUGE_ADD/SUB): signed byte accounting with
+//    high-water tracking for the big owners (compiled SoA tables,
+//    lane value arrays, SAT clause arenas, response dictionaries,
+//    checkpoint WAL buffers). current balances exactly against the
+//    charges; peak is the high-water mark since the last resetAll.
+//    Peaks charged from serial phases are deterministic; peaks from
+//    allocations that overlap across worker threads depend on
+//    scheduling (bounded above by the sum of the overlapping charges).
 //
 // Cost model: every macro compiles to a single relaxed boolean test
 // when the corresponding instrument is off, and to nothing at all when
-// LBIST_OBS_OFF is defined. Instrumented code must not change any
-// control flow, RNG consumption, or iteration order based on obs state
-// — the differential tests in tests/test_obs.cpp run whole campaigns
-// with everything on vs off and require bit-identical results.
+// LBIST_OBS_OFF is defined (the enabled() predicates become constant
+// false, so even hand-guarded `if (obs::eventsEnabled())` blocks fold
+// out). Instrumented code must not change any control flow, RNG
+// consumption, or iteration order based on obs state — the
+// differential tests in tests/test_obs.cpp run whole campaigns with
+// everything on vs off and require bit-identical results.
 //
 // Counter naming convention (enforced by ARCHITECTURE.md): lowercase
 // dotted paths, "<subsystem>.<noun>[_<verb>]", subsystem matching the
 // src/ directory that increments it — e.g. fsim.events_popped,
 // atpg.backtracks, prpg.block_loads, diag.dict_rows, soc.cores_run.
-// Totals only; derived rates (events/pattern, backtracks/target) are
-// computed by readers such as scripts/bench_delta.py.
+// Series points and gauges follow the same convention (fsim.block,
+// sim.lane_bytes). Totals only; derived rates (events/pattern,
+// backtracks/target) are computed by readers such as
+// scripts/bench_delta.py.
 #pragma once
 
 #include <atomic>
@@ -42,6 +79,7 @@
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace lbist::obs {
@@ -52,6 +90,8 @@ namespace detail {
 // quiescent points (where all snapshots happen) are always seen.
 extern std::atomic<bool> g_metrics_enabled;
 extern std::atomic<bool> g_trace_enabled;
+extern std::atomic<bool> g_series_enabled;
+extern std::atomic<bool> g_events_enabled;
 }  // namespace detail
 
 /// Flat snapshot row of one merged counter.
@@ -71,6 +111,31 @@ struct TimerValue {
   double max_seconds = 0.0;
 };
 
+/// One recorded time-series sample: the merged-counter deltas since the
+/// point's previous sample, anchored at a work index. `ts_us` is filled
+/// only when tracing was on at sample time (it feeds the "C" counter
+/// events, never the deterministic JSON section).
+struct SeriesSample {
+  int64_t work = 0;
+  double ts_us = -1.0;
+  /// (counter name, delta) pairs sorted by name; zero deltas omitted.
+  std::vector<std::pair<std::string, uint64_t>> deltas;
+};
+
+/// One series point's ring-buffer contents, oldest sample first.
+struct SeriesValue {
+  std::string name;
+  std::vector<SeriesSample> samples;
+  uint64_t dropped = 0;  // samples evicted by the ring buffer
+};
+
+/// Flat snapshot row of one gauge: live balance plus high-water mark.
+struct GaugeValue {
+  std::string name;
+  int64_t current = 0;
+  int64_t peak = 0;
+};
+
 /// Enables/disables the counter + histogram-timer instruments. Off by
 /// default; flipping it mid-run is allowed (shards already written keep
 /// their totals).
@@ -78,9 +143,22 @@ void setMetricsEnabled(bool enabled);
 /// Enables/disables span trace recording. Off by default. Events are
 /// buffered in memory per thread until writeTraceJson / resetAll.
 void setTraceEnabled(bool enabled);
+/// Enables/disables time-series sampling and adopts the calling thread
+/// as the series owner: only OBS_SAMPLE sites executed on this thread
+/// record (serial merges run there; worker-thread samples no-op because
+/// the counter shards they would snapshot are not quiescent).
+void setSeriesEnabled(bool enabled);
+/// Enables/disables the structured event log. Off by default.
+void setEventsEnabled(bool enabled);
+/// Opts event lines into a wall-clock "ts_us" field. Default off: the
+/// deterministic content mode is what makes logs byte-diffable across
+/// reruns and thread counts, and timestamps break that on purpose.
+void setEventWallClock(bool enabled);
 
-/// True when OBS_COUNT / the metrics half of OBS_SPAN record. Inline:
-/// this is the single branch every disabled instrumentation site pays.
+#ifndef LBIST_OBS_OFF
+/// True when OBS_COUNT / OBS_GAUGE_* / the metrics half of OBS_SPAN
+/// record. Inline: this is the single branch every disabled
+/// instrumentation site pays.
 [[nodiscard]] inline bool metricsEnabled() {
   return detail::g_metrics_enabled.load(std::memory_order_relaxed);
 }
@@ -88,12 +166,37 @@ void setTraceEnabled(bool enabled);
 [[nodiscard]] inline bool traceEnabled() {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
 }
+/// True when OBS_SAMPLE sites consider recording (the owner-thread
+/// check happens inside seriesSample).
+[[nodiscard]] inline bool seriesEnabled() {
+  return detail::g_series_enabled.load(std::memory_order_relaxed);
+}
+/// True when obs::Event commits record. Guard event construction with
+/// this so disabled sites pay one branch and no string work.
+[[nodiscard]] inline bool eventsEnabled() {
+  return detail::g_events_enabled.load(std::memory_order_relaxed);
+}
+#else   // LBIST_OBS_OFF
+/// Constant false under LBIST_OBS_OFF: hand-guarded instrumentation
+/// blocks (`if (obs::metricsEnabled()) {...}`) dead-code out entirely.
+[[nodiscard]] constexpr bool metricsEnabled() { return false; }
+/// Constant false under LBIST_OBS_OFF (see metricsEnabled).
+[[nodiscard]] constexpr bool traceEnabled() { return false; }
+/// Constant false under LBIST_OBS_OFF (see metricsEnabled).
+[[nodiscard]] constexpr bool seriesEnabled() { return false; }
+/// Constant false under LBIST_OBS_OFF (see metricsEnabled).
+[[nodiscard]] constexpr bool eventsEnabled() { return false; }
+#endif  // LBIST_OBS_OFF
 
 /// Interns `name` and returns its stable counter id (process lifetime).
 /// Cold path — the macros cache the id in a function-local static.
 [[nodiscard]] uint32_t counterId(std::string_view name);
 /// Interns `name` and returns its stable timer id (process lifetime).
 [[nodiscard]] uint32_t timerId(std::string_view name);
+/// Interns `name` and returns its stable series-point id.
+[[nodiscard]] uint32_t seriesPointId(std::string_view name);
+/// Interns `name` and returns its stable gauge id.
+[[nodiscard]] uint32_t gaugeId(std::string_view name);
 
 /// Adds `delta` to counter `id` on this thread's shard. Callers go
 /// through OBS_COUNT, which guards with metricsEnabled().
@@ -104,9 +207,22 @@ void addTiming(uint32_t id, double seconds);
 /// Appends a completed span (begin timestamp + duration, microseconds
 /// since the trace epoch) to this thread's trace track.
 void addSpan(std::string_view name, double ts_us, double dur_us);
+/// Records one time-series sample for point `id` at work index `work`:
+/// the merged-counter deltas since the point's previous sample. No-op
+/// off the owner thread (see setSeriesEnabled). Callers go through
+/// OBS_SAMPLE; the call must sit at a quiescent point (no worker
+/// mid-block), which every serial merge satisfies.
+void seriesSample(uint32_t id, int64_t work);
+/// Charges `bytes` to gauge `id` (raising the high-water mark as
+/// needed). Callers go through OBS_GAUGE_ADD.
+void gaugeAdd(uint32_t id, int64_t bytes);
+/// Releases `bytes` from gauge `id`. Callers go through OBS_GAUGE_SUB.
+void gaugeSub(uint32_t id, int64_t bytes);
 
 /// Labels this thread's trace track (e.g. "fsim-worker-2"); shown as
-/// the track name in Perfetto. Safe to call with tracing off.
+/// the track name in Perfetto. Safe to call with tracing off. Last
+/// call wins — campaign jobs re-label pool workers with the core
+/// under test ("core-<name>").
 void setThreadName(std::string_view name);
 
 /// Microseconds since the process trace epoch — the timebase addSpan
@@ -121,24 +237,64 @@ void setThreadName(std::string_view name);
 [[nodiscard]] std::vector<TimerValue> timerSnapshot();
 /// Merged value of one counter by name (0 when never interned).
 [[nodiscard]] uint64_t counterValue(std::string_view name);
+/// All series points with their buffered samples, sorted by point name.
+[[nodiscard]] std::vector<SeriesValue> seriesSnapshot();
+/// All gauges (current balance + high-water), sorted by name.
+[[nodiscard]] std::vector<GaugeValue> gaugeSnapshot();
+/// One gauge by name (zero-valued when never interned).
+[[nodiscard]] GaugeValue gaugeValue(std::string_view name);
+/// The event log in canonical order — rendered JSONL lines sorted by
+/// (epoch, serial-before-shared, content). This is exactly what
+/// writeEventsJsonl writes, exposed for tests.
+[[nodiscard]] std::vector<std::string> eventLines();
 
-/// Clears every shard's counters, timers, and buffered trace events.
-/// Interned names/ids survive (they are process-stable).
+/// Clears every shard's counters, timers, buffered trace events,
+/// series samples, and logged events, and resets every gauge's
+/// high-water mark to its current balance (live charges stay balanced
+/// so RAII releases cannot go negative). Interned names/ids survive
+/// (they are process-stable).
 void resetAll();
 
 /// Writes all buffered spans as Chrome trace-event JSON ("X" complete
 /// events plus thread_name metadata, one tid per participating thread,
-/// sorted by begin timestamp within a tid) loadable in Perfetto or
+/// sorted by begin timestamp within a tid), followed by "C" counter
+/// events for every series sample that was taken while tracing — so
+/// throughput curves render beside the span tracks in Perfetto or
 /// chrome://tracing. Returns false when the file cannot be opened.
 /// scripts/check_trace.py validates the invariants this writer
 /// guarantees.
 bool writeTraceJson(const std::string& path);
+/// Stream form of the trace writer (shared by the path overload).
+void writeTraceJson(std::FILE* f);
 
 /// Appends a `"counters": {...}` JSON object (no trailing comma) for
 /// the current merged snapshot to an open stream — the bench writers
 /// embed it in their BENCH_*.json so scripts/bench_delta.py can diff
 /// counters next to throughput. `indent` is prepended to every line.
 void writeCountersJson(std::FILE* f, const char* indent);
+/// Path form: writes a standalone `{"counters": {...}}` document.
+/// Returns false when the file cannot be opened.
+bool writeCountersJson(const std::string& path);
+
+/// Appends a `"series": {...}` JSON object (no trailing comma): per
+/// point, the work-index array plus one delta array per counter that
+/// moved in any sample. Deterministic for deterministic workloads —
+/// scripts/bench_delta.py diffs the endpoints key by key.
+void writeSeriesJson(std::FILE* f, const char* indent);
+/// Path form: writes a standalone `{"series": {...}}` document.
+bool writeSeriesJson(const std::string& path);
+
+/// Appends a `"mem_peak": {...}` JSON object (no trailing comma): every
+/// gauge's high-water byte count since the last resetAll.
+void writeGaugesJson(std::FILE* f, const char* indent);
+/// Path form: writes a standalone `{"mem_peak": {...}}` document.
+bool writeGaugesJson(const std::string& path);
+
+/// Writes the event log as JSONL in canonical (epoch, content) order —
+/// byte-identical across reruns and thread counts in deterministic
+/// content mode. scripts/check_events.py validates the schema and
+/// ordering. Returns false when the file cannot be opened.
+bool writeEventsJsonl(const std::string& path);
 
 /// RAII span: records a histogram timing (metrics) and a trace event
 /// (tracing) for the enclosed scope. Instantiate via OBS_SPAN. When
@@ -160,6 +316,76 @@ class SpanScope {
   bool armed_;
   bool trace_;
   double start_us_ = 0.0;
+};
+
+/// Builder for one structured event-log line. Guard construction with
+/// eventsEnabled() so disabled sites pay one branch:
+///
+///   if (obs::eventsEnabled()) {
+///     obs::Event("core_result")
+///         .field("core", name).field("pass", ok).commit();
+///   }
+///
+/// Fields render in call order into a fixed-shape JSON object
+/// `{"ev":"<kind>","ep":<epoch>[,"ts_us":<wall>],<fields...>}`.
+/// commit() is for serial contexts and advances the global epoch;
+/// commitShared() is for parallel contexts — it tags the line with the
+/// current epoch, and value-identical lines from racing threads land
+/// in a deterministic order because the writer sorts by content within
+/// an epoch. Keep wall-clock-dependent or scheduling-dependent values
+/// out of commitShared() lines; determinism of the log is only as good
+/// as the determinism of the content.
+class Event {
+ public:
+  /// Starts a line of the given kind (see the ARCHITECTURE.md schema
+  /// table); the line is dropped unless commit()/commitShared() runs.
+  explicit Event(const char* kind);
+  /// Appends a JSON-escaped string field.
+  Event& field(const char* key, std::string_view value);
+  /// Appends a JSON-escaped string field.
+  Event& field(const char* key, const char* value);
+  /// Appends a signed integer field.
+  Event& field(const char* key, int64_t value);
+  /// Appends an unsigned integer field.
+  Event& field(const char* key, uint64_t value);
+  /// Appends a numeric field (%.6g).
+  Event& field(const char* key, double value);
+  /// Appends a true/false field.
+  Event& field(const char* key, bool value);
+  /// Serial-context commit: assigns the next epoch.
+  void commit();
+  /// Parallel-context commit: shares the current epoch.
+  void commitShared();
+
+ private:
+  std::string body_;
+  bool committed_ = false;
+};
+
+/// RAII byte charge against a gauge, for class members that own a big
+/// allocation: charges `bytes` at construction (when metrics are on),
+/// releases exactly what it charged at destruction. Copies re-charge
+/// the same amount; moves transfer the charge. The default instance
+/// holds nothing.
+class GaugeCharge {
+ public:
+  GaugeCharge() = default;
+  /// Charges `bytes` against gauge `id` now (no-op when metrics are
+  /// off or bytes <= 0); the destructor releases the same amount.
+  GaugeCharge(uint32_t id, int64_t bytes);
+  ~GaugeCharge();
+  /// Copying re-charges the source's amount (two owners, two charges).
+  GaugeCharge(const GaugeCharge& other);
+  GaugeCharge& operator=(const GaugeCharge& other);
+  /// Moving transfers the charge; the source ends empty.
+  GaugeCharge(GaugeCharge&& other) noexcept;
+  GaugeCharge& operator=(GaugeCharge&& other) noexcept;
+
+ private:
+  void release();
+
+  uint32_t id_ = 0;
+  int64_t charged_ = 0;
 };
 
 }  // namespace lbist::obs
@@ -193,9 +419,47 @@ class SpanScope {
   ::lbist::obs::SpanScope OBS_CONCAT_(obs_span_, __LINE__)(         \
       name, OBS_CONCAT_(obs_span_id_, __LINE__))
 
+/// Records a time-series sample for the named point at work index
+/// `work` when series sampling is enabled. Place only at quiescent
+/// serial-merge points (see obs::seriesSample).
+#define OBS_SAMPLE(name, work)                                       \
+  do {                                                               \
+    if (::lbist::obs::seriesEnabled()) [[unlikely]] {                \
+      static const uint32_t obs_sample_id_ =                         \
+          ::lbist::obs::seriesPointId(name);                         \
+      ::lbist::obs::seriesSample(obs_sample_id_,                     \
+                                 static_cast<int64_t>(work));        \
+    }                                                                \
+  } while (0)
+
+/// Charges `bytes` to the named gauge when metrics are enabled.
+#define OBS_GAUGE_ADD(name, bytes)                                   \
+  do {                                                               \
+    if (::lbist::obs::metricsEnabled()) [[unlikely]] {               \
+      static const uint32_t obs_gauge_id_ =                          \
+          ::lbist::obs::gaugeId(name);                               \
+      ::lbist::obs::gaugeAdd(obs_gauge_id_,                          \
+                             static_cast<int64_t>(bytes));           \
+    }                                                                \
+  } while (0)
+
+/// Releases `bytes` from the named gauge when metrics are enabled.
+#define OBS_GAUGE_SUB(name, bytes)                                   \
+  do {                                                               \
+    if (::lbist::obs::metricsEnabled()) [[unlikely]] {               \
+      static const uint32_t obs_gauge_id_ =                          \
+          ::lbist::obs::gaugeId(name);                               \
+      ::lbist::obs::gaugeSub(obs_gauge_id_,                          \
+                             static_cast<int64_t>(bytes));           \
+    }                                                                \
+  } while (0)
+
 #else  // LBIST_OBS_OFF
 
 #define OBS_COUNT(name, delta) ((void)0)
 #define OBS_SPAN(name) ((void)0)
+#define OBS_SAMPLE(name, work) ((void)0)
+#define OBS_GAUGE_ADD(name, bytes) ((void)0)
+#define OBS_GAUGE_SUB(name, bytes) ((void)0)
 
 #endif  // LBIST_OBS_OFF

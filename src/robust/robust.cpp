@@ -191,6 +191,17 @@ FaultAction consult(uint32_t id, std::string_view key) {
     ++r.total_fires;
     ++r.fires_per_point[id];
     countFire(rule.action);
+    if (obs::eventsEnabled()) {
+      // commitShared: injection sites fire from pool workers, and the
+      // content (point, key, action) is deterministic per plan while
+      // the cross-thread interleaving is not. No fire ordinal for the
+      // same reason.
+      obs::Event("inject")
+          .field("point", point.name)
+          .field("key", key)
+          .field("action", actionName(rule.action))
+          .commitShared();
+    }
     return rule.action;
   }
   return FaultAction::kNone;

@@ -86,6 +86,10 @@ CompiledNetlist::CompiledNetlist(const Netlist& nl, const Levelized& lev) {
     const uint32_t t = fan.targets[i].v;
     fanout_[i] = FanoutEntry{t, level_[t]};
   }
+  if (obs::metricsEnabled()) {
+    table_charge_ = obs::GaugeCharge(obs::gaugeId("sim.compiled_bytes"),
+                                     static_cast<int64_t>(tableBytes()));
+  }
 }
 
 void CompiledNetlist::eval(uint64_t* v) const {

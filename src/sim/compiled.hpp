@@ -41,6 +41,7 @@
 
 #include "netlist/levelize.hpp"
 #include "netlist/netlist.hpp"
+#include "obs/obs.hpp"
 #include "sim/lane.hpp"
 
 namespace lbist::sim {
@@ -358,6 +359,21 @@ class CompiledNetlist {
   /// (size >= numGates()); source bytes must be set by the caller.
   void eval3(uint8_t* values) const;
 
+  /// Bytes held by the flat SoA tables (element counts, not capacity,
+  /// so the figure is deterministic across allocators). Feeds the
+  /// sim.compiled_bytes gauge.
+  [[nodiscard]] size_t tableBytes() const {
+    return op_code_.size() * sizeof(OpCode) +
+           op_gate_.size() * sizeof(uint32_t) +
+           fanin_off_.size() * sizeof(uint32_t) +
+           fanin_.size() * sizeof(uint32_t) +
+           level_op_off_.size() * sizeof(uint32_t) +
+           op_of_.size() * sizeof(uint32_t) +
+           level_.size() * sizeof(uint32_t) +
+           fanout_off_.size() * sizeof(uint32_t) +
+           fanout_.size() * sizeof(FanoutEntry);
+  }
+
  private:
   // Op stream (one entry per combinational gate, topological order).
   std::vector<OpCode> op_code_;
@@ -373,6 +389,10 @@ class CompiledNetlist {
   std::vector<FanoutEntry> fanout_;
 
   uint32_t max_level_ = 0;
+  // Lifetime accounting of the tables above under sim.compiled_bytes;
+  // copies re-charge and moves transfer, so the gauge balance tracks
+  // live instances.
+  obs::GaugeCharge table_charge_;
 };
 
 }  // namespace lbist::sim

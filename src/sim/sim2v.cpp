@@ -11,6 +11,11 @@ Simulator2v::Simulator2v(const Netlist& nl, size_t lane_words)
     throw std::invalid_argument("Simulator2v: unsupported lane_words");
   }
   values_.assign(nl.numGates() * lane_words_, 0);
+  if (obs::metricsEnabled()) {
+    lane_charge_ = obs::GaugeCharge(
+        obs::gaugeId("sim.lane_bytes"),
+        static_cast<int64_t>(values_.size() * sizeof(uint64_t)));
+  }
   nl.forEachGate([&](GateId id, const Gate& g) {
     if (g.kind == CellKind::kConst1) setSource(id, ~uint64_t{0});
   });

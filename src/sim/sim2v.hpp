@@ -126,6 +126,10 @@ class Simulator2v {
   CompiledNetlist compiled_;
   size_t lane_words_;
   std::vector<uint64_t> values_;
+  // Lifetime accounting of values_ under sim.lane_bytes: the per-gate
+  // lane block is the simulator's dominant allocation and scales with
+  // lane_words, the knob BENCH_fsim sweeps.
+  obs::GaugeCharge lane_charge_;
 };
 
 }  // namespace lbist::sim

@@ -197,6 +197,11 @@ robust::Result<LoadedCheckpoint> tryLoadCheckpoint(const std::string& path,
       (void)robust::atomicWriteFile(path + ".corrupt", bytes);
       loaded.quarantined = true;
       OBS_COUNT("soc.ckpt_quarantines", 1);
+      if (obs::eventsEnabled()) {
+        // Path deliberately omitted: test checkpoints live in per-run
+        // temp dirs and would break byte-diffing across reruns.
+        obs::Event("recover").field("kind", "checkpoint_quarantine").commit();
+      }
     }
   };
 
@@ -281,6 +286,20 @@ robust::Result<CampaignResult> CampaignRunner::tryRun(
       written.push_back(r.name);
     }
     std::string content = os.str();
+    // WAL-buffer accounting: the rewrite holds the whole checkpoint
+    // image in memory until the atomic rename lands. RAII so injected
+    // early returns below release the same bytes they charged.
+    obs::GaugeCharge wal_charge;
+    if (obs::metricsEnabled()) {
+      wal_charge = obs::GaugeCharge(obs::gaugeId("soc.ckpt_wal_bytes"),
+                                    static_cast<int64_t>(content.size()));
+    }
+    if (obs::eventsEnabled()) {
+      obs::Event("checkpoint_rewrite")
+          .field("reason", "start")
+          .field("records", static_cast<uint64_t>(loaded.size()))
+          .commit();
+    }
     const robust::FaultAction act = ROBUST_POINT(
         "campaign.checkpoint.rewrite", "",
         robust::kCanIoError | robust::kCanTornWrite | robust::kCanBitFlip);
@@ -328,6 +347,14 @@ robust::Result<CampaignResult> CampaignRunner::tryRun(
           : std::min(schedule_->groups.size(),
                      static_cast<size_t>(opts.max_groups));
 
+  // Planned simulated test time across the groups this run will
+  // execute; the heartbeat's ETA is elapsed wall scaled by the
+  // remaining fraction of this total.
+  uint64_t planned_tcks = 0;
+  for (size_t g = 0; g < group_limit; ++g) {
+    planned_tcks += schedule_->groups[g].duration_tcks;
+  }
+
   for (size_t gi = 0; gi < group_limit; ++gi) {
     OBS_SPAN("soc.group");
     OBS_COUNT("soc.groups", 1);
@@ -343,10 +370,14 @@ robust::Result<CampaignResult> CampaignRunner::tryRun(
     }
     std::vector<CoreRunResult> fresh(group.members.size());
     pool.run(static_cast<unsigned>(pending.size()), [&](unsigned shard) {
-      OBS_SPAN("soc.core_session");
       const size_t m = pending[shard];
       const CoreSession& cs = schedule_->sessions[group.members[m]];
       const size_t ci = cs.core_index;
+      // SoC Perfetto tracks read by the core under test, not the pool
+      // slot; a worker that serves several cores keeps its most recent
+      // label.
+      obs::setThreadName("core-" + cs.name);
+      OBS_SPAN("soc.core_session");
 
       // Retry loop under the deterministic budget: an attempt that
       // throws is retried (jobs are pure, re-running is safe); a
@@ -418,6 +449,15 @@ robust::Result<CampaignResult> CampaignRunner::tryRun(
         }
         if (attempt >= opts.retry.max_attempts) break;
         OBS_COUNT("soc.job_retries", 1);
+        if (obs::eventsEnabled()) {
+          // Retry history is deterministic per core (pure jobs, fixed
+          // plan) but workers interleave, hence commitShared.
+          obs::Event("recover")
+              .field("kind", "job_retry")
+              .field("core", cs.name)
+              .field("attempt", static_cast<uint64_t>(attempt))
+              .commitShared();
+        }
       }
       fresh[m] = std::move(r);
     });
@@ -480,19 +520,55 @@ robust::Result<CampaignResult> CampaignRunner::tryRun(
         }
       }
       if (!r.pass) ++result.failures;
+      if (obs::eventsEnabled()) {
+        // One event per core, emitted from this serial merge so the
+        // order is schedule order for every thread count.
+        obs::Event("core_result")
+            .field("core", r.name)
+            .field("group", static_cast<uint64_t>(gi + 1))
+            .field("pass", r.pass)
+            .field("resumed", it != done.end())
+            .field("tcks", r.tcks)
+            .commit();
+      }
       result.cores.push_back(std::move(r));
     }
     result.total_tcks += group.duration_tcks;
     ++result.executed_groups;
+    if (obs::eventsEnabled()) {
+      obs::Event("group_done")
+          .field("group", static_cast<uint64_t>(gi + 1))
+          .field("groups", static_cast<uint64_t>(group_limit))
+          .field("cores_done", static_cast<uint64_t>(result.cores.size()))
+          .field("failures", static_cast<uint64_t>(result.failures))
+          .field("tcks", result.total_tcks)
+          .commit();
+    }
+    // Rate-curve anchor: one sample per merged group, work-indexed by
+    // the cumulative simulated test time (the campaign unit of work).
+    OBS_SAMPLE("soc.group", static_cast<int64_t>(result.total_tcks));
 
     if (opts.progress != nullptr) {
       const double secs = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - campaign_t0)
                               .count();
+      // Rate and ETA come from campaign-local tck accounting (simulated
+      // test time over wall time), so the heartbeat needs no wall-clock
+      // state beyond the campaign start.
+      const double rate = secs > 0.0
+                              ? static_cast<double>(result.total_tcks) / secs
+                              : 0.0;
+      const double eta =
+          result.total_tcks > 0
+              ? secs *
+                    static_cast<double>(planned_tcks - result.total_tcks) /
+                    static_cast<double>(result.total_tcks)
+              : 0.0;
       *opts.progress << "[campaign] group " << (gi + 1) << "/" << group_limit
                      << ": " << result.cores.size() << " cores done ("
                      << result.resumed_cores << " resumed), "
-                     << result.failures << " failures, " << secs << "s\n"
+                     << result.failures << " failures, " << secs << "s, "
+                     << rate << " tck/s, eta " << eta << "s\n"
                      << std::flush;
     }
   }
@@ -524,8 +600,20 @@ robust::Result<CampaignResult> CampaignRunner::tryRun(
           os << withCrc(checkpointLine(r)) << "\n";
         }
       }
+      const std::string content = os.str();
+      obs::GaugeCharge wal_charge;
+      if (obs::metricsEnabled()) {
+        wal_charge = obs::GaugeCharge(obs::gaugeId("soc.ckpt_wal_bytes"),
+                                      static_cast<int64_t>(content.size()));
+      }
+      if (obs::eventsEnabled()) {
+        obs::Event("checkpoint_rewrite")
+            .field("reason", "canonicalize")
+            .field("records", static_cast<uint64_t>(canonical.size()))
+            .commit();
+      }
       const robust::Status wrote =
-          robust::atomicWriteFile(opts.checkpoint_path, os.str());
+          robust::atomicWriteFile(opts.checkpoint_path, content);
       if (!wrote.ok()) {
         // Degrade, not fail: the streamed file is complete and valid,
         // merely out of canonical order, and still resumes correctly.

@@ -65,8 +65,10 @@ struct CampaignOptions {
   int64_t max_groups = -1;
   /// Heartbeat stream: after every merged group the runner writes one
   /// progress line (group index, cores run/resumed, failures, wall
-  /// seconds). nullptr disables. Observability only — never read back,
-  /// so it cannot affect results (ARCHITECTURE.md contract 5).
+  /// seconds, throughput in simulated tck/s, and an ETA extrapolated
+  /// from the remaining scheduled tcks). nullptr disables.
+  /// Observability only — never read back, so it cannot affect results
+  /// (ARCHITECTURE.md contract 5).
   std::ostream* progress = nullptr;
   /// Retry budget for failing core-session jobs. Backoff is counted in
   /// simulated ticks (obs counter soc.backoff_ticks), never slept, so
